@@ -1,0 +1,51 @@
+(* An interactive Hyper-Q session: a REPL speaking Q, backed by the full
+   platform (QIPC endpoint -> XC -> PG v3 gateway -> pgdb), pre-loaded
+   with the TAQ-style market-data schema.
+
+     dune exec bin/hyperq_server.exe
+     q) select vwap:(sum Price*Size)%sum Size by Symbol from trades
+     q) aj[`Symbol`Time; trades; quotes]
+     q) \sql select from trades where Symbol=`AAA   -- show generated SQL
+     q) \q                                           -- quit *)
+
+module P = Platform.Hyperq_platform
+module MD = Workload.Marketdata
+
+let () =
+  let d = MD.generate MD.small_scale in
+  let db = Pgdb.Db.create () in
+  MD.load_pg db d;
+  let platform = P.create db in
+  let client = P.Client.connect platform in
+  (* a translation-only engine for the \sql command *)
+  let sql_engine =
+    Hyperq.Engine.create
+      (Hyperq.Backend.of_pgdb_session (Pgdb.Db.open_session db))
+  in
+  Printf.printf
+    "Hyper-Q interactive session (backend: pgdb via PG v3 wire)\n\
+     tables: trades (%d rows), quotes (%d rows), secmaster_w, risk_w, \
+     limits_w\n\
+     commands: \\sql <q-query> shows generated SQL, \\q quits\n\n"
+    (Array.length d.MD.trades)
+    (Array.length d.MD.quotes);
+  let rec loop () =
+    print_string "q) ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | "\\q" | "exit" -> ()
+    | "" -> loop ()
+    | line when String.length line > 5 && String.sub line 0 5 = "\\sql " ->
+        let q = String.sub line 5 (String.length line - 5) in
+        (match Hyperq.Engine.translate sql_engine q with
+        | sql -> print_endline sql
+        | exception e -> Printf.printf "error: %s\n" (Printexc.to_string e));
+        loop ()
+    | line ->
+        (match P.Client.query client line with
+        | Ok v -> print_endline (Qvalue.Qprint.to_string v)
+        | Error e -> Printf.printf "error: %s\n" e);
+        loop ()
+  in
+  loop ();
+  P.Client.close client

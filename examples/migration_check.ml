@@ -1,0 +1,24 @@
+(* The side-by-side testing framework of the paper's Section 5, as a
+   customer would use it in a staging environment: run the whole captured
+   workload against both stacks and report per-query verdicts.
+
+     dune exec examples/migration_check.exe *)
+
+let () =
+  print_endline "Side-by-side migration check (paper Section 5)";
+  print_endline "==============================================";
+  print_endline
+    "running the 25-query Analytical Workload on kdb+ and on \
+     Hyper-Q->PostgreSQL...\n";
+  let d = Workload.Marketdata.generate Workload.Marketdata.small_scale in
+  let reports = Sidebyside.Framework.run_workload d in
+  let ok = ref 0 in
+  List.iter
+    (fun (r : Sidebyside.Framework.report) ->
+      let verdict = Sidebyside.Framework.verdict_str r.Sidebyside.Framework.verdict in
+      if r.Sidebyside.Framework.verdict = Sidebyside.Framework.Match then incr ok;
+      Printf.printf "%-60s %s\n" r.Sidebyside.Framework.query verdict)
+    reports;
+  Printf.printf "\n%d/%d queries behave identically on both stacks\n" !ok
+    (List.length reports);
+  if !ok <> List.length reports then exit 1

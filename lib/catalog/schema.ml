@@ -1,0 +1,42 @@
+(** Schema objects shared between the pgdb backend and Hyper-Q's metadata
+    interface (the paper's MDI, Section 3.2.3). *)
+
+type column = { col_name : string; col_type : Sqltype.t }
+
+type table_def = {
+  tbl_name : string;
+  tbl_columns : column list;
+  tbl_keys : string list;  (** primary/unique key columns, possibly empty *)
+  tbl_order_col : string option;
+      (** the implicit Q ordering column, when the table was created by
+          Hyper-Q's schema mapping *)
+  tbl_temp : bool;
+}
+
+type view_def = { view_name : string; view_sql : string }
+
+type function_def = {
+  fn_name : string;
+  fn_args : Sqltype.t list;
+  fn_ret : Sqltype.t;
+}
+
+type obj = Table of table_def | View of view_def | Function of function_def
+
+let column name ty = { col_name = name; col_type = ty }
+
+let table ?(keys = []) ?order_col ?(temp = false) name columns =
+  {
+    tbl_name = name;
+    tbl_columns = columns;
+    tbl_keys = keys;
+    tbl_order_col = order_col;
+    tbl_temp = temp;
+  }
+
+let find_column (t : table_def) name =
+  List.find_opt
+    (fun c -> String.lowercase_ascii c.col_name = String.lowercase_ascii name)
+    t.tbl_columns
+
+let column_names (t : table_def) = List.map (fun c -> c.col_name) t.tbl_columns

@@ -1,0 +1,41 @@
+(** SQL scalar types of the PostgreSQL-compatible backend. *)
+
+type t =
+  | TBool
+  | TBigint
+  | TDouble
+  | TVarchar
+  | TText
+  | TDate
+  | TTime
+  | TTimestamp
+
+let name = function
+  | TBool -> "boolean"
+  | TBigint -> "bigint"
+  | TDouble -> "double precision"
+  | TVarchar -> "varchar"
+  | TText -> "text"
+  | TDate -> "date"
+  | TTime -> "time"
+  | TTimestamp -> "timestamp"
+
+let of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "boolean" | "bool" -> Some TBool
+  | "bigint" | "int8" | "integer" | "int" | "int4" | "smallint" -> Some TBigint
+  | "double precision" | "float8" | "double" | "real" | "numeric" ->
+      Some TDouble
+  | "varchar" | "character varying" -> Some TVarchar
+  | "text" -> Some TText
+  | "date" -> Some TDate
+  | "time" -> Some TTime
+  | "timestamp" | "timestamptz" -> Some TTimestamp
+  | _ -> None
+
+let is_numeric = function
+  | TBigint | TDouble -> true
+  | TBool | TVarchar | TText | TDate | TTime | TTimestamp -> false
+
+let equal (a : t) b = a = b
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,33 @@
+(** The backend abstraction the query translator talks to (the Gateway's
+    inward-facing contract, paper Figure 1).
+
+    Implementations: {!of_pgdb_session} (direct, in-process) and
+    [Platform.Gateway.wire_backend] (through real PG v3 bytes). *)
+
+type result = {
+  cols : (string * Catalog.Sqltype.t) list;
+  rows : Pgdb.Value.t array array;
+}
+
+type reply = Result_set of result | Command_ok of string
+
+type t = {
+  name : string;
+  exec : string -> (reply, string) Stdlib.result;
+      (** execute one SQL statement *)
+  sql_log : string list ref;  (** every statement sent, newest first *)
+}
+
+(** Execute a statement, recording it in [sql_log]. *)
+val exec : t -> string -> (reply, string) Stdlib.result
+
+val exec_exn : t -> string -> reply
+val query_exn : t -> string -> result
+
+(** Wrap a backend with a fixed per-statement latency, simulating an MPP
+    cluster's optimize-and-dispatch floor (paper Section 2.1). Used by the
+    benchmarks; tests run without it. *)
+val with_dispatch_latency : float -> t -> t
+
+(** A direct in-process backend over a pgdb session. *)
+val of_pgdb_session : Pgdb.Db.session -> t

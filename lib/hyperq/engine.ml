@@ -1,0 +1,434 @@
+(** The Hyper-Q query engine: drives the full translation pipeline for one
+    client session (paper Figure 1 and Section 3.4's QT side).
+
+    Life cycle of a query: parse (lightweight Q parser) → algebrize (bind
+    against scopes + MDI) → optimize (Xformer passes) → serialize (XTRA →
+    SQL text) → execute on the backend → pivot the row-oriented result into
+    the column-oriented Q value the application expects.
+
+    Variable assignments trigger eager materialization (Section 4.3):
+    logically — the definition is kept in the variable scope and inlined at
+    use sites — or physically, as [CREATE TEMPORARY TABLE HQ_TEMP_n AS ...]
+    statements executed in situ during binding. *)
+
+module I = Xtra.Ir
+module A = Sqlast.Ast
+module Ast = Qlang.Ast
+module Ty = Catalog.Sqltype
+module QV = Qvalue.Value
+
+exception Hq_error of { category : string; message : string }
+
+let hq_error category fmt =
+  Format.kasprintf (fun message -> raise (Hq_error { category; message })) fmt
+
+type config = {
+  xformer : Xformer.config;
+  mutable materialization : [ `Logical | `Physical ];
+}
+
+let default_config () =
+  { xformer = Xformer.default_config (); materialization = `Logical }
+
+type t = {
+  backend : Backend.t;
+  mdi : Mdi.t;
+  scopes : Scopes.t;
+  timer : Stage_timer.t;
+  config : config;
+  mutable temp_counter : int;
+  mutable error_log : (string * string) list;
+      (* (query, categorised error), newest first, bounded *)
+}
+
+let create ?(config = default_config ()) ?mdi_config ?server_scope backend =
+  {
+    backend;
+    mdi = Mdi.create ?config:mdi_config backend;
+    scopes = Scopes.create ?server:server_scope ();
+    timer = Stage_timer.create ();
+    config;
+    temp_counter = 0;
+    error_log = [];
+  }
+
+(** Destroy the session: promote session variables to the server scope
+    (paper Section 3.2.3). *)
+let close_session (t : t) = Scopes.destroy_session t.scopes
+
+(* ------------------------------------------------------------------ *)
+(* Materialization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_temp (t : t) : string =
+  t.temp_counter <- t.temp_counter + 1;
+  Printf.sprintf "hq_temp_%d" t.temp_counter
+
+(* replace ConstRel nodes with materialized temp tables: the SQL dialect
+   has no VALUES-in-FROM, and Hyper-Q materializes Q table values into PG
+   objects anyway (Section 4.3) *)
+let rec materialize_const_rels (t : t) (r : I.rel) : I.rel =
+  match r with
+  | I.ConstRel { cols; rows } ->
+      let name = fresh_temp t in
+      let create =
+        A.CreateTable
+          {
+            ct_temp = true;
+            ct_name = name;
+            ct_cols =
+              List.map
+                (fun c -> { A.cd_name = c.I.cr_name; cd_type = c.I.cr_type })
+                cols;
+          }
+      in
+      (match Backend.exec t.backend (A.stmt_str create) with
+      | Ok _ -> ()
+      | Error e -> hq_error "backend" "materializing literal table: %s" e);
+      if rows <> [] then begin
+        let insert =
+          A.InsertValues
+            {
+              ins_table = name;
+              ins_cols = List.map (fun c -> c.I.cr_name) cols;
+              rows;
+            }
+        in
+        match Backend.exec t.backend (A.stmt_str insert) with
+        | Ok _ -> ()
+        | Error e -> hq_error "backend" "loading literal table: %s" e
+      end;
+      I.Get { table = name; cols; ordcol = None }
+  | I.Get _ -> r
+  | I.Project p -> I.Project { p with input = materialize_const_rels t p.input }
+  | I.Filter f -> I.Filter { f with input = materialize_const_rels t f.input }
+  | I.Join j ->
+      I.Join
+        {
+          j with
+          left = materialize_const_rels t j.left;
+          right = materialize_const_rels t j.right;
+        }
+  | I.AsofJoin a ->
+      I.AsofJoin
+        {
+          a with
+          left = materialize_const_rels t a.left;
+          right = materialize_const_rels t a.right;
+        }
+  | I.Aggregate a ->
+      I.Aggregate { a with input = materialize_const_rels t a.input }
+  | I.WindowOp w -> I.WindowOp { w with input = materialize_const_rels t w.input }
+  | I.Sort s -> I.Sort { s with input = materialize_const_rels t s.input }
+  | I.Limit l -> I.Limit { l with input = materialize_const_rels t l.input }
+  | I.Union rels -> I.Union (List.map (materialize_const_rels t) rels)
+
+(** Lower an XTRA tree to executable SQL text, running the Xformer and the
+    serializer under their stage timers. *)
+let lower (t : t) (rel : I.rel) : string =
+  let rel = materialize_const_rels t rel in
+  let optimized =
+    Stage_timer.timed t.timer Stage_timer.Optimize (fun () ->
+        Xformer.optimize ~config:t.config.xformer rel)
+  in
+  Stage_timer.timed t.timer Stage_timer.Serialize (fun () ->
+      Serializer.serialize_to_sql
+        ~tolerate_eq2:(not t.config.xformer.Xformer.enable_2vl)
+        optimized)
+
+(* the binder callback implementing assignment materialization *)
+let materialize_cb (t : t) (_ctx : Binder.ctx) (name : string)
+    (brel : Binder.bound_rel) : Scopes.vardef =
+  ignore name;
+  match t.config.materialization with
+  | `Logical -> Scopes.VRel (brel.Binder.rel, brel.Binder.keys)
+  | `Physical ->
+      let tbl = fresh_temp t in
+      let sql = lower t brel.Binder.rel in
+      let create = Printf.sprintf "CREATE TEMPORARY TABLE %s AS %s" tbl sql in
+      (match
+         Stage_timer.timed t.timer Stage_timer.Execute (fun () ->
+             Backend.exec t.backend create)
+       with
+      | Ok _ -> ()
+      | Error e -> hq_error "backend" "materialization failed: %s" e);
+      let cols = I.output_cols brel.Binder.rel in
+      Scopes.VBackendTable
+        {
+          Scopes.bt_name = tbl;
+          bt_cols = cols;
+          bt_ordcol = I.order_col brel.Binder.rel;
+          bt_keys = brel.Binder.keys;
+        }
+
+let make_ctx (t : t) : Binder.ctx =
+  {
+    Binder.mdi = t.mdi;
+    scopes = t.scopes;
+    cols = [];
+    ordcol = None;
+    counter = 0;
+    materialize = (fun ctx name brel -> materialize_cb t ctx name brel);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Result pivot: row-oriented backend results -> Q values              *)
+(* ------------------------------------------------------------------ *)
+
+(* internal helper columns that must not reach the application *)
+let is_internal_col name =
+  name = "hq_ord" || name = "hq_rowid" || name = "hq_rn"
+  ||
+  (String.length name > 3 && String.sub name 0 3 = "hq_")
+
+let table_of_result (res : Backend.result) : QV.table =
+  let nrows = Array.length res.Backend.rows in
+  (* keep application-visible columns, remembering each one's position in
+     the raw row *)
+  let keep =
+    List.filteri (fun _ (name, _) -> not (is_internal_col name))
+      (List.mapi (fun j (name, ty) -> (name, (j, ty))) res.Backend.cols)
+  in
+  let data =
+    List.map
+      (fun (name, (j, ty)) ->
+        let atoms =
+          Array.init nrows (fun i ->
+              Typemap.atom_of_value ty res.Backend.rows.(i).(j))
+        in
+        (name, QV.vector_of_atoms atoms))
+      keep
+  in
+  QV.table data
+
+let pivot (res : Backend.result) (shape : Binder.rshape) : QV.t =
+  let tbl = table_of_result res in
+  match shape with
+  | Binder.RTable -> QV.Table tbl
+  | Binder.RKeyed keys -> QV.xkey keys tbl
+  | Binder.RVector col -> QV.column_exn tbl col
+  | Binder.RDict (keys, vals) ->
+      let kcol =
+        match keys with
+        | [ k ] -> QV.column_exn tbl k
+        | ks -> QV.List (Array.of_list (List.map (QV.column_exn tbl) ks))
+      in
+      let vcol =
+        match vals with
+        | [ v ] -> QV.column_exn tbl v
+        | vs -> QV.List (Array.of_list (List.map (QV.column_exn tbl) vs))
+      in
+      QV.Dict (kcol, vcol)
+  | Binder.RAtom ->
+      if Array.length res.Backend.rows = 0 then QV.List [||]
+      else QV.index (QV.Table tbl) 0 |> fun row ->
+        (match row with
+         | QV.Dict (_, vals) when QV.length vals = 1 -> QV.index vals 0
+         | v -> v)
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type run_result = {
+  value : QV.t option;  (** None for definitions/assignments *)
+  sqls : string list;  (** SQL statements sent for this Q statement *)
+}
+
+let execute_rel (t : t) (brel : Binder.bound_rel) : QV.t * string list =
+  let sql_before = List.length !(t.backend.Backend.sql_log) in
+  let sql = lower t brel.Binder.rel in
+  let res =
+    Stage_timer.timed t.timer Stage_timer.Execute (fun () ->
+        match Backend.exec t.backend sql with
+        | Ok (Backend.Result_set r) -> r
+        | Ok (Backend.Command_ok tag) ->
+            hq_error "backend" "expected rows, got %s" tag
+        | Error e -> hq_error "backend" "%s" e)
+  in
+  let sql_after = !(t.backend.Backend.sql_log) in
+  let sent =
+    List.filteri
+      (fun i _ -> i < List.length sql_after - sql_before)
+      sql_after
+    |> List.rev
+  in
+  (pivot res brel.Binder.shape, sent)
+
+(* a context-free scalar evaluates via a FROM-less SELECT *)
+let execute_scalar (t : t) (s : I.scalar) : QV.t =
+  let rel = I.Aggregate { input = I.ConstRel { cols = []; rows = [] }; keys = []; aggs = [] } in
+  ignore rel;
+  let optimized =
+    Stage_timer.timed t.timer Stage_timer.Optimize (fun () ->
+        I.map_scalar
+          (function
+            | I.Eq2 (a, b) -> I.NullSafeEq (a, b)
+            | I.Neq2 (a, b) -> I.NullSafeNeq (a, b)
+            | s -> s)
+          s)
+  in
+  let sql =
+    Stage_timer.timed t.timer Stage_timer.Serialize (fun () ->
+        let st_expr =
+          Serializer.sql_of_scalar
+            { Serializer.alias_counter = 0; tolerate_eq2 = false }
+            optimized
+        in
+        A.select_str
+          { A.empty_select with projs = [ { A.p_expr = st_expr; p_alias = Some "value" } ] })
+  in
+  let res =
+    Stage_timer.timed t.timer Stage_timer.Execute (fun () ->
+        match Backend.exec t.backend sql with
+        | Ok (Backend.Result_set r) -> r
+        | Ok (Backend.Command_ok tag) ->
+            hq_error "backend" "expected rows, got %s" tag
+        | Error e -> hq_error "backend" "%s" e)
+  in
+  match (res.Backend.cols, res.Backend.rows) with
+  | [ (_, ty) ], [| [| v |] |] -> QV.Atom (Typemap.atom_of_value ty v)
+  | _ -> hq_error "backend" "scalar query returned a non-scalar result"
+
+let value_of_list (ls : (A.lit * Ty.t) list) : QV.t =
+  QV.vector_of_atoms
+    (Array.of_list
+       (List.map
+          (fun (l, ty) ->
+            Typemap.atom_of_value ty
+              (match l with
+              | A.Null -> Pgdb.Value.Null
+              | A.Bool b -> Pgdb.Value.Bool b
+              | A.Int i -> Pgdb.Value.Int i
+              | A.Float f -> Pgdb.Value.Float f
+              | A.Str s -> (
+                  match ty with
+                  | Ty.TDate | Ty.TTime | Ty.TTimestamp -> Pgdb.Value.of_text ty s
+                  | _ -> Pgdb.Value.Str s)))
+          ls))
+
+(** Execute one parsed Q statement. *)
+let run_statement (t : t) (stmt : Ast.expr) : run_result =
+  let ctx = make_ctx t in
+  match stmt with
+  | Ast.Assign (name, rhs) | Ast.GlobalAssign (name, rhs) ->
+      let v =
+        Stage_timer.timed t.timer Stage_timer.Algebrize (fun () ->
+            Binder.bind ctx rhs)
+      in
+      let def =
+        match v with
+        | Binder.BScalar (I.Const (l, ty)) -> Scopes.VScalar (l, ty)
+        | Binder.BList ls -> Scopes.VList ls
+        | Binder.BFun f -> Scopes.VFunction f
+        | Binder.BRel r -> materialize_cb t ctx name r
+        | Binder.BScalar _ ->
+            hq_error "bind" "cannot assign a column expression to %s" name
+        | Binder.BPrim p -> hq_error "bind" "cannot assign primitive %s" p
+      in
+      (match stmt with
+      | Ast.GlobalAssign _ -> Scopes.upsert_global t.scopes name def
+      | _ -> Scopes.upsert t.scopes name def);
+      { value = None; sqls = [] }
+  | stmt ->
+      let sql_mark = List.length !(t.backend.Backend.sql_log) in
+      let v =
+        Stage_timer.timed t.timer Stage_timer.Algebrize (fun () ->
+            Binder.bind ctx stmt)
+      in
+      let value =
+        match v with
+        | Binder.BRel brel -> fst (execute_rel t brel)
+        | Binder.BScalar (I.Const (l, ty)) ->
+            (* constants do not need the backend *)
+            QV.Atom
+              (Typemap.atom_of_value ty
+                 (match l with
+                 | A.Null -> Pgdb.Value.Null
+                 | A.Bool b -> Pgdb.Value.Bool b
+                 | A.Int i -> Pgdb.Value.Int i
+                 | A.Float f -> Pgdb.Value.Float f
+                 | A.Str s -> (
+                     match ty with
+                     | Ty.TDate | Ty.TTime | Ty.TTimestamp ->
+                         Pgdb.Value.of_text ty s
+                     | _ -> Pgdb.Value.Str s)))
+        | Binder.BScalar s -> execute_scalar t s
+        | Binder.BList ls -> value_of_list ls
+        | Binder.BFun l -> QV.string_ (Ast.to_string (Ast.Lambda l))
+        | Binder.BPrim p -> QV.string_ p
+      in
+      let sqls =
+        let log = !(t.backend.Backend.sql_log) in
+        List.filteri (fun i _ -> i < List.length log - sql_mark) log
+        |> List.rev
+      in
+      { value = Some value; sqls }
+
+(** Parse and execute a Q program; returns the last statement's result. *)
+let run_program (t : t) (src : string) : run_result =
+  let stmts =
+    Stage_timer.timed t.timer Stage_timer.Parse (fun () ->
+        Qlang.Parser.parse_program src)
+  in
+  match stmts with
+  | [] -> { value = None; sqls = [] }
+  | stmts ->
+      List.fold_left
+        (fun _ stmt -> run_statement t stmt)
+        { value = None; sqls = [] }
+        stmts
+
+(** Translate without executing: returns the serialized SQL for a single
+    Q query (used by tests, examples and the translation benchmarks). *)
+let translate (t : t) (src : string) : string =
+  let stmts =
+    Stage_timer.timed t.timer Stage_timer.Parse (fun () ->
+        Qlang.Parser.parse_program src)
+  in
+  let stmt =
+    match stmts with
+    | [ s ] -> s
+    | _ -> hq_error "parse" "translate expects a single statement"
+  in
+  let ctx = make_ctx t in
+  let v =
+    Stage_timer.timed t.timer Stage_timer.Algebrize (fun () ->
+        Binder.bind ctx stmt)
+  in
+  match v with
+  | Binder.BRel brel -> lower t brel.Binder.rel
+  | _ -> hq_error "bind" "translate expects a table query"
+
+(** The per-session stage timer, for benchmarking. *)
+let timer (t : t) = t.timer
+
+(** The session's metadata interface (cache statistics, invalidation). *)
+let mdi (t : t) = t.mdi
+
+(** Convenience wrapper turning all Hyper-Q failure modes into a
+    result. *)
+let try_run (t : t) (src : string) : (run_result, string) result =
+  let fail msg =
+    (* keep a bounded log of failures with their query text: verbose,
+       attributable errors are one of the ways Hyper-Q improves on kdb+'s
+       terse signals (paper Section 5) *)
+    t.error_log <- (src, msg) :: t.error_log;
+    if List.length t.error_log > 100 then
+      t.error_log <- List.filteri (fun i _ -> i < 100) t.error_log;
+    Error msg
+  in
+  match run_program t src with
+  | r -> Ok r
+  | exception Hq_error { category; message } ->
+      fail (Printf.sprintf "[%s] %s" category message)
+  | exception Binder.Unsupported m -> fail (Printf.sprintf "[unsupported] %s" m)
+  | exception I.Bind_error m -> fail (Printf.sprintf "[bind] %s" m)
+  | exception Serializer.Serialize_error m ->
+      fail (Printf.sprintf "[serialize] %s" m)
+  | exception Qlang.Lexer.Error m -> fail (Printf.sprintf "[parse] %s" m)
+  | exception Qlang.Parser.Error m -> fail (Printf.sprintf "[parse] %s" m)
+
+(** The most recent failures, [(query, categorised error)], newest first —
+    the improved error logging of Section 5. *)
+let recent_errors (t : t) : (string * string) list = t.error_log

@@ -1,0 +1,65 @@
+(** The Hyper-Q engine: one client session's full translation pipeline
+    (paper Figure 1).
+
+    Parse → algebrize (binder + MDI) → optimize (Xformer) → serialize →
+    execute on the backend → pivot rows into the column-oriented Q value
+    the application expects. Assignments trigger eager materialization
+    (Section 4.3), either logical (definitions inlined at use sites) or
+    physical ([CREATE TEMPORARY TABLE HQ_TEMP_n AS ...]). *)
+
+exception Hq_error of { category : string; message : string }
+
+type config = {
+  xformer : Xformer.config;
+  mutable materialization : [ `Logical | `Physical ];
+}
+
+val default_config : unit -> config
+
+type t
+
+(** Create a session over a backend. [server_scope] shares global
+    variables across sessions (as on one kdb+ server); [mdi_config]
+    controls the metadata cache. *)
+val create :
+  ?config:config ->
+  ?mdi_config:Mdi.config ->
+  ?server_scope:Scopes.frame ->
+  Backend.t ->
+  t
+
+(** Destroy the session, promoting session variables to the server scope
+    (paper Section 3.2.3). *)
+val close_session : t -> unit
+
+type run_result = {
+  value : Qvalue.Value.t option;  (** [None] for definitions/assignments *)
+  sqls : string list;  (** SQL statements sent for this Q statement *)
+}
+
+(** Execute one parsed Q statement. *)
+val run_statement : t -> Qlang.Ast.expr -> run_result
+
+(** Parse and execute a Q program; returns the last statement's result.
+    Raises on errors — prefer {!try_run} at API boundaries. *)
+val run_program : t -> string -> run_result
+
+(** Translate a single Q query to SQL without executing it (benchmarks,
+    examples, debugging). *)
+val translate : t -> string -> string
+
+(** {!run_program} with every Hyper-Q failure mode collected into a
+    categorised error string. *)
+val try_run : t -> string -> (run_result, string) result
+
+(** The session's stage timer (reset it between measured queries). *)
+val timer : t -> Stage_timer.t
+
+(** The session's metadata interface (cache statistics, invalidation). *)
+val mdi : t -> Mdi.t
+
+(** The most recent failures as [(query, categorised error)] pairs, newest
+    first (bounded) — the paper's Section 5 notes that verbose,
+    attributable error reporting is a place where Hyper-Q improves on
+    kdb+. *)
+val recent_errors : t -> (string * string) list

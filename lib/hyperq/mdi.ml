@@ -1,0 +1,93 @@
+(** MetaData Interface (paper Section 3.2.3, bottom of Figure 3).
+
+    The binder resolves table references by querying the backend's catalog.
+    Each uncached lookup is a real SQL round trip against
+    [pg_catalog_columns]; because metadata changes rarely, Hyper-Q keeps a
+    configurable cache with an expiration budget and explicit invalidation
+    (Section 6: "experiments are conducted with metadata caching
+    enabled"). *)
+
+module S = Catalog.Schema
+module Ty = Catalog.Sqltype
+
+type config = {
+  mutable cache_enabled : bool;
+  mutable max_age_lookups : int;
+      (** entries expire after this many lookups (a stand-in for wall-clock
+          expiry so tests and benches are deterministic) *)
+}
+
+type entry = { def : S.table_def; mutable age : int }
+
+type t = {
+  backend : Backend.t;
+  config : config;
+  cache : (string, entry) Hashtbl.t;
+  mutable lookups : int;  (** total lookup calls *)
+  mutable misses : int;  (** lookups that hit the backend *)
+}
+
+let default_config () = { cache_enabled = true; max_age_lookups = 10_000 }
+
+let create ?(config = default_config ()) backend =
+  { backend; config; cache = Hashtbl.create 32; lookups = 0; misses = 0 }
+
+let invalidate t name = Hashtbl.remove t.cache (String.lowercase_ascii name)
+let invalidate_all t = Hashtbl.reset t.cache
+
+(* catalog round trip: fetch column metadata through SQL *)
+let fetch (t : t) (lname : string) : S.table_def option =
+  t.misses <- t.misses + 1;
+  let sql =
+    Printf.sprintf
+      "SELECT column_name, type_name, is_key, is_order_col FROM \
+       pg_catalog_columns WHERE table_name = '%s' ORDER BY ordinal ASC"
+      lname
+  in
+  match Backend.exec t.backend sql with
+  | Error _ -> None
+  | Ok (Backend.Command_ok _) -> None
+  | Ok (Backend.Result_set res) ->
+      if Array.length res.Backend.rows = 0 then None
+      else
+        let cols = ref [] and keys = ref [] and ordcol = ref None in
+        Array.iter
+          (fun row ->
+            match row with
+            | [| Pgdb.Value.Str cname; Pgdb.Value.Str tname; key; ord |] ->
+                let ty =
+                  match Ty.of_name tname with Some ty -> ty | None -> Ty.TText
+                in
+                cols := S.column cname ty :: !cols;
+                (match key with
+                | Pgdb.Value.Bool true -> keys := cname :: !keys
+                | _ -> ());
+                (match ord with
+                | Pgdb.Value.Bool true -> ordcol := Some cname
+                | _ -> ())
+            | _ -> ())
+          res.Backend.rows;
+        Some
+          (S.table ~keys:(List.rev !keys) ?order_col:!ordcol lname
+             (List.rev !cols))
+
+(** Resolve a table by name. Returns the full definition including keys and
+    the implicit order column. *)
+let lookup_table (t : t) (name : string) : S.table_def option =
+  t.lookups <- t.lookups + 1;
+  let lname = String.lowercase_ascii name in
+  if not t.config.cache_enabled then fetch t lname
+  else
+    match Hashtbl.find_opt t.cache lname with
+    | Some entry when t.lookups - entry.age <= t.config.max_age_lookups ->
+        Some entry.def
+    | _ -> (
+        match fetch t lname with
+        | Some def ->
+            Hashtbl.replace t.cache lname { def; age = t.lookups };
+            Some def
+        | None ->
+            Hashtbl.remove t.cache lname;
+            None)
+
+let stats t = (t.lookups, t.misses)

@@ -1,0 +1,36 @@
+(** The MetaData Interface (paper Section 3.2.3): resolves table names by
+    querying the backend catalog over SQL, with a configurable cache
+    (Section 6 runs with caching enabled). *)
+
+type config = {
+  mutable cache_enabled : bool;
+  mutable max_age_lookups : int;
+      (** entries expire after this many lookups — a deterministic
+          stand-in for wall-clock expiry *)
+}
+
+type t = {
+  backend : Backend.t;
+  config : config;
+  cache : (string, entry) Hashtbl.t;
+  mutable lookups : int;
+  mutable misses : int;  (** lookups that performed a backend round trip *)
+}
+
+and entry = { def : Catalog.Schema.table_def; mutable age : int }
+
+val default_config : unit -> config
+val create : ?config:config -> Backend.t -> t
+
+(** Drop one cached table (e.g. after DDL), or everything. *)
+val invalidate : t -> string -> unit
+
+val invalidate_all : t -> unit
+
+(** Resolve a table by (case-insensitive) name: cache first, then a SQL
+    query against [pg_catalog_columns]. Returns columns, keys and the
+    implicit order column. *)
+val lookup_table : t -> string -> Catalog.Schema.table_def option
+
+(** [(lookups, backend_misses)] since creation. *)
+val stats : t -> int * int

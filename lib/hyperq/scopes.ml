@@ -1,0 +1,89 @@
+(** Hierarchy of variable scopes (paper Section 3.2.3, Figure 3).
+
+    Three levels: local scopes for function bodies (stacked, only the top
+    is visible — Q has no lexical nesting), a session scope for variables
+    defined by the connected client, and a server scope shared by all
+    sessions. Lookup walks local → session → server → MDI; local upserts
+    never promote; session variables are promoted to the server scope when
+    the session is destroyed. *)
+
+module Ty = Catalog.Sqltype
+
+type backend_table = {
+  bt_name : string;  (** backend relation name (often a temp table) *)
+  bt_cols : Xtra.Ir.colref list;
+  bt_ordcol : string option;
+  bt_keys : string list;
+}
+
+type vardef =
+  | VScalar of Sqlast.Ast.lit * Ty.t  (** in-memory scalar value *)
+  | VList of (Sqlast.Ast.lit * Ty.t) list  (** in-memory literal list *)
+  | VRel of Xtra.Ir.rel * string list
+      (** logical materialization: an XTRA definition + key columns *)
+  | VBackendTable of backend_table
+      (** physical materialization: the backend (temp) table holding it *)
+  | VFunction of Qlang.Ast.lambda  (** stored as text, re-algebrized on call
+                                       (paper Section 4.3) *)
+
+type frame = (string, vardef) Hashtbl.t
+
+type t = {
+  server : frame;
+  mutable session : frame;
+  mutable locals : frame list;
+}
+
+let create ?server () =
+  let server = match server with Some s -> s | None -> Hashtbl.create 16 in
+  { server; session = Hashtbl.create 16; locals = [] }
+
+(** A shared server scope, for constructing multiple sessions against one
+    Hyper-Q instance. *)
+let create_server_frame () : frame = Hashtbl.create 16
+
+let push_local t = t.locals <- Hashtbl.create 8 :: t.locals
+
+let pop_local t =
+  match t.locals with
+  | _ :: rest -> t.locals <- rest
+  | [] -> invalid_arg "pop_local: no local scope"
+
+let in_function t = t.locals <> []
+
+(** Lookup following the scope hierarchy; the caller falls through to the
+    MDI when this returns [None]. *)
+let lookup (t : t) (name : string) : vardef option =
+  let local =
+    match t.locals with
+    | top :: _ -> Hashtbl.find_opt top name
+    | [] -> None
+  in
+  match local with
+  | Some v -> Some v
+  | None -> (
+      match Hashtbl.find_opt t.session name with
+      | Some v -> Some v
+      | None -> Hashtbl.find_opt t.server name)
+
+(** Upsert: local scope when inside a function (never promoted), session
+    scope otherwise. *)
+let upsert (t : t) (name : string) (def : vardef) : unit =
+  match t.locals with
+  | top :: _ -> Hashtbl.replace top name def
+  | [] -> Hashtbl.replace t.session name def
+
+(** Explicit global (server-visible) definition, for Q's [::] assignment.
+    Stored in the session scope (it will be promoted on destruction) but
+    also immediately published to the server scope so that concurrent
+    sessions observe it, which matches kdb+ behaviour. *)
+let upsert_global (t : t) (name : string) (def : vardef) : unit =
+  Hashtbl.replace t.server name def
+
+(** Destroy the session scope, promoting its variables to server scope
+    (paper: "session variables are promoted to global variables ... as part
+    of the session scope destruction"). *)
+let destroy_session (t : t) : unit =
+  Hashtbl.iter (fun name def -> Hashtbl.replace t.server name def) t.session;
+  t.session <- Hashtbl.create 16;
+  t.locals <- []

@@ -1,0 +1,57 @@
+(** The hierarchy of variable scopes (paper Section 3.2.3, Figure 3):
+    local function scopes over a session scope over a shared server scope.
+    Lookup falls through local → session → server (and the caller then
+    tries the MDI); local upserts never promote; session variables promote
+    to the server scope when the session is destroyed. *)
+
+module Ty = Catalog.Sqltype
+
+type backend_table = {
+  bt_name : string;  (** backend relation name (often a temp table) *)
+  bt_cols : Xtra.Ir.colref list;
+  bt_ordcol : string option;
+  bt_keys : string list;
+}
+
+type vardef =
+  | VScalar of Sqlast.Ast.lit * Ty.t  (** in-memory scalar value *)
+  | VList of (Sqlast.Ast.lit * Ty.t) list  (** in-memory literal list *)
+  | VRel of Xtra.Ir.rel * string list
+      (** logical materialization: an XTRA definition + key columns *)
+  | VBackendTable of backend_table
+      (** physical materialization: a backend (temp) table *)
+  | VFunction of Qlang.Ast.lambda
+      (** stored as text, re-algebrized on call (paper Section 4.3) *)
+
+type frame = (string, vardef) Hashtbl.t
+
+type t = {
+  server : frame;
+  mutable session : frame;
+  mutable locals : frame list;
+}
+
+(** A session scope stack; pass [server] to share one server scope across
+    sessions. *)
+val create : ?server:frame -> unit -> t
+
+(** A fresh server frame to share between sessions of one platform. *)
+val create_server_frame : unit -> frame
+
+val push_local : t -> unit
+val pop_local : t -> unit
+val in_function : t -> bool
+
+(** Lookup: innermost local frame (only — Q has no lexical nesting), then
+    session, then server. *)
+val lookup : t -> string -> vardef option
+
+(** Upsert into the local scope inside a function, the session scope
+    otherwise. *)
+val upsert : t -> string -> vardef -> unit
+
+(** Q's [::]: publish to the server scope immediately. *)
+val upsert_global : t -> string -> vardef -> unit
+
+(** Destroy the session scope, promoting its variables to the server. *)
+val destroy_session : t -> unit

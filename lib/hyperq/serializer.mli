@@ -1,0 +1,25 @@
+(** Serialization of XTRA expressions into PG-compatible SQL (the last
+    translation stage, paper Section 3.2).
+
+    Simple operator stacks flatten into a single SELECT; joins, as-of
+    joins, unions and mixed stacks become nested subqueries. The as-of
+    join lowers to the paper's Section 3.2.2 pattern: LEFT OUTER JOIN with
+    a range condition plus a ROW_NUMBER window picking the most recent
+    match per left row. *)
+
+exception Serialize_error of string
+
+(** Serializer state; only exposed because {!sql_of_scalar} is reused by
+    the engine for FROM-less scalar queries. *)
+type state = { mutable alias_counter : int; tolerate_eq2 : bool }
+
+(** Serialize one scalar expression. Raises {!Serialize_error} on a 2VL
+    equality unless [state.tolerate_eq2] is set (ablation mode). *)
+val sql_of_scalar : state -> Xtra.Ir.scalar -> Sqlast.Ast.expr
+
+(** Serialize a relational tree to a SELECT. [tolerate_eq2] permits raw
+    [=] in place of [IS NOT DISTINCT FROM] — only for the 2VL ablation. *)
+val serialize : ?tolerate_eq2:bool -> Xtra.Ir.rel -> Sqlast.Ast.select
+
+(** {!serialize} followed by printing to SQL text. *)
+val serialize_to_sql : ?tolerate_eq2:bool -> Xtra.Ir.rel -> string

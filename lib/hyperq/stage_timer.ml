@@ -1,0 +1,49 @@
+(** Per-stage timing instrumentation for the translation pipeline.
+
+    The evaluation section of the paper (Figures 6 and 7) breaks query
+    processing into translation stages — parse, algebrize (bind + metadata
+    lookup), optimize (Xformer), serialize — against total execution time.
+    The engine wraps each stage with this module so the benchmarks can
+    reproduce both figures. *)
+
+type stage = Parse | Algebrize | Optimize | Serialize | Execute
+
+let stage_name = function
+  | Parse -> "parse"
+  | Algebrize -> "algebrize"
+  | Optimize -> "optimize"
+  | Serialize -> "serialize"
+  | Execute -> "execute"
+
+type t = { mutable spans : (stage * float) list }
+
+let create () = { spans = [] }
+let reset t = t.spans <- []
+
+(* monotonic-ish wall clock; Sys.time is CPU time which undercounts I/O,
+   but the whole pipeline is CPU-bound in this reproduction *)
+let now () = Unix.gettimeofday ()
+
+(** Run [f] and record its duration under [stage]. *)
+let timed (t : t) (stage : stage) (f : unit -> 'a) : 'a =
+  let start = now () in
+  let finally () = t.spans <- (stage, now () -. start) :: t.spans in
+  match f () with
+  | v ->
+      finally ();
+      v
+  | exception e ->
+      finally ();
+      raise e
+
+(** Total seconds recorded for a stage (a stage may run several times per
+    query, e.g. re-algebrization of unrolled functions). *)
+let total (t : t) (stage : stage) : float =
+  List.fold_left
+    (fun acc (s, d) -> if s = stage then acc +. d else acc)
+    0.0 t.spans
+
+let translation_total (t : t) : float =
+  total t Parse +. total t Algebrize +. total t Optimize +. total t Serialize
+
+let execution_total (t : t) : float = total t Execute

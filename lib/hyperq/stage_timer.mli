@@ -1,0 +1,31 @@
+(** Per-stage timing of the translation pipeline (paper Figures 6 and 7).
+
+    The engine wraps each pipeline stage in {!timed}; benchmarks read the
+    accumulated spans to reproduce the paper's translation-overhead and
+    stage-split figures. *)
+
+type stage = Parse | Algebrize | Optimize | Serialize | Execute
+
+val stage_name : stage -> string
+
+type t
+
+val create : unit -> t
+
+(** Drop all recorded spans (call between measured queries). *)
+val reset : t -> unit
+
+(** Run a thunk, recording its wall-clock duration under the stage. Spans
+    accumulate: a stage that runs several times per query (e.g. repeated
+    algebrization of unrolled functions) sums up. *)
+val timed : t -> stage -> (unit -> 'a) -> 'a
+
+(** Total seconds recorded for one stage since the last {!reset}. *)
+val total : t -> stage -> float
+
+(** Sum of the four translation stages (parse + algebrize + optimize +
+    serialize). *)
+val translation_total : t -> float
+
+(** Total backend execution time. *)
+val execution_total : t -> float

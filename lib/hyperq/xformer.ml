@@ -1,0 +1,283 @@
+(** The Xformer: XTRA-to-XTRA transformations (paper Section 3.3).
+
+    Transformations serve three purposes, each represented here by named
+    passes that can be toggled individually (the ablation benchmarks rely
+    on this):
+
+    - {b Correctness} — [two_valued_logic] rewrites Q's 2VL equalities into
+      null-safe [IS NOT DISTINCT FROM] forms;
+    - {b Performance} — [column_pruning] trims every operator's output to
+      the columns actually requested, keeping 500-column wide tables from
+      bloating the serialized SQL; [filter_fusion] collapses adjacent
+      filters to reduce subquery nesting;
+    - {b Transparency} — [order_enforcement] injects the ordering the Q
+      data model implies, and elides it where a consumer (e.g. a scalar
+      aggregate) is order-insensitive. *)
+
+module I = Xtra.Ir
+
+type config = {
+  mutable enable_2vl : bool;
+  mutable enable_pruning : bool;
+  mutable enable_filter_fusion : bool;
+  mutable enable_order : bool;  (** inject Q's implicit ordering *)
+  mutable enable_order_elision : bool;
+      (** remove orderings that are invisible to the consumer *)
+}
+
+let default_config () =
+  {
+    enable_2vl = true;
+    enable_pruning = true;
+    enable_filter_fusion = true;
+    enable_order = true;
+    enable_order_elision = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Correctness: 2VL -> IS NOT DISTINCT FROM                            *)
+(* ------------------------------------------------------------------ *)
+
+let two_valued_logic (r : I.rel) : I.rel =
+  I.rel_map_scalars
+    (I.map_scalar (function
+      | I.Eq2 (a, b) -> I.NullSafeEq (a, b)
+      | I.Neq2 (a, b) -> I.NullSafeNeq (a, b)
+      | s -> s))
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Performance: filter fusion                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec filter_fusion (r : I.rel) : I.rel =
+  match r with
+  | I.Filter { input = I.Filter { input; pred = p1 }; pred = p2 } ->
+      filter_fusion (I.Filter { input; pred = I.Logic (`And, p1, p2) })
+  | I.Filter { input; pred } -> I.Filter { input = filter_fusion input; pred }
+  | I.Project { input; exprs } ->
+      I.Project { input = filter_fusion input; exprs }
+  | I.Join j ->
+      I.Join { j with left = filter_fusion j.left; right = filter_fusion j.right }
+  | I.AsofJoin a ->
+      I.AsofJoin
+        { a with left = filter_fusion a.left; right = filter_fusion a.right }
+  | I.Aggregate a -> I.Aggregate { a with input = filter_fusion a.input }
+  | I.WindowOp w -> I.WindowOp { w with input = filter_fusion w.input }
+  | I.Sort s -> I.Sort { s with input = filter_fusion s.input }
+  | I.Limit l -> I.Limit { l with input = filter_fusion l.input }
+  | I.Union rels -> I.Union (List.map filter_fusion rels)
+  | I.Get _ | I.ConstRel _ -> r
+
+(* ------------------------------------------------------------------ *)
+(* Performance: column pruning                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Push the set of required column names down the tree, trimming Get nodes
+   and Project lists. The required set at the root is every output column
+   (the application sees them all); the pay-off is at interior nodes where
+   e.g. a 500-column Get feeds a 3-column projection. *)
+let column_pruning (root : I.rel) : I.rel =
+  let rec prune (r : I.rel) (required : string list) : I.rel =
+    match r with
+    | I.Get g ->
+        let keep =
+          List.filter (fun c -> List.mem c.I.cr_name required) g.cols
+        in
+        (* never prune to the empty column list *)
+        let keep = if keep = [] then (match g.cols with c :: _ -> [ c ] | [] -> []) else keep in
+        I.Get { g with cols = keep }
+    | I.ConstRel _ -> r
+    | I.Project { input; exprs } ->
+        let exprs' =
+          List.filter (fun (n, _) -> List.mem n required) exprs
+        in
+        let exprs' = if exprs' = [] then exprs else exprs' in
+        let needed =
+          List.concat_map (fun (_, s) -> I.scalar_cols s) exprs'
+        in
+        I.Project { input = prune input (dedup needed); exprs = exprs' }
+    | I.Filter { input; pred } ->
+        let needed = required @ I.scalar_cols pred in
+        I.Filter { input = prune input (dedup needed); pred }
+    | I.Join j ->
+        let pred_cols =
+          match j.extra_pred with Some p -> I.scalar_cols p | None -> []
+        in
+        let needed = dedup (required @ j.eq_cols @ pred_cols) in
+        let lnames = List.map (fun c -> c.I.cr_name) (I.output_cols j.left) in
+        let lneed = List.filter (fun c -> List.mem c lnames) needed in
+        let rnames = List.map (fun c -> c.I.cr_name) (I.output_cols j.right) in
+        let rneed = List.filter (fun c -> List.mem c rnames) needed in
+        I.Join { j with left = prune j.left lneed; right = prune j.right rneed }
+    | I.AsofJoin a ->
+        let ord =
+          match I.order_col a.left with Some oc -> [ oc ] | None -> []
+        in
+        let needed = dedup (required @ a.eq_cols @ [ a.ts_col ] @ ord) in
+        let lnames = List.map (fun c -> c.I.cr_name) (I.output_cols a.left) in
+        let lneed = List.filter (fun c -> List.mem c lnames) needed in
+        let rnames = List.map (fun c -> c.I.cr_name) (I.output_cols a.right) in
+        let rneed = List.filter (fun c -> List.mem c rnames) needed in
+        I.AsofJoin { a with left = prune a.left lneed; right = prune a.right rneed }
+    | I.Aggregate { input; keys; aggs } ->
+        let needed =
+          List.concat_map (fun (_, s) -> I.scalar_cols s) (keys @ aggs)
+        in
+        I.Aggregate { input = prune input (dedup needed); keys; aggs }
+    | I.WindowOp { input; wins } ->
+        let needed =
+          required @ List.concat_map (fun (_, s) -> I.scalar_cols s) wins
+        in
+        (* window outputs themselves are not input columns *)
+        let win_names = List.map fst wins in
+        let needed = List.filter (fun c -> not (List.mem c win_names)) needed in
+        I.WindowOp { input = prune input (dedup needed); wins }
+    | I.Sort { input; keys } ->
+        let needed =
+          required @ List.concat_map (fun k -> I.scalar_cols k.I.sk_expr) keys
+        in
+        I.Sort { input = prune input (dedup needed); keys }
+    | I.Limit { input; n } -> I.Limit { input = prune input required; n }
+    | I.Union rels -> I.Union (List.map (fun r' -> prune r' required) rels)
+  and dedup l =
+    List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l
+    |> List.rev
+  in
+  let all = List.map (fun c -> c.I.cr_name) (I.output_cols root) in
+  prune root all
+
+(* ------------------------------------------------------------------ *)
+(* Transparency: order enforcement and elision                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove Sort nodes whose effect is invisible: under a scalar aggregate
+   whose aggregates are order-insensitive (paper's example: a nested query
+   consumed by a scalar aggregation needs no ordering). *)
+let order_insensitive_aggs = [ "sum"; "avg"; "min"; "max"; "count"; "median"; "stddev"; "stddev_pop"; "variance"; "var_pop"; "bool_and"; "bool_or" ]
+
+let rec elide_sorts_under_aggregates (r : I.rel) : I.rel =
+  match r with
+  | I.Aggregate { input; keys; aggs } ->
+      let insensitive =
+        List.for_all
+          (fun (_, s) ->
+            let ok = ref true in
+            ignore
+              (I.map_scalar
+                 (fun s' ->
+                   (match s' with
+                   | I.AggFun { fn; _ }
+                     when not (List.mem fn order_insensitive_aggs) ->
+                       ok := false
+                   | _ -> ());
+                   s')
+                 s);
+            !ok)
+          aggs
+      in
+      let input = elide_sorts_under_aggregates input in
+      (* strip orderings through filters/projections: none of them can
+         make an order-insensitive aggregate observe row order *)
+      let rec strip rel =
+        match rel with
+        | I.Sort { input = i; _ } -> strip i
+        | I.Filter f -> I.Filter { f with input = strip f.input }
+        | I.Project p -> I.Project { p with input = strip p.input }
+        | rel -> rel
+      in
+      let input = if insensitive then strip input else input in
+      I.Aggregate { input; keys; aggs }
+  | I.Project p ->
+      I.Project { p with input = elide_sorts_under_aggregates p.input }
+  | I.Filter f ->
+      I.Filter { f with input = elide_sorts_under_aggregates f.input }
+  | I.Join j ->
+      I.Join
+        {
+          j with
+          left = elide_sorts_under_aggregates j.left;
+          right = elide_sorts_under_aggregates j.right;
+        }
+  | I.AsofJoin a ->
+      I.AsofJoin
+        {
+          a with
+          left = elide_sorts_under_aggregates a.left;
+          right = elide_sorts_under_aggregates a.right;
+        }
+  | I.WindowOp w ->
+      I.WindowOp { w with input = elide_sorts_under_aggregates w.input }
+  | I.Sort s -> I.Sort { s with input = elide_sorts_under_aggregates s.input }
+  | I.Limit l -> I.Limit { l with input = elide_sorts_under_aggregates l.input }
+  | I.Union rels -> I.Union (List.map elide_sorts_under_aggregates rels)
+  | I.Get _ | I.ConstRel _ -> r
+
+(* Inject the final ORDER BY that realises Q's ordered-list semantics: if
+   the root is not already sorted and an implicit order column flows to the
+   output, sort by it. Scalar results need no order. *)
+let enforce_root_order (r : I.rel) : I.rel =
+  (* an explicit user ordering (possibly under a take/limit) wins: xdesc
+     followed by 3# must stay in the user's order *)
+  let rec already_ordered = function
+    | I.Sort _ -> true
+    | I.Limit { input; _ } -> already_ordered input
+    | _ -> false
+  in
+  match r with
+  | _ when already_ordered r -> r
+  | _ when I.is_scalar r -> r
+  | _ -> (
+      match I.order_col r with
+      | Some oc ->
+          I.Sort
+            { input = r; keys = [ { I.sk_expr = I.ColRef oc; sk_dir = `Asc } ] }
+      | None -> r)
+
+(* ------------------------------------------------------------------ *)
+(* Pass driver                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type pass = { pass_name : string; apply : I.rel -> I.rel }
+
+let passes (config : config) : pass list =
+  List.concat
+    [
+      (if config.enable_2vl then
+         [ { pass_name = "two_valued_logic"; apply = two_valued_logic } ]
+       else []);
+      (if config.enable_filter_fusion then
+         [ { pass_name = "filter_fusion"; apply = filter_fusion } ]
+       else []);
+      (if config.enable_order && config.enable_order_elision then
+         [
+           {
+             pass_name = "order_elision";
+             apply = elide_sorts_under_aggregates;
+           };
+         ]
+       else []);
+      (if config.enable_order then
+         [ { pass_name = "order_enforcement"; apply = enforce_root_order } ]
+       else []);
+      (if config.enable_pruning then
+         [ { pass_name = "column_pruning"; apply = column_pruning } ]
+       else []);
+    ]
+
+(** Run all enabled transformations in order. *)
+let optimize ?(config = default_config ()) (r : I.rel) : I.rel =
+  List.fold_left (fun r p -> p.apply r) r (passes config)
+
+(** Guard used by the serializer: 2VL equalities must not survive
+    transformation (a disabled 2VL pass is only valid for the ablation
+    study, where the serializer is instructed to tolerate them). *)
+let check_no_eq2 (r : I.rel) : bool =
+  let ok = ref true in
+  ignore
+    (I.rel_map_scalars
+       (I.map_scalar (fun s ->
+            (match s with I.Eq2 _ | I.Neq2 _ -> ok := false | _ -> ());
+            s))
+       r);
+  !ok

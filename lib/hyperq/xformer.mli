@@ -1,0 +1,47 @@
+(** The Xformer: XTRA-to-XTRA transformations (paper Section 3.3).
+
+    Passes fall into the paper's three groups — correctness (2VL
+    rewriting), performance (column pruning, filter fusion) and
+    transparency (order enforcement/elision) — and can be toggled
+    individually for the ablation benchmarks. *)
+
+type config = {
+  mutable enable_2vl : bool;
+  mutable enable_pruning : bool;
+  mutable enable_filter_fusion : bool;
+  mutable enable_order : bool;  (** inject Q's implicit ordering *)
+  mutable enable_order_elision : bool;
+      (** remove orderings that are invisible to the consumer *)
+}
+
+val default_config : unit -> config
+
+(** Correctness: rewrite Q's 2VL equalities ([Eq2]/[Neq2]) into null-safe
+    [IS NOT DISTINCT FROM] forms. *)
+val two_valued_logic : Xtra.Ir.rel -> Xtra.Ir.rel
+
+(** Performance: collapse adjacent filters into one conjunction. *)
+val filter_fusion : Xtra.Ir.rel -> Xtra.Ir.rel
+
+(** Performance: trim every operator's output to the columns actually
+    required above it (the wide-table SQL-bloat defence). *)
+val column_pruning : Xtra.Ir.rel -> Xtra.Ir.rel
+
+(** Transparency: remove orderings no order-insensitive aggregate can
+    observe (the paper's nested-scalar-aggregation example). *)
+val elide_sorts_under_aggregates : Xtra.Ir.rel -> Xtra.Ir.rel
+
+(** Transparency: sort the root by its implicit order column when Q's
+    ordered-table semantics require it and no explicit ordering exists. *)
+val enforce_root_order : Xtra.Ir.rel -> Xtra.Ir.rel
+
+type pass = { pass_name : string; apply : Xtra.Ir.rel -> Xtra.Ir.rel }
+
+(** The enabled passes, in application order. *)
+val passes : config -> pass list
+
+(** Run all enabled passes. *)
+val optimize : ?config:config -> Xtra.Ir.rel -> Xtra.Ir.rel
+
+(** [true] when no 2VL equality survives in the tree (serializer guard). *)
+val check_no_eq2 : Xtra.Ir.rel -> bool

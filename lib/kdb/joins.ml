@@ -1,0 +1,217 @@
+(** Q table joins, including the as-of join the paper's Examples 1–2 are
+    built around.
+
+    [aj[`Sym`Time; t1; t2]] joins each row of [t1] with the most recent row
+    of [t2] having equal values in the leading columns and the greatest
+    last-column value not exceeding the [t1] row's — the canonical
+    "prevailing quote as of each trade" primitive. kdb+ requires the right
+    table to be sorted on the as-of column within each key group; we assume
+    (and the workload generator guarantees) the same. *)
+
+open Qvalue
+
+let type_err = Error.type_err
+
+let as_table = Verbs.as_table
+
+(* element type of a column, to build well-typed nulls *)
+let col_null = function
+  | Value.Vector (ty, _) -> Value.Atom (Atom.Null ty)
+  | _ -> Value.Atom (Atom.Null Qtype.Long)
+
+(* key of row [i] of table [t] restricted to columns [cols] *)
+let row_key (t : Value.table) (cols : string list) i =
+  List.map (fun c -> Value.index (Value.column_exn t c) i) cols
+
+let key_equal k1 k2 = List.for_all2 (fun a b -> Value.equal a b) k1 k2
+
+(* group row indices of [t] by the values of [cols]; preserves row order
+   inside each group *)
+let group_by_key (t : Value.table) (cols : string list) :
+    (Value.t list * int list) list =
+  let n = Value.table_length t in
+  let groups : (Value.t list * int list ref) list ref = ref [] in
+  for i = 0 to n - 1 do
+    let k = row_key t cols i in
+    match List.find_opt (fun (k', _) -> key_equal k k') !groups with
+    | Some (_, l) -> l := i :: !l
+    | None -> groups := (k, ref [ i ]) :: !groups
+  done;
+  List.rev_map (fun (k, l) -> (k, List.rev !l)) !groups
+
+(* ------------------------------------------------------------------ *)
+(* as-of join                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [aj cols t1 t2]: the last element of [cols] is the as-of column, the
+    rest join on equality. When [keep_right_time] is set (Q's [aj0]) the
+    output carries the right table's as-of value instead of the left's. *)
+let aj ?(keep_right_time = false) (cols : string list) (left : Value.t)
+    (right : Value.t) : Value.t =
+  let lt = as_table left and rt = as_table right in
+  let eq_cols, ts_col =
+    match List.rev cols with
+    | ts :: rest -> (List.rev rest, ts)
+    | [] -> type_err "aj needs at least one join column"
+  in
+  List.iter
+    (fun c ->
+      if not (Value.has_column lt c) then type_err "aj: left table lacks %s" c;
+      if not (Value.has_column rt c) then type_err "aj: right table lacks %s" c)
+    cols;
+  let groups = group_by_key rt eq_cols in
+  let r_ts = Value.column_exn rt ts_col in
+  let n_left = Value.table_length lt in
+  let l_ts = Value.column_exn lt ts_col in
+  (* for each left row: index into rt of the matched row, or -1 *)
+  let matches =
+    Array.init n_left (fun i ->
+        let k = row_key lt eq_cols i in
+        match List.find_opt (fun (k', _) -> key_equal k k') groups with
+        | None -> -1
+        | Some (_, rows) ->
+            let rows = Array.of_list rows in
+            let t = Value.index l_ts i in
+            (* binary search: last row whose as-of value <= t *)
+            let lo = ref (-1) and hi = ref (Array.length rows) in
+            while !hi - !lo > 1 do
+              let mid = (!lo + !hi) / 2 in
+              let rv = Value.index r_ts rows.(mid) in
+              if Value.compare_value rv t <= 0 then lo := mid else hi := mid
+            done;
+            if !lo < 0 then -1 else rows.(!lo))
+  in
+  (* output: all left columns, then right columns (except equality columns);
+     a right column sharing a name with a left column overwrites it on
+     matched rows; the as-of column follows keep_right_time *)
+  let out = ref lt in
+  Array.iteri
+    (fun ci cname ->
+      if not (List.mem cname eq_cols) then begin
+        let rcol = rt.Value.data.(ci) in
+        let is_ts = cname = ts_col in
+        if is_ts && not keep_right_time then ()
+        else
+          let merged =
+            Value.of_values
+              (Array.init n_left (fun i ->
+                   let m = matches.(i) in
+                   if m >= 0 then Value.index rcol m
+                   else if Value.has_column lt cname then
+                     Value.index (Value.column_exn lt cname) i
+                   else col_null rcol))
+          in
+          out := Value.set_column !out cname merged
+      end)
+    rt.Value.cols;
+  Value.Table !out
+
+(* ------------------------------------------------------------------ *)
+(* left join / inner join on a keyed right table                       *)
+(* ------------------------------------------------------------------ *)
+
+let keyed_parts = function
+  | Value.KTable (k, v) -> (k, v)
+  | Value.Table _ -> type_err "join: right table must be keyed"
+  | _ -> type_err "join expects tables"
+
+(** [lj]: left join — each left row picks up the value columns of the
+    first matching key row (nulls when absent). *)
+let lj (left : Value.t) (right : Value.t) : Value.t =
+  let lt = as_table left in
+  let kt, vt = keyed_parts right in
+  let key_cols = Array.to_list kt.Value.cols in
+  let groups = group_by_key kt key_cols in
+  let n = Value.table_length lt in
+  let matches =
+    Array.init n (fun i ->
+        let k = row_key lt key_cols i in
+        match List.find_opt (fun (k', _) -> key_equal k k') groups with
+        | Some (_, r :: _) -> r
+        | _ -> -1)
+  in
+  let out = ref lt in
+  Array.iteri
+    (fun ci cname ->
+      let rcol = vt.Value.data.(ci) in
+      let merged =
+        Value.of_values
+          (Array.init n (fun i ->
+               let m = matches.(i) in
+               if m >= 0 then Value.index rcol m
+               else if Value.has_column lt cname then
+                 Value.index (Value.column_exn lt cname) i
+               else col_null rcol))
+      in
+      out := Value.set_column !out cname merged)
+    vt.Value.cols;
+  Value.Table !out
+
+(** [ij]: inner join — keep only left rows with a key match. *)
+let ij (left : Value.t) (right : Value.t) : Value.t =
+  let lt = as_table left in
+  let kt, _ = keyed_parts right in
+  let key_cols = Array.to_list kt.Value.cols in
+  let groups = group_by_key kt key_cols in
+  let n = Value.table_length lt in
+  let keep = ref [] in
+  for i = n - 1 downto 0 do
+    let k = row_key lt key_cols i in
+    if List.exists (fun (k', _) -> key_equal k k') groups then keep := i :: !keep
+  done;
+  match lj (Value.Table (Value.filter_table lt (Array.of_list !keep))) right with
+  | v -> v
+
+(** [uj]: union join — vertical concatenation with column-set union. *)
+let uj (a : Value.t) (b : Value.t) : Value.t =
+  let ta = as_table a and tb = as_table b in
+  let na = Value.table_length ta and nb = Value.table_length tb in
+  let all_cols =
+    Array.to_list ta.Value.cols
+    @ List.filter
+        (fun c -> not (Value.has_column ta c))
+        (Array.to_list tb.Value.cols)
+  in
+  let col name =
+    let part t n =
+      match Value.column t name with
+      | Some c -> Value.elements c
+      | None ->
+          let null =
+            match Value.column ta name, Value.column tb name with
+            | Some c, _ | None, Some c -> col_null c
+            | None, None -> assert false
+          in
+          Array.make n null
+    in
+    Value.of_values (Array.append (part ta na) (part tb nb))
+  in
+  Value.Table
+    {
+      Value.cols = Array.of_list all_cols;
+      data = Array.of_list (List.map col all_cols);
+    }
+
+(** [ej cols t1 t2]: equi-join; right-side multiplicities multiply rows. *)
+let ej (cols : string list) (left : Value.t) (right : Value.t) : Value.t =
+  let lt = as_table left and rt = as_table right in
+  let groups = group_by_key rt cols in
+  let n = Value.table_length lt in
+  let pairs = ref [] in
+  for i = n - 1 downto 0 do
+    let k = row_key lt cols i in
+    match List.find_opt (fun (k', _) -> key_equal k k') groups with
+    | Some (_, rows) ->
+        List.iter (fun r -> pairs := (i, r) :: !pairs) (List.rev rows)
+    | None -> ()
+  done;
+  let pairs = Array.of_list !pairs in
+  let li = Array.map fst pairs and ri = Array.map snd pairs in
+  let out = ref (Value.filter_table lt li) in
+  Array.iteri
+    (fun ci cname ->
+      if not (List.mem cname cols) then
+        let rcol = rt.Value.data.(ci) in
+        out := Value.set_column !out cname (Value.at rcol ri))
+    rt.Value.cols;
+  Value.Table !out

@@ -1,0 +1,57 @@
+(** The kdb+ server execution model.
+
+    kdb+ has no concurrency control: the main server loop executes a single
+    request at a time and concurrent requests queue up to be executed
+    serially (paper Section 2.2). This module reproduces that model — any
+    number of logical clients submit queries; the loop drains them strictly
+    in arrival order against one shared global namespace. *)
+
+type request = {
+  client : int;
+  source : string;
+  callback : (Qvalue.Value.t, string) result -> unit;
+}
+
+type t = {
+  env : Interp.env;
+  queue : request Queue.t;
+  mutable executed : int;
+}
+
+let create () = { env = Interp.create (); queue = Queue.create (); executed = 0 }
+
+(** Enqueue a query from a logical client. Nothing executes until the
+    server loop runs. *)
+let submit t ~client ~source ~callback =
+  Queue.add { client; source; callback } t.queue
+
+(** Run the main loop until the queue drains. Requests execute one at a
+    time; errors are confined to the request that raised them. *)
+let run_pending t =
+  while not (Queue.is_empty t.queue) do
+    let req = Queue.pop t.queue in
+    t.executed <- t.executed + 1;
+    let result =
+      try Ok (Interp.eval_string t.env req.source) with
+      | Error.Q_error _ as e -> Error (Error.to_string e)
+      | Qvalue.Atom.Type_error m -> Error (Printf.sprintf "'type (%s)" m)
+      | Qlang.Lexer.Error m | Qlang.Parser.Error m ->
+          Error (Printf.sprintf "'parse (%s)" m)
+      | Qvalue.Value.Length_error -> Error "'length"
+      | Qvalue.Value.Rank_error m -> Error (Printf.sprintf "'rank (%s)" m)
+    in
+    req.callback result
+  done
+
+(** Convenience: execute one query synchronously. *)
+let query t ~client source =
+  let out = ref (Error "no result") in
+  submit t ~client ~source ~callback:(fun r -> out := r);
+  run_pending t;
+  !out
+
+(** Load a table or variable directly into the server's global namespace
+    (the paper assumes data is loaded into the backends independently). *)
+let load t name value = Interp.set_global t.env name (Interp.V value)
+
+let executed_count t = t.executed

@@ -1,0 +1,34 @@
+(** The kdb+ server execution model (paper Section 2.2): one main loop,
+    strictly serial execution of queued requests against a shared global
+    namespace. Errors are confined to the request that raised them. *)
+
+type request = {
+  client : int;
+  source : string;
+  callback : (Qvalue.Value.t, string) result -> unit;
+}
+
+type t
+
+val create : unit -> t
+
+(** Enqueue a query from a logical client; nothing executes until the
+    loop runs. *)
+val submit :
+  t ->
+  client:int ->
+  source:string ->
+  callback:((Qvalue.Value.t, string) result -> unit) ->
+  unit
+
+(** Drain the queue, one request at a time, in arrival order. *)
+val run_pending : t -> unit
+
+(** Submit one query and run the loop to completion. *)
+val query : t -> client:int -> string -> (Qvalue.Value.t, string) result
+
+(** Load a value directly into the global namespace (data loading is
+    outside Hyper-Q's scope, paper Section 1). *)
+val load : t -> string -> Qvalue.Value.t -> unit
+
+val executed_count : t -> int

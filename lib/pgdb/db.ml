@@ -1,0 +1,294 @@
+(** The pgdb database facade: catalog, sessions, DDL and query execution.
+
+    Sessions own temporary tables (dropped on close), matching how Hyper-Q
+    materializes Q variables per session (paper Section 4.3). The catalog is
+    also exposed as a queryable table [pg_catalog_columns] so that Hyper-Q's
+    metadata interface performs *real* round trips — this is what the
+    metadata-cache ablation benchmark measures. *)
+
+module A = Sqlast.Ast
+module S = Catalog.Schema
+
+type t = {
+  tables : (string, Storage.table) Hashtbl.t;
+  views : (string, S.view_def) Hashtbl.t;
+  mutable catalog_dirty : bool;
+}
+
+type session = {
+  db : t;
+  temps : (string, Storage.table) Hashtbl.t;
+  session_id : int;
+}
+
+type outcome =
+  | Rows of Exec.result * string  (** result set + command tag *)
+  | Complete of string  (** command tag only *)
+
+let catalog_table_name = "pg_catalog_columns"
+
+let create () =
+  { tables = Hashtbl.create 32; views = Hashtbl.create 8; catalog_dirty = true }
+
+let session_counter = ref 0
+
+let open_session db =
+  incr session_counter;
+  { db; temps = Hashtbl.create 8; session_id = !session_counter }
+
+let close_session (s : session) = Hashtbl.reset s.temps
+
+(* ------------------------------------------------------------------ *)
+(* Catalog maintenance                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let catalog_def =
+  S.table catalog_table_name
+    [
+      S.column "table_name" Catalog.Sqltype.TText;
+      S.column "column_name" Catalog.Sqltype.TText;
+      S.column "type_name" Catalog.Sqltype.TText;
+      S.column "ordinal" Catalog.Sqltype.TBigint;
+      S.column "is_key" Catalog.Sqltype.TBool;
+      S.column "is_order_col" Catalog.Sqltype.TBool;
+    ]
+
+(** Rebuild the queryable catalog table from the schema objects. *)
+let refresh_catalog (db : t) =
+  if db.catalog_dirty then begin
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name (tbl : Storage.table) ->
+        if name <> catalog_table_name then
+          List.iteri
+            (fun i (c : S.column) ->
+              rows :=
+                [|
+                  Value.Str name;
+                  Value.Str c.S.col_name;
+                  Value.Str (Catalog.Sqltype.name c.S.col_type);
+                  Value.Int (Int64.of_int i);
+                  Value.Bool (List.mem c.S.col_name tbl.Storage.def.S.tbl_keys);
+                  Value.Bool
+                    (tbl.Storage.def.S.tbl_order_col = Some c.S.col_name);
+                |]
+                :: !rows)
+            tbl.Storage.def.S.tbl_columns)
+      db.tables;
+    let cat = Storage.create catalog_def in
+    Storage.insert cat (List.rev !rows);
+    Hashtbl.replace db.tables catalog_table_name cat;
+    db.catalog_dirty <- false
+  end
+
+let invalidate_catalog db = db.catalog_dirty <- true
+
+(* ------------------------------------------------------------------ *)
+(* Table resolution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rowset_of_table (tbl : Storage.table) : Exec.rowset =
+  {
+    Exec.bindings =
+      List.map
+        (fun (c : S.column) ->
+          {
+            Exec.b_qual = None;
+            b_name = c.S.col_name;
+            b_type = Some c.S.col_type;
+          })
+        tbl.Storage.def.S.tbl_columns;
+    rows = tbl.Storage.rows;
+  }
+
+let rec resolve_rowset (sess : session) (name : string) : Exec.rowset =
+  let lname = String.lowercase_ascii name in
+  if lname = catalog_table_name then refresh_catalog sess.db;
+  match Hashtbl.find_opt sess.temps lname with
+  | Some tbl -> rowset_of_table tbl
+  | None -> (
+      match Hashtbl.find_opt sess.db.tables lname with
+      | Some tbl -> rowset_of_table tbl
+      | None -> (
+          match Hashtbl.find_opt sess.db.views lname with
+          | Some view -> (
+              match Sql_parser.parse view.S.view_sql with
+              | A.Select sel ->
+                  let res = run_select sess sel in
+                  {
+                    Exec.bindings =
+                      List.map
+                        (fun (n, ty) ->
+                          { Exec.b_qual = None; b_name = n; b_type = Some ty })
+                        res.Exec.res_cols;
+                    rows = res.Exec.res_rows;
+                  }
+              | _ -> Errors.undefined_table "view %s is not a SELECT" name)
+          | None -> Errors.undefined_table "relation %s does not exist" name))
+
+and exec_env (sess : session) : Exec.env =
+  { Exec.resolve = (fun name -> resolve_rowset sess name) }
+
+and run_select (sess : session) (sel : A.select) : Exec.result =
+  Exec.run_select (exec_env sess) sel
+
+(* ------------------------------------------------------------------ *)
+(* DDL / DML                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let table_exists sess name =
+  let lname = String.lowercase_ascii name in
+  Hashtbl.mem sess.temps lname || Hashtbl.mem sess.db.tables lname
+
+let def_of_result name temp (res : Exec.result) : S.table_def =
+  S.table ~temp name
+    (List.map (fun (n, ty) -> S.column n ty) res.Exec.res_cols)
+
+(** Execute one parsed statement. *)
+let exec_stmt (sess : session) (stmt : A.stmt) : outcome =
+  match stmt with
+  | A.Select sel ->
+      let res = run_select sess sel in
+      Rows (res, Printf.sprintf "SELECT %d" (Array.length res.Exec.res_rows))
+  | A.CreateTable { ct_temp; ct_name; ct_cols } ->
+      let lname = String.lowercase_ascii ct_name in
+      if table_exists sess lname then
+        Errors.duplicate_table "relation %s already exists" ct_name;
+      let def =
+        S.table ~temp:ct_temp lname
+          (List.map (fun c -> S.column c.A.cd_name c.A.cd_type) ct_cols)
+      in
+      let tbl = Storage.create def in
+      if ct_temp then Hashtbl.replace sess.temps lname tbl
+      else begin
+        Hashtbl.replace sess.db.tables lname tbl;
+        invalidate_catalog sess.db
+      end;
+      Complete "CREATE TABLE"
+  | A.CreateTableAs { cta_temp; cta_name; cta_query } ->
+      let lname = String.lowercase_ascii cta_name in
+      if table_exists sess lname then
+        Errors.duplicate_table "relation %s already exists" cta_name;
+      let res = run_select sess cta_query in
+      let tbl = Storage.create (def_of_result lname cta_temp res) in
+      Storage.insert tbl (Array.to_list res.Exec.res_rows);
+      if cta_temp then Hashtbl.replace sess.temps lname tbl
+      else begin
+        Hashtbl.replace sess.db.tables lname tbl;
+        invalidate_catalog sess.db
+      end;
+      Complete
+        (Printf.sprintf "SELECT %d" (Array.length res.Exec.res_rows))
+  | A.CreateView { cv_name; cv_query } ->
+      let lname = String.lowercase_ascii cv_name in
+      Hashtbl.replace sess.db.views lname
+        { S.view_name = lname; view_sql = A.select_str cv_query };
+      Complete "CREATE VIEW"
+  | A.InsertValues { ins_table; ins_cols; rows } ->
+      let lname = String.lowercase_ascii ins_table in
+      let tbl =
+        match Hashtbl.find_opt sess.temps lname with
+        | Some t -> t
+        | None -> (
+            match Hashtbl.find_opt sess.db.tables lname with
+            | Some t -> t
+            | None -> Errors.undefined_table "relation %s does not exist" ins_table)
+      in
+      let columns = tbl.Storage.def.S.tbl_columns in
+      let width = List.length columns in
+      let positions =
+        if ins_cols = [] then List.init width (fun i -> i)
+        else
+          List.map
+            (fun c ->
+              match Storage.column_index tbl c with
+              | Some i -> i
+              | None -> Errors.undefined_column "column %s does not exist" c)
+            ins_cols
+      in
+      let typed_rows =
+        List.map
+          (fun lits ->
+            let row = Array.make width Value.Null in
+            List.iteri
+              (fun j lit ->
+                match List.nth_opt positions j with
+                | Some i ->
+                    let col = List.nth columns i in
+                    let v = Value.of_lit lit in
+                    let v =
+                      match v with
+                      | Value.Str _ | Value.Null -> (
+                          try Value.cast col.S.col_type v with _ -> v)
+                      | v -> v
+                    in
+                    row.(i) <- v
+                | None -> ())
+              lits;
+            row)
+          rows
+      in
+      Storage.insert tbl typed_rows;
+      Complete (Printf.sprintf "INSERT 0 %d" (List.length rows))
+  | A.DropTable { if_exists; name } ->
+      let lname = String.lowercase_ascii name in
+      if Hashtbl.mem sess.temps lname then begin
+        Hashtbl.remove sess.temps lname;
+        Complete "DROP TABLE"
+      end
+      else if Hashtbl.mem sess.db.tables lname then begin
+        Hashtbl.remove sess.db.tables lname;
+        invalidate_catalog sess.db;
+        Complete "DROP TABLE"
+      end
+      else if if_exists then Complete "DROP TABLE"
+      else Errors.undefined_table "relation %s does not exist" name
+  | A.DropView { if_exists; name } ->
+      let lname = String.lowercase_ascii name in
+      if Hashtbl.mem sess.db.views lname then begin
+        Hashtbl.remove sess.db.views lname;
+        Complete "DROP VIEW"
+      end
+      else if if_exists then Complete "DROP VIEW"
+      else Errors.undefined_table "view %s does not exist" name
+
+(** Parse and execute one SQL statement. *)
+let exec (sess : session) (sql : string) : outcome =
+  exec_stmt sess (Sql_parser.parse sql)
+
+(** Execute a script of statements, returning the last outcome. *)
+let exec_script (sess : session) (sql : string) : outcome =
+  let stmts = Sql_parser.parse_many sql in
+  match stmts with
+  | [] -> Complete "EMPTY"
+  | stmts ->
+      List.fold_left (fun _ s -> exec_stmt sess s) (Complete "EMPTY") stmts
+
+(* ------------------------------------------------------------------ *)
+(* Bulk loading and direct catalog access (used by tests, the workload
+   generator and Hyper-Q's MDI fast path)                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Create (or replace) a permanent table with the given definition and
+    rows, bypassing SQL — the paper assumes data is loaded into the backend
+    independently. *)
+let load_table (db : t) (def : S.table_def) (rows : Value.t array list) =
+  let lname = String.lowercase_ascii def.S.tbl_name in
+  let tbl = Storage.create { def with S.tbl_name = lname } in
+  Storage.insert tbl rows;
+  Hashtbl.replace db.tables lname tbl;
+  invalidate_catalog db
+
+let describe_table (sess : session) (name : string) : S.table_def option =
+  let lname = String.lowercase_ascii name in
+  match Hashtbl.find_opt sess.temps lname with
+  | Some t -> Some t.Storage.def
+  | None -> (
+      match Hashtbl.find_opt sess.db.tables lname with
+      | Some t -> Some t.Storage.def
+      | None -> None)
+
+let list_tables (db : t) : string list =
+  Hashtbl.fold (fun name _ acc -> name :: acc) db.tables []
+  |> List.filter (fun n -> n <> catalog_table_name)
+  |> List.sort String.compare

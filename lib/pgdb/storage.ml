@@ -1,0 +1,26 @@
+(** Row storage for the pgdb backend. *)
+
+type table = {
+  mutable def : Catalog.Schema.table_def;
+  mutable rows : Value.t array array;
+}
+
+let create def = { def; rows = [||] }
+
+let insert (t : table) (new_rows : Value.t array list) =
+  t.rows <- Array.append t.rows (Array.of_list new_rows)
+
+let row_count t = Array.length t.rows
+
+let column_index (t : table) name =
+  let cols = t.def.Catalog.Schema.tbl_columns in
+  let rec go i = function
+    | [] -> None
+    | c :: rest ->
+        if
+          String.lowercase_ascii c.Catalog.Schema.col_name
+          = String.lowercase_ascii name
+        then Some i
+        else go (i + 1) rest
+  in
+  go 0 cols

@@ -1,0 +1,133 @@
+(** A PG v3 wire client, used by Hyper-Q's Gateway plugin to talk to the
+    backend over real protocol bytes. The transport is a callback that
+    delivers frontend bytes and returns whatever backend bytes arrive —
+    in-process in this reproduction, a socket in a deployment. *)
+
+module C = Codec
+
+exception Protocol_error of string
+
+let protocol_error fmt =
+  Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
+
+type transport = string -> string
+
+type t = {
+  send : transport;
+  mutable buffer : string;  (** undecoded backend bytes *)
+  mutable ready : bool;
+}
+
+let drain_one (t : t) : C.backend_msg option =
+  match C.decode_backend t.buffer with
+  | exception C.Decode_error _ -> None
+  | m, consumed ->
+      t.buffer <-
+        String.sub t.buffer consumed (String.length t.buffer - consumed);
+      Some m
+
+let rec next_msg (t : t) : C.backend_msg =
+  match drain_one t with
+  | Some m -> m
+  | None ->
+      (* request more bytes with an empty write *)
+      let more = t.send "" in
+      if more = "" then protocol_error "backend closed the connection"
+      else begin
+        t.buffer <- t.buffer ^ more;
+        next_msg t
+      end
+
+(** Open a connection: run the startup/auth handshake to completion. *)
+let connect ?(user = "app") ?(password = "secret") ?(database = "hyperq")
+    (send : transport) : t =
+  let t = { send; buffer = ""; ready = false } in
+  let startup =
+    C.encode_frontend (C.Startup [ ("user", user); ("database", database) ])
+  in
+  t.buffer <- t.buffer ^ send startup;
+  let rec go () =
+    match next_msg t with
+    | C.AuthenticationOk -> go ()
+    | C.AuthenticationCleartextPassword ->
+        t.buffer <-
+          t.buffer ^ send (C.encode_frontend (C.PasswordMessage password));
+        go ()
+    | C.AuthenticationMD5Password salt ->
+        let hex s = Digest.to_hex (Digest.string s) in
+        let response = "md5" ^ hex (hex (password ^ user) ^ salt) in
+        t.buffer <-
+          t.buffer ^ send (C.encode_frontend (C.PasswordMessage response));
+        go ()
+    | C.ParameterStatus _ -> go ()
+    | C.ReadyForQuery _ ->
+        t.ready <- true;
+        t
+    | C.ErrorResponse { code; message } ->
+        protocol_error "connection failed: %s %s" code message
+    | _ -> protocol_error "unexpected message during startup"
+  in
+  go ()
+
+type query_result = {
+  columns : (string * Catalog.Sqltype.t) list;
+  rows : Pgdb.Value.t array array;
+  tag : string;
+}
+
+(** Run one simple query: streams DataRows until CommandComplete, decoding
+    text fields according to the RowDescription's type OIDs. *)
+let query (t : t) (sql : string) : (query_result, string) result =
+  if not t.ready then protocol_error "connection is not ready";
+  t.buffer <- t.buffer ^ t.send (C.encode_frontend (C.Query sql));
+  let columns = ref [] in
+  let rows = ref [] in
+  let tag = ref "" in
+  let error = ref None in
+  let rec go () =
+    match next_msg t with
+    | C.RowDescription fields ->
+        columns :=
+          List.map
+            (fun f ->
+              let ty =
+                match C.type_of_oid f.C.fd_type_oid with
+                | Some ty -> ty
+                | None -> Catalog.Sqltype.TText
+              in
+              (f.C.fd_name, ty))
+            fields;
+        go ()
+    | C.DataRow cells ->
+        let typed =
+          List.map2
+            (fun (_, ty) cell ->
+              match cell with
+              | None -> Pgdb.Value.Null
+              | Some text -> Pgdb.Value.of_text ty text)
+            !columns cells
+        in
+        rows := Array.of_list typed :: !rows;
+        go ()
+    | C.CommandComplete t' ->
+        tag := t';
+        go ()
+    | C.ErrorResponse { code; message } ->
+        error := Some (Printf.sprintf "%s: %s" code message);
+        go ()
+    | C.ReadyForQuery _ -> ()
+    | C.EmptyQueryResponse -> go ()
+    | C.ParameterStatus _ -> go ()
+    | C.AuthenticationOk | C.AuthenticationCleartextPassword
+    | C.AuthenticationMD5Password _ ->
+        protocol_error "unexpected auth message mid-session"
+  in
+  go ();
+  match !error with
+  | Some e -> Error e
+  | None ->
+      Ok { columns = !columns; rows = Array.of_list (List.rev !rows); tag = !tag }
+
+let terminate (t : t) : unit =
+  ignore (t.send (C.encode_frontend C.Terminate));
+  t.ready <- false

@@ -1,0 +1,90 @@
+(** The Endpoint: Hyper-Q's kdb+-specific plugin (paper Figure 1,
+    Section 3.1).
+
+    A byte-level QIPC server: Hyper-Q "takes over" the kdb+ port, so Q
+    applications connect to it unchanged. The endpoint performs the QIPC
+    handshake, extracts query text from incoming messages, hands it to the
+    cross compiler, and packs results (or errors) back into QIPC response
+    messages. *)
+
+type phase = Handshake | Connected | Closed
+
+type t = {
+  xc : Xc.t;
+  users : (string * string) list;
+  mutable phase : phase;
+  mutable pending : string;
+  mutable client_version : int;
+}
+
+let create ?(users = [ ("trader", "pwd") ]) (xc : Xc.t) : t =
+  { xc; users; phase = Handshake; pending = ""; client_version = 3 }
+
+let authenticate t (h : Qipc.Codec.handshake) : bool =
+  match List.assoc_opt h.Qipc.Codec.user t.users with
+  | Some expected -> expected = h.Qipc.Codec.password
+  | None -> false
+
+(** Feed client bytes in; returns the bytes to send back. An authentication
+    failure closes the connection (kdb+ behaviour: the server just closes;
+    we additionally surface a flag via [phase]). *)
+let feed (t : t) (bytes : string) : string =
+  t.pending <- t.pending ^ bytes;
+  match t.phase with
+  | Closed -> ""
+  | Handshake -> (
+      match Qipc.Codec.decode_handshake t.pending with
+      | exception Qipc.Codec.Decode_error _ -> "" (* wait for more bytes *)
+      | h ->
+          t.pending <- "";
+          if authenticate t h then begin
+            t.phase <- Connected;
+            t.client_version <- min h.Qipc.Codec.version 3;
+            Qipc.Codec.handshake_accept ~version:t.client_version
+          end
+          else begin
+            t.phase <- Closed;
+            ""
+          end)
+  | Connected ->
+      let out = Buffer.create 64 in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        match Qipc.Codec.decode_message t.pending with
+        | exception Qipc.Codec.Decode_error _ -> ()
+        | msg, consumed ->
+            t.pending <-
+              String.sub t.pending consumed (String.length t.pending - consumed);
+            progress := true;
+            let reply =
+              match msg.Qipc.Codec.body with
+              | Qipc.Codec.Query text -> (
+                  match Xc.process t.xc text with
+                  | Ok (Some v) ->
+                      Qipc.Codec.encode_message
+                        { mt = Qipc.Codec.Response; body = Qipc.Codec.Value v }
+                  | Ok None ->
+                      (* definitions return the identity-ish unit value *)
+                      Qipc.Codec.encode_message
+                        {
+                          mt = Qipc.Codec.Response;
+                          body = Qipc.Codec.Value (Qvalue.Value.List [||]);
+                        }
+                  | Error e ->
+                      Qipc.Codec.encode_message
+                        { mt = Qipc.Codec.Response; body = Qipc.Codec.Error e })
+              | Qipc.Codec.Value _ | Qipc.Codec.Error _ ->
+                  Qipc.Codec.encode_message
+                    {
+                      mt = Qipc.Codec.Response;
+                      body = Qipc.Codec.Error "endpoint expects query messages";
+                    }
+            in
+            (* async messages get no response *)
+            if msg.Qipc.Codec.mt <> Qipc.Codec.Async then
+              Buffer.add_string out reply
+      done;
+      Buffer.contents out
+
+let is_closed t = t.phase = Closed

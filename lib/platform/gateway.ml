@@ -1,0 +1,26 @@
+(** The Gateway: Hyper-Q's PG-specific plugin (paper Figure 1, Section 3.1).
+
+    Packs SQL statements into PG v3 [Query] messages, transmits them to the
+    backend, and unpacks the streamed row messages into typed result sets.
+    This implementation goes through real protocol bytes on both directions
+    — a {!Pgwire.Server} wraps the pgdb session, a {!Pgwire.Client} drives
+    it — so the data path exercises exactly what a networked deployment
+    would, minus the socket. *)
+
+(** Build a wire-level backend over a pgdb session. Every statement is
+    round-tripped through encoded PG v3 messages. *)
+let wire_backend ?(user = "app") ?(password = "secret")
+    ?(auth = Pgwire.Server.Trust) (session : Pgdb.Db.session) :
+    Hyperq.Backend.t =
+  let server = Pgwire.Server.create ~users:[ (user, password) ] ~auth session in
+  let transport bytes = Pgwire.Server.feed server bytes in
+  let client = Pgwire.Client.connect ~user ~password transport in
+  let exec sql =
+    match Pgwire.Client.query client sql with
+    | Ok { Pgwire.Client.columns; rows; tag } ->
+        if columns = [] && Array.length rows = 0 then
+          Ok (Hyperq.Backend.Command_ok tag)
+        else Ok (Hyperq.Backend.Result_set { Hyperq.Backend.cols = columns; rows })
+    | Error e -> Error e
+  in
+  { Hyperq.Backend.name = "pg-wire"; exec; sql_log = ref [] }

@@ -1,0 +1,93 @@
+(** Platform assembly: one Hyper-Q instance in front of one PG-compatible
+    backend, serving any number of QIPC client connections (paper
+    Figure 1, end to end).
+
+    Data path per query, entirely over real protocol bytes:
+    Q app --QIPC bytes--> Endpoint -> XC(QT: algebrize/optimize/serialize)
+         -> Gateway --PG v3 bytes--> pgdb --rows--> Gateway (pivot)
+         -> Endpoint --QIPC bytes--> Q app *)
+
+type t = {
+  db : Pgdb.Db.t;
+  server_scope : Hyperq.Scopes.frame;
+      (** shared server variable scope: globals are visible across client
+          connections, as on a kdb+ server *)
+  users : (string * string) list;
+  engine_config : unit -> Hyperq.Engine.config;
+}
+
+type connection = {
+  endpoint : Endpoint.t;
+  xc : Xc.t;
+  session : Pgdb.Db.session;
+}
+
+let create ?(users = [ ("trader", "pwd") ])
+    ?(engine_config = Hyperq.Engine.default_config) (db : Pgdb.Db.t) : t =
+  {
+    db;
+    server_scope = Hyperq.Scopes.create_server_frame ();
+    users;
+    engine_config = (fun () -> engine_config ());
+  }
+
+(** Open a client connection: a fresh backend session (temp-table scope), a
+    fresh engine session sharing the server variable scope, wired through
+    the XC and exposed as a QIPC endpoint. *)
+let connect (t : t) : connection =
+  let session = Pgdb.Db.open_session t.db in
+  let backend = Gateway.wire_backend session in
+  let make_engine be =
+    Hyperq.Engine.create ~config:(t.engine_config ())
+      ~server_scope:t.server_scope be
+  in
+  let xc = Xc.create make_engine backend in
+  { endpoint = Endpoint.create ~users:t.users xc; xc; session }
+
+(** Close a connection: promotes session variables to the server scope and
+    releases backend temp tables (paper Sections 3.2.3, 4.3). *)
+let disconnect (conn : connection) : unit =
+  Hyperq.Engine.close_session (Xc.engine conn.xc);
+  Pgdb.Db.close_session conn.session
+
+(* ------------------------------------------------------------------ *)
+(* A wire-level Q client for tests, examples and benchmarks            *)
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type client = {
+    conn : connection;
+    mutable connected : bool;
+  }
+
+  exception Client_error of string
+
+  (** Connect over QIPC bytes (handshake included). *)
+  let connect ?(user = "trader") ?(password = "pwd") (t : t) : client =
+    let conn = connect t in
+    let hello =
+      Qipc.Codec.encode_handshake ~user ~password ~version:3
+    in
+    let reply = Endpoint.feed conn.endpoint hello in
+    if String.length reply <> 1 then
+      raise (Client_error "authentication rejected");
+    { conn; connected = true }
+
+  (** Send one synchronous Q query; decode the QIPC response. *)
+  let query (c : client) (q : string) : (Qvalue.Value.t, string) result =
+    if not c.connected then raise (Client_error "not connected");
+    let msg =
+      Qipc.Codec.encode_message
+        { mt = Qipc.Codec.Sync; body = Qipc.Codec.Query q }
+    in
+    let reply = Endpoint.feed c.conn.endpoint msg in
+    match Qipc.Codec.decode_message reply with
+    | { Qipc.Codec.body = Qipc.Codec.Value v; _ }, _ -> Ok v
+    | { Qipc.Codec.body = Qipc.Codec.Error e; _ }, _ -> Error e
+    | { Qipc.Codec.body = Qipc.Codec.Query _; _ }, _ ->
+        Error "unexpected query message from server"
+
+  let close (c : client) : unit =
+    disconnect c.conn;
+    c.connected <- false
+end

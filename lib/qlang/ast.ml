@@ -1,0 +1,146 @@
+(** Abstract syntax for the Q subset.
+
+    The parser is deliberately lightweight (per the paper, Section 3.2.1):
+    it resolves no types and no variables — [Var] nodes may turn out to be
+    tables, scalars, lists or functions only at binding time. Expressions
+    evaluate strictly right-to-left with no operator precedence. *)
+
+type lit =
+  | LAtom of Qvalue.Atom.t
+  | LVector of Qvalue.Atom.t list  (** juxtaposed literal vector: [1 2 3] *)
+  | LString of string  (** char vector literal: ["abc"] *)
+
+type adverb =
+  | Each  (** ['] — apply item-wise *)
+  | Over  (** [/] — fold *)
+  | Scan  (** [\ ] — fold emitting intermediates *)
+  | EachLeft  (** [\:] *)
+  | EachRight  (** [/:] *)
+  | EachPrior  (** ['] prior: [':] *)
+
+type expr =
+  | Lit of lit
+  | Var of string
+  | Verb of string  (** a primitive operator used as a value: [+], [,], [#] *)
+  | App1 of expr * expr  (** monadic application (juxtaposition or unary verb) *)
+  | App2 of expr * expr * expr  (** dyadic application: [App2 (f, x, y)] = x f y *)
+  | Apply of expr * expr list  (** bracket application / indexing: [f\[a;b\]] *)
+  | AdverbApp of expr * adverb  (** derived verb: [f'], [+/], ... *)
+  | Lambda of lambda
+  | Assign of string * expr  (** local assignment [x: e] *)
+  | GlobalAssign of string * expr  (** global assignment [x:: e] *)
+  | Cond of expr list  (** [$\[c;t;f;...\]] *)
+  | Control of string * expr list  (** [if\[..\]], [do\[..\]], [while\[..\]] *)
+  | ListLit of expr list  (** [(e1;e2;e3)] *)
+  | TableLit of (string * expr) list * (string * expr) list
+      (** keyed columns, value columns: [(\[k:e\] c1:e; c2:e)] *)
+  | Sql of sql
+  | Return of expr  (** [:e] inside a function body *)
+  | Hole  (** an elided argument slot: the projection [f\[;2\]] *)
+
+and lambda = {
+  params : string list;  (** explicit parameter names; [] means implicit x y z *)
+  body : expr list;
+  source : string;  (** original text, stored verbatim (paper Section 4.3) *)
+}
+
+and sql = {
+  op : sql_op;
+  cols : (string option * expr) list;  (** (alias, expression); [] = select all *)
+  by : (string option * expr) list;
+  from : expr;
+  filters : expr list;  (** conjunctive [where] chain, applied left to right *)
+}
+
+and sql_op = Select | Exec | Update | Delete
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing (used for error messages, logging, and round-trip
+   property tests)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let adverb_str = function
+  | Each -> "'"
+  | Over -> "/"
+  | Scan -> "\\"
+  | EachLeft -> "\\:"
+  | EachRight -> "/:"
+  | EachPrior -> "':"
+
+let sql_op_str = function
+  | Select -> "select"
+  | Exec -> "exec"
+  | Update -> "update"
+  | Delete -> "delete"
+
+let lit_str = function
+  | LAtom a -> Qvalue.Atom.to_string a
+  | LVector atoms ->
+      String.concat " " (List.map Qvalue.Atom.to_string atoms)
+  | LString s -> Printf.sprintf "%S" s
+
+let rec to_string = function
+  | Lit l -> lit_str l
+  | Var v -> v
+  | Verb v -> v
+  | App1 (f, x) -> Printf.sprintf "%s %s" (callee_str f) (atom_str x)
+  | App2 (f, x, y) ->
+      Printf.sprintf "%s %s %s" (atom_str x) (callee_str f) (to_string y)
+  | Apply (f, args) ->
+      Printf.sprintf "%s[%s]" (atom_str f)
+        (String.concat ";" (List.map to_string args))
+  | AdverbApp (f, a) -> callee_str f ^ adverb_str a
+  | Lambda l ->
+      let params =
+        match l.params with
+        | [] -> ""
+        | ps -> "[" ^ String.concat ";" ps ^ "] "
+      in
+      "{" ^ params ^ String.concat ";" (List.map to_string l.body) ^ "}"
+  | Assign (x, e) -> Printf.sprintf "%s:%s" x (to_string e)
+  | GlobalAssign (x, e) -> Printf.sprintf "%s::%s" x (to_string e)
+  | Cond es -> "$[" ^ String.concat ";" (List.map to_string es) ^ "]"
+  | Control (k, es) ->
+      k ^ "[" ^ String.concat ";" (List.map to_string es) ^ "]"
+  | ListLit es -> "(" ^ String.concat ";" (List.map to_string es) ^ ")"
+  | TableLit (keys, cols) ->
+      let col (n, e) = Printf.sprintf "%s:%s" n (to_string e) in
+      Printf.sprintf "([%s] %s)"
+        (String.concat ";" (List.map col keys))
+        (String.concat ";" (List.map col cols))
+  | Sql s ->
+      let cols cs =
+        String.concat ","
+          (List.map
+             (function
+               | Some n, e -> Printf.sprintf "%s:%s" n (to_string e)
+               | None, e -> to_string e)
+             cs)
+      in
+      let by = if s.by = [] then "" else " by " ^ cols s.by in
+      let where =
+        if s.filters = [] then ""
+        else " where " ^ String.concat "," (List.map to_string s.filters)
+      in
+      Printf.sprintf "%s %s%s from %s%s" (sql_op_str s.op) (cols s.cols) by
+        (atom_str s.from) where
+  | Return e -> ":" ^ to_string e
+  | Hole -> ""
+
+(* parenthesise compound expressions when used in argument position so the
+   output re-parses unambiguously *)
+and atom_str e =
+  match e with
+  | Lit _ | Var _ | Verb _ | ListLit _ | Apply _ | Lambda _ | TableLit _
+  | Cond _ ->
+      to_string e
+  | _ -> "(" ^ to_string e ^ ")"
+
+and callee_str e =
+  match e with
+  | Verb v -> v
+  | Var v -> v
+  | AdverbApp _ | Lambda _ -> to_string e
+  | _ -> "(" ^ to_string e ^ ")"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

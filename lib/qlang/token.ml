@@ -1,0 +1,35 @@
+(** Lexical tokens of the Q subset. *)
+
+type t =
+  | Num of Qvalue.Atom.t  (** numeric or temporal literal *)
+  | NumVec of Qvalue.Atom.t list  (** juxtaposed literal vector: [1 2 3] *)
+  | SymLit of string list  (** backtick symbols, possibly juxtaposed *)
+  | Str of string  (** double-quoted char vector *)
+  | Name of string  (** identifier (possibly dotted) *)
+  | Verb of string  (** operator: [+ - * % & | < > = , # _ ! ? ~ @ . $ ^ :] *)
+  | Adverb of string  (** ' / \ \: /: ': *)
+  | LParen
+  | RParen
+  | LBracket
+  | RBracket
+  | LBrace
+  | RBrace
+  | Semi
+  | Eof
+
+let to_string = function
+  | Num a -> Qvalue.Atom.to_string a
+  | NumVec atoms -> String.concat " " (List.map Qvalue.Atom.to_string atoms)
+  | SymLit ss -> String.concat "" (List.map (fun s -> "`" ^ s) ss)
+  | Str s -> Printf.sprintf "%S" s
+  | Name n -> n
+  | Verb v -> v
+  | Adverb a -> a
+  | LParen -> "("
+  | RParen -> ")"
+  | LBracket -> "["
+  | RBracket -> "]"
+  | LBrace -> "{"
+  | RBrace -> "}"
+  | Semi -> ";"
+  | Eof -> "<eof>"

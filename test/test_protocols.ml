@@ -1,0 +1,478 @@
+(* Byte-level tests for the QIPC and PG v3 wire protocol codecs. *)
+
+open Qvalue
+module QC = Qipc.Codec
+module PC = Pgwire.Codec
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+let tstr = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* QIPC                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_value v =
+  let msg = QC.encode_message { QC.mt = QC.Response; body = QC.Value v } in
+  match QC.decode_message msg with
+  | { QC.body = QC.Value v'; _ }, consumed ->
+      check tint "consumed everything" (String.length msg) consumed;
+      if not (Value.equal v v') then
+        Alcotest.failf "roundtrip mismatch: %s vs %s" (Qprint.to_string v)
+          (Qprint.to_string v')
+  | _ -> Alcotest.fail "expected a value body"
+
+let test_qipc_atoms () =
+  List.iter roundtrip_value
+    [
+      Value.int 42;
+      Value.int (-1);
+      Value.float 3.5;
+      Value.bool true;
+      Value.sym "GOOG";
+      Value.null Qtype.Long;
+      Value.null Qtype.Float;
+      Value.null Qtype.Sym;
+      Value.date 6021;
+      Value.time 34200000;
+      Value.timestamp 1234567890123456789L;
+    ]
+
+let test_qipc_vectors () =
+  List.iter roundtrip_value
+    [
+      Value.longs [| 1; 2; 3 |];
+      Value.floats [| 1.5; 2.5 |];
+      Value.syms [| "a"; "b"; "c" |];
+      Value.bools [| true; false; true |];
+      Value.string_ "hello world";
+      Value.Vector (Qtype.Long, [| Atom.Long 1L; Atom.Null Qtype.Long |]);
+      Value.List [| Value.int 1; Value.sym "mixed"; Value.string_ "list" |];
+    ]
+
+let test_qipc_tables () =
+  roundtrip_value
+    (Value.Table
+       (Value.table
+          [
+            ("sym", Value.syms [| "a"; "b" |]);
+            ("px", Value.floats [| 1.0; 2.0 |]);
+            ("qty", Value.longs [| 10; 20 |]);
+          ]));
+  roundtrip_value
+    (Value.Dict (Value.syms [| "k1"; "k2" |], Value.longs [| 1; 2 |]));
+  roundtrip_value
+    (Value.xkey [ "s" ]
+       (Value.table
+          [ ("s", Value.syms [| "a" |]); ("v", Value.longs [| 7 |]) ]))
+
+let test_qipc_column_orientation () =
+  (* Figure 5: QIPC sends a table as column vectors — the bytes for column
+     c1 (both rows) precede the bytes for column c2 *)
+  let t =
+    Value.Table
+      (Value.table
+         [ ("c1", Value.longs [| 1; 2 |]); ("c2", Value.longs [| 1; 2 |]) ])
+  in
+  let msg = QC.encode_message { QC.mt = QC.Response; body = QC.Value t } in
+  (* body: ... `c1`c2 then list of two long-vectors; each long vector holds
+     1 then 2 contiguously *)
+  let payload = String.sub msg 8 (String.length msg - 8) in
+  let find_sub hay needle from =
+    let n = String.length needle and h = String.length hay in
+    let rec go i =
+      if i + n > h then -1
+      else if String.sub hay i n = needle then i
+      else go (i + 1)
+    in
+    go from
+  in
+  let one_two =
+    (* 1L then 2L little-endian back to back *)
+    "\001\000\000\000\000\000\000\000\002\000\000\000\000\000\000\000"
+  in
+  let first = find_sub payload one_two 0 in
+  check tbool "column 1 contiguous" true (first >= 0);
+  let second = find_sub payload one_two (first + 1) in
+  check tbool "column 2 contiguous after column 1" true (second > first)
+
+let test_qipc_error_roundtrip () =
+  let msg =
+    QC.encode_message { QC.mt = QC.Response; body = QC.Error "type" }
+  in
+  match QC.decode_message msg with
+  | { QC.body = QC.Error e; _ }, _ -> check tstr "error text" "type" e
+  | _ -> Alcotest.fail "expected an error body"
+
+let test_qipc_query_roundtrip () =
+  let msg =
+    QC.encode_message
+      { QC.mt = QC.Sync; body = QC.Query "select from trades" }
+  in
+  match QC.decode_message msg with
+  | { QC.mt = QC.Sync; body = QC.Query q }, _ ->
+      check tstr "query text" "select from trades" q
+  | _ -> Alcotest.fail "expected a query body"
+
+let test_qipc_handshake () =
+  let hello = QC.encode_handshake ~user:"trader" ~password:"pwd" ~version:3 in
+  let h = QC.decode_handshake hello in
+  check tstr "user" "trader" h.QC.user;
+  check tstr "password" "pwd" h.QC.password;
+  check tint "version" 3 h.QC.version
+
+let test_qipc_truncated () =
+  let msg = QC.encode_message { QC.mt = QC.Sync; body = QC.Query "x" } in
+  let cut = String.sub msg 0 (String.length msg - 2) in
+  match QC.decode_message cut with
+  | exception QC.Decode_error _ -> ()
+  | _ -> Alcotest.fail "truncated message must not decode"
+
+(* ------------------------------------------------------------------ *)
+(* QIPC compression                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let big_table n =
+  Value.Table
+    (Value.table
+       [
+         ("sym", Value.syms (Array.init n (fun i -> Printf.sprintf "S%02d" (i mod 20))));
+         ("px", Value.floats (Array.init n (fun i -> float_of_int (i mod 100) /. 4.0)));
+         ("qty", Value.longs (Array.init n (fun i -> (i mod 7) * 100)));
+       ])
+
+let test_compression_kicks_in () =
+  let v = big_table 5000 in
+  let plain =
+    QC.encode_message ~compress:false { QC.mt = QC.Response; body = QC.Value v }
+  in
+  let packed =
+    QC.encode_message { QC.mt = QC.Response; body = QC.Value v }
+  in
+  check tbool "over the 2000-byte threshold" true (String.length plain > 2000);
+  check tbool "compressed flag set" true (packed.[2] = '\001');
+  check tbool "actually smaller" true
+    (String.length packed < String.length plain);
+  (* transparently decodes back to the same value *)
+  match QC.decode_message packed with
+  | { QC.body = QC.Value v'; _ }, consumed ->
+      check tint "consumed the compressed length" (String.length packed)
+        consumed;
+      check tbool "roundtrip" true (Value.equal v v')
+  | _ -> Alcotest.fail "expected a value body"
+
+let test_small_messages_stay_plain () =
+  let msg = QC.encode_message { QC.mt = QC.Sync; body = QC.Query "1+1" } in
+  check tbool "uncompressed flag" true (msg.[2] = '\000')
+
+let test_corrupt_compressed_rejected () =
+  let v = big_table 5000 in
+  let packed = QC.encode_message { QC.mt = QC.Response; body = QC.Value v } in
+  (* flip a byte in the compressed stream *)
+  let bad = Bytes.of_string packed in
+  Bytes.set bad (String.length packed / 2) '\255';
+  match QC.decode_message (Bytes.to_string bad) with
+  | exception QC.Decode_error _ -> ()
+  | { QC.body = QC.Value v'; _ }, _ ->
+      (* a flipped byte may still decode structurally; it must at least not
+         reproduce the original value *)
+      check tbool "corruption detected or value changed" false
+        (Value.equal v v')
+  | _ -> ()
+
+let prop_compress_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"compress . decompress = id"
+    QCheck.(
+      pair (int_range 0 3)
+        (list_of_size (Gen.int_range 0 600) (int_range 0 255)))
+    (fun (variant, bytes) ->
+      (* synthesize message-like strings: header + semi-repetitive body *)
+      let body =
+        match variant with
+        | 0 -> String.concat "" (List.map (fun b -> String.make 1 (Char.chr b)) bytes)
+        | 1 -> String.concat "" (List.map (fun b -> String.make 4 (Char.chr (b land 0x0f))) bytes)
+        | 2 -> String.make (List.length bytes * 3) 'x'
+        | _ ->
+            String.concat ""
+              (List.map (fun b -> Printf.sprintf "row%d|" (b mod 10)) bytes)
+      in
+      let msg =
+        let hdr = Bytes.create 8 in
+        Bytes.set hdr 0 '\001';
+        Bytes.set hdr 1 '\002';
+        Bytes.set hdr 2 '\000';
+        Bytes.set hdr 3 '\000';
+        let t = 8 + String.length body in
+        Bytes.set hdr 4 (Char.chr (t land 0xff));
+        Bytes.set hdr 5 (Char.chr ((t lsr 8) land 0xff));
+        Bytes.set hdr 6 (Char.chr ((t lsr 16) land 0xff));
+        Bytes.set hdr 7 (Char.chr ((t lsr 24) land 0xff));
+        Bytes.to_string hdr ^ body
+      in
+      match Qipc.Compress.compress msg with
+      | None -> true (* incompressible is a legal outcome *)
+      | Some packed -> Qipc.Compress.decompress packed = msg)
+
+(* ------------------------------------------------------------------ *)
+(* PG v3                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let backend_roundtrip m =
+  let bytes = PC.encode_backend m in
+  let m', consumed = PC.decode_backend bytes in
+  check tint "consumed" (String.length bytes) consumed;
+  if m <> m' then Alcotest.fail "backend roundtrip mismatch"
+
+let test_pg_backend_messages () =
+  backend_roundtrip PC.AuthenticationOk;
+  backend_roundtrip PC.AuthenticationCleartextPassword;
+  backend_roundtrip (PC.AuthenticationMD5Password "s@lt");
+  backend_roundtrip (PC.ParameterStatus ("server_version", "9.2"));
+  backend_roundtrip (PC.ReadyForQuery 'I');
+  backend_roundtrip
+    (PC.RowDescription
+       [
+         { PC.fd_name = "sym"; fd_type_oid = 1043 };
+         { PC.fd_name = "px"; fd_type_oid = 701 };
+       ]);
+  backend_roundtrip (PC.DataRow [ Some "GOOG"; Some "99.5"; None ]);
+  backend_roundtrip (PC.CommandComplete "SELECT 5");
+  backend_roundtrip (PC.ErrorResponse { code = "42P01"; message = "missing" })
+
+let test_pg_frontend_messages () =
+  let q = PC.encode_frontend (PC.Query "SELECT 1") in
+  (match PC.decode_frontend q with
+  | PC.Query "SELECT 1", consumed -> check tint "consumed" (String.length q) consumed
+  | _ -> Alcotest.fail "query roundtrip");
+  let s =
+    PC.encode_frontend (PC.Startup [ ("user", "app"); ("database", "hq") ])
+  in
+  match PC.decode_frontend ~in_startup:true s with
+  | PC.Startup params, _ ->
+      check tstr "user param" "app" (List.assoc "user" params)
+  | _ -> Alcotest.fail "startup roundtrip"
+
+let test_pg_row_streaming_shape () =
+  (* Figure 5: PG sends row-oriented messages, one per row *)
+  let rows =
+    [ PC.DataRow [ Some "1"; Some "1" ]; PC.DataRow [ Some "2"; Some "2" ] ]
+  in
+  let bytes = String.concat "" (List.map PC.encode_backend rows) in
+  let m1, c1 = PC.decode_backend bytes in
+  let rest = String.sub bytes c1 (String.length bytes - c1) in
+  let m2, _ = PC.decode_backend rest in
+  (match (m1, m2) with
+  | PC.DataRow [ Some "1"; Some "1" ], PC.DataRow [ Some "2"; Some "2" ] -> ()
+  | _ -> Alcotest.fail "row stream decode")
+
+(* ------------------------------------------------------------------ *)
+(* Wire server + client                                                *)
+(* ------------------------------------------------------------------ *)
+
+let wire_fixture ?auth ?users () =
+  let db = Pgdb.Db.create () in
+  Pgdb.Db.load_table db
+    (Catalog.Schema.table "t"
+       [
+         Catalog.Schema.column "a" Catalog.Sqltype.TBigint;
+         Catalog.Schema.column "b" Catalog.Sqltype.TVarchar;
+       ])
+    [
+      [| Pgdb.Value.Int 1L; Pgdb.Value.Str "x" |];
+      [| Pgdb.Value.Int 2L; Pgdb.Value.Str "y" |];
+    ];
+  let session = Pgdb.Db.open_session db in
+  Pgwire.Server.create ?users ?auth session
+
+let test_wire_query () =
+  let server = wire_fixture () in
+  let transport bytes = Pgwire.Server.feed server bytes in
+  let client = Pgwire.Client.connect transport in
+  match Pgwire.Client.query client "SELECT a, b FROM t ORDER BY a ASC" with
+  | Ok { Pgwire.Client.rows; columns; tag } ->
+      check tint "2 rows" 2 (Array.length rows);
+      check tint "2 cols" 2 (List.length columns);
+      check tstr "tag" "SELECT 2" tag;
+      (match rows.(0).(0) with
+      | Pgdb.Value.Int 1L -> ()
+      | _ -> Alcotest.fail "typed decode of bigint");
+      (match rows.(1).(1) with
+      | Pgdb.Value.Str "y" -> ()
+      | _ -> Alcotest.fail "typed decode of varchar")
+  | Error e -> Alcotest.fail e
+
+let test_wire_error () =
+  let server = wire_fixture () in
+  let transport bytes = Pgwire.Server.feed server bytes in
+  let client = Pgwire.Client.connect transport in
+  (match Pgwire.Client.query client "SELECT * FROM missing" with
+  | Error e ->
+      check tbool "carries sqlstate" true
+        (String.length e >= 5 && String.sub e 0 5 = "42P01")
+  | Ok _ -> Alcotest.fail "expected error");
+  (* connection survives errors *)
+  match Pgwire.Client.query client "SELECT a FROM t" with
+  | Ok { Pgwire.Client.rows; _ } -> check tint "recovered" 2 (Array.length rows)
+  | Error e -> Alcotest.fail e
+
+let test_wire_md5_auth () =
+  let server =
+    wire_fixture ~auth:Pgwire.Server.Md5 ~users:[ ("alice", "wonder") ] ()
+  in
+  let transport bytes = Pgwire.Server.feed server bytes in
+  let client = Pgwire.Client.connect ~user:"alice" ~password:"wonder" transport in
+  (match Pgwire.Client.query client "SELECT 1 + 1" with
+  | Ok { Pgwire.Client.rows; _ } -> check tint "1 row" 1 (Array.length rows)
+  | Error e -> Alcotest.fail e);
+  (* wrong password is rejected *)
+  let server2 =
+    wire_fixture ~auth:Pgwire.Server.Md5 ~users:[ ("alice", "wonder") ] ()
+  in
+  let transport2 bytes = Pgwire.Server.feed server2 bytes in
+  match Pgwire.Client.connect ~user:"alice" ~password:"nope" transport2 with
+  | exception Pgwire.Client.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "bad password must be rejected"
+
+let test_wire_cleartext_auth () =
+  let server =
+    wire_fixture ~auth:Pgwire.Server.Cleartext ~users:[ ("bob", "pw") ] ()
+  in
+  let transport bytes = Pgwire.Server.feed server bytes in
+  let client = Pgwire.Client.connect ~user:"bob" ~password:"pw" transport in
+  match Pgwire.Client.query client "SELECT 2 * 21" with
+  | Ok { Pgwire.Client.rows; _ } -> (
+      match rows.(0).(0) with
+      | Pgdb.Value.Int 42L -> ()
+      | v -> Alcotest.failf "expected 42, got %s" (Pgdb.Value.to_display v))
+  | Error e -> Alcotest.fail e
+
+let test_wire_fragmented_delivery () =
+  (* byte-at-a-time delivery exercises message reassembly *)
+  let server = wire_fixture () in
+  let transport bytes =
+    let out = Buffer.create 64 in
+    String.iter
+      (fun c ->
+        Buffer.add_string out (Pgwire.Server.feed server (String.make 1 c)))
+      bytes;
+    if bytes = "" then Buffer.add_string out (Pgwire.Server.feed server "");
+    Buffer.contents out
+  in
+  let client = Pgwire.Client.connect transport in
+  match Pgwire.Client.query client "SELECT COUNT(*) FROM t" with
+  | Ok { Pgwire.Client.rows; _ } -> (
+      match rows.(0).(0) with
+      | Pgdb.Value.Int 2L -> ()
+      | v -> Alcotest.failf "expected 2, got %s" (Pgdb.Value.to_display v))
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_atom : Atom.t QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun b -> Atom.Bool b) bool;
+        map (fun i -> Atom.Long (Int64.of_int i)) (int_range (-10000) 10000);
+        map (fun f -> Atom.Float f) (float_bound_exclusive 1e6);
+        map (fun s -> Atom.Sym s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
+        return (Atom.Null Qtype.Long);
+        return (Atom.Null Qtype.Float);
+        map (fun d -> Atom.Date d) (int_range (-3000) 9000);
+        map (fun t -> Atom.Time t) (int_range 0 86399999);
+      ])
+
+let gen_value : Value.t QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun a -> Value.Atom a) gen_atom;
+        map
+          (fun atoms -> Value.vector_of_atoms (Array.of_list atoms))
+          (list_size (int_range 0 20) gen_atom);
+        map
+          (fun (names, len) ->
+            let names = List.sort_uniq String.compare names in
+            let names = if names = [] then [ "c" ] else names in
+            Value.Table
+              (Value.table
+                 (List.map
+                    (fun n ->
+                      (n, Value.longs (Array.init len (fun i -> i))))
+                    names)))
+          (pair
+             (list_size (int_range 1 4)
+                (string_size ~gen:(char_range 'a' 'z') (int_range 1 5)))
+             (int_range 0 10));
+      ])
+
+let prop_qipc_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"QIPC decode . encode = id"
+    (QCheck.make gen_value) (fun v ->
+      let msg = QC.encode_message { QC.mt = QC.Response; body = QC.Value v } in
+      match QC.decode_message msg with
+      | { QC.body = QC.Value v'; _ }, consumed ->
+          consumed = String.length msg && Value.equal v v'
+      | _ -> false)
+
+let prop_pg_datarow_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"PGv3 DataRow roundtrip"
+    QCheck.(list_of_size (Gen.int_range 0 10) (option (string_small_of (Gen.char_range 'a' 'z'))))
+    (fun cells ->
+      let bytes = PC.encode_backend (PC.DataRow cells) in
+      match PC.decode_backend bytes with
+      | PC.DataRow cells', consumed ->
+          cells = cells' && consumed = String.length bytes
+      | _ -> false)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_qipc_roundtrip; prop_pg_datarow_roundtrip; prop_compress_roundtrip ]
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "qipc",
+        [
+          Alcotest.test_case "atoms" `Quick test_qipc_atoms;
+          Alcotest.test_case "vectors" `Quick test_qipc_vectors;
+          Alcotest.test_case "tables and dicts" `Quick test_qipc_tables;
+          Alcotest.test_case "column orientation (Fig 5)" `Quick
+            test_qipc_column_orientation;
+          Alcotest.test_case "error body" `Quick test_qipc_error_roundtrip;
+          Alcotest.test_case "query body" `Quick test_qipc_query_roundtrip;
+          Alcotest.test_case "handshake" `Quick test_qipc_handshake;
+          Alcotest.test_case "truncated input" `Quick test_qipc_truncated;
+        ] );
+      ( "compression",
+        [
+          Alcotest.test_case "large messages compress" `Quick
+            test_compression_kicks_in;
+          Alcotest.test_case "small messages stay plain" `Quick
+            test_small_messages_stay_plain;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_corrupt_compressed_rejected;
+        ] );
+      ( "pgv3",
+        [
+          Alcotest.test_case "backend messages" `Quick
+            test_pg_backend_messages;
+          Alcotest.test_case "frontend messages" `Quick
+            test_pg_frontend_messages;
+          Alcotest.test_case "row streaming (Fig 5)" `Quick
+            test_pg_row_streaming_shape;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "query over wire" `Quick test_wire_query;
+          Alcotest.test_case "error over wire" `Quick test_wire_error;
+          Alcotest.test_case "md5 auth" `Quick test_wire_md5_auth;
+          Alcotest.test_case "cleartext auth" `Quick test_wire_cleartext_auth;
+          Alcotest.test_case "fragmented delivery" `Quick
+            test_wire_fragmented_delivery;
+        ] );
+      ("properties", props);
+    ]

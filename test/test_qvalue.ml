@@ -1,0 +1,300 @@
+(* Unit and property tests for the Q data model (lib/qvalue). *)
+
+open Qvalue
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Atoms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_null_equality () =
+  (* Q two-valued logic: nulls compare equal *)
+  check tbool "long nulls equal" true
+    (Atom.equal (Atom.Null Qtype.Long) (Atom.Null Qtype.Long));
+  check tbool "cross-type nulls equal" true
+    (Atom.equal (Atom.Null Qtype.Long) (Atom.Null Qtype.Float));
+  check tbool "null < value" true
+    (Atom.compare (Atom.Null Qtype.Long) (Atom.Long Int64.min_int) < 0);
+  (* the empty symbol IS the null symbol in kdb+ *)
+  check tbool "empty symbol is null" true
+    (Atom.equal (Atom.Null Qtype.Sym) (Atom.Sym ""));
+  check tbool "non-empty symbol is not null" false
+    (Atom.equal (Atom.Null Qtype.Sym) (Atom.Sym "x"))
+
+let test_null_propagation () =
+  let n = Atom.Null Qtype.Long in
+  check tbool "null + 1 is null" true (Atom.is_null (Atom.add n (Atom.Long 1L)));
+  check tbool "1 - null is null" true (Atom.is_null (Atom.sub (Atom.Long 1L) n));
+  check tbool "null * null is null" true (Atom.is_null (Atom.mul n n));
+  check tbool "x % 0 is null" true
+    (Atom.is_null (Atom.div (Atom.Long 4L) (Atom.Long 0L)))
+
+let test_arith_promotion () =
+  (match Atom.add (Atom.Long 1L) (Atom.Float 0.5) with
+  | Atom.Float f -> check (Alcotest.float 1e-9) "1+0.5" 1.5 f
+  | a -> Alcotest.failf "expected float, got %s" (Atom.to_string a));
+  (match Atom.add (Atom.Bool true) (Atom.Bool true) with
+  | Atom.Long i -> check tint "1b+1b" 2 (Int64.to_int i)
+  | a -> Alcotest.failf "expected long, got %s" (Atom.to_string a));
+  (* Q division is always float *)
+  match Atom.div (Atom.Long 3L) (Atom.Long 2L) with
+  | Atom.Float f -> check (Alcotest.float 1e-9) "3%2" 1.5 f
+  | a -> Alcotest.failf "expected float, got %s" (Atom.to_string a)
+
+let test_date_arith () =
+  let d = Atom.Date (Atom.date_of_ymd 2016 6 26) in
+  (match Atom.add d (Atom.Long 5L) with
+  | Atom.Date d' ->
+      check tstr "date+5" "2016.07.01" (Atom.to_string (Atom.Date d'))
+  | a -> Alcotest.failf "expected date, got %s" (Atom.to_string a));
+  match Atom.sub d d with
+  | Atom.Long i -> check tint "date-date" 0 (Int64.to_int i)
+  | a -> Alcotest.failf "expected long, got %s" (Atom.to_string a)
+
+let test_date_roundtrip () =
+  List.iter
+    (fun (y, m, d) ->
+      let days = Atom.date_of_ymd y m d in
+      let y', m', d' = Atom.ymd_of_date days in
+      check (Alcotest.triple tint tint tint)
+        (Printf.sprintf "%04d.%02d.%02d" y m d)
+        (y, m, d) (y', m', d'))
+    [
+      (2000, 1, 1); (2000, 2, 29); (2016, 6, 26); (1999, 12, 31); (1996, 2, 29);
+      (2100, 3, 1); (1970, 1, 1); (2024, 12, 31);
+    ]
+
+let test_atom_printing () =
+  check tstr "long" "42" (Atom.to_string (Atom.Long 42L));
+  check tstr "float" "2.5" (Atom.to_string (Atom.Float 2.5));
+  check tstr "whole float" "3.0" (Atom.to_string (Atom.Float 3.0));
+  check tstr "sym" "`GOOG" (Atom.to_string (Atom.Sym "GOOG"));
+  check tstr "bool" "1b" (Atom.to_string (Atom.Bool true));
+  check tstr "null long" "0N" (Atom.to_string (Atom.Null Qtype.Long));
+  check tstr "time" "09:30:00.000" (Atom.to_string (Atom.Time 34200000));
+  check tstr "date" "2016.06.26"
+    (Atom.to_string (Atom.Date (Atom.date_of_ymd 2016 6 26)))
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_vector_inference () =
+  let v = Value.of_values [| Value.int 1; Value.int 2; Value.int 3 |] in
+  (match v with
+  | Value.Vector (Qtype.Long, _) -> ()
+  | _ -> Alcotest.fail "expected long vector");
+  let mixed = Value.of_values [| Value.int 1; Value.sym "a" |] in
+  match mixed with
+  | Value.List _ -> ()
+  | _ -> Alcotest.fail "expected general list"
+
+let test_til_take_drop () =
+  let v = Value.til 5 in
+  check tint "count til 5" 5 (Value.length v);
+  check tbool "2#til 5" true
+    (Value.equal (Value.take 2 v) (Value.longs [| 0; 1 |]));
+  check tbool "-2#til 5" true
+    (Value.equal (Value.take (-2) v) (Value.longs [| 3; 4 |]));
+  check tbool "7#til 3 cycles" true
+    (Value.equal (Value.take 7 (Value.til 3))
+       (Value.longs [| 0; 1; 2; 0; 1; 2; 0 |]));
+  check tbool "-5#til 3 cycles" true
+    (Value.equal (Value.take (-5) (Value.til 3))
+       (Value.longs [| 1; 2; 0; 1; 2 |]));
+  check tbool "2_til 5" true
+    (Value.equal (Value.drop 2 v) (Value.longs [| 2; 3; 4 |]));
+  check tbool "-2_til 5" true
+    (Value.equal (Value.drop (-2) v) (Value.longs [| 0; 1; 2 |]))
+
+let test_where () =
+  let b = Value.bools [| true; false; true; false; true |] in
+  check tbool "where 10101b" true
+    (Value.equal (Value.where_ b) (Value.longs [| 0; 2; 4 |]))
+
+let test_sort_grade () =
+  let v = Value.longs [| 3; 1; 2 |] in
+  check tbool "asc" true (Value.equal (Value.asc v) (Value.longs [| 1; 2; 3 |]));
+  check tbool "desc" true
+    (Value.equal (Value.desc v) (Value.longs [| 3; 2; 1 |]));
+  (* grading is stable *)
+  let dup = Value.longs [| 2; 1; 2; 1 |] in
+  let g = Value.grade_up dup in
+  check (Alcotest.array tint) "stable grade" [| 1; 3; 0; 2 |] g
+
+let test_distinct_group () =
+  let v = Value.syms [| "a"; "b"; "a"; "c"; "b" |] in
+  check tbool "distinct" true
+    (Value.equal (Value.distinct v) (Value.syms [| "a"; "b"; "c" |]));
+  match Value.group v with
+  | Value.Dict (k, vals) ->
+      check tbool "group keys" true
+        (Value.equal k (Value.syms [| "a"; "b"; "c" |]));
+      check tbool "group a-indices" true
+        (Value.equal (Value.index vals 0) (Value.longs [| 0; 2 |]))
+  | _ -> Alcotest.fail "group should give a dict"
+
+let test_table_basics () =
+  let t =
+    Value.table
+      [
+        ("sym", Value.syms [| "a"; "b"; "a" |]);
+        ("px", Value.floats [| 1.0; 2.0; 3.0 |]);
+      ]
+  in
+  check tint "row count" 3 (Value.table_length t);
+  check tbool "column lookup" true
+    (Value.equal (Value.column_exn t "px") (Value.floats [| 1.0; 2.0; 3.0 |]));
+  let filtered = Value.filter_table t [| 0; 2 |] in
+  check tint "filtered rows" 2 (Value.table_length filtered);
+  check tbool "filtered col" true
+    (Value.equal
+       (Value.column_exn filtered "px")
+       (Value.floats [| 1.0; 3.0 |]))
+
+let test_table_atom_broadcast () =
+  let t = Value.table [ ("a", Value.til 3); ("b", Value.int 7) ] in
+  check tbool "broadcast column" true
+    (Value.equal (Value.column_exn t "b") (Value.longs [| 7; 7; 7 |]))
+
+let test_flip_roundtrip () =
+  let t =
+    Value.Table (Value.table [ ("a", Value.til 2); ("b", Value.syms [| "x"; "y" |]) ])
+  in
+  check tbool "flip flip = id" true (Value.equal (Value.flip (Value.flip t)) t)
+
+let test_xkey () =
+  let t =
+    Value.table
+      [ ("k", Value.syms [| "a"; "b" |]); ("v", Value.longs [| 1; 2 |]) ]
+  in
+  match Value.xkey [ "k" ] t with
+  | Value.KTable (kt, vt) ->
+      check (Alcotest.array tstr) "key cols" [| "k" |] kt.Value.cols;
+      check (Alcotest.array tstr) "val cols" [| "v" |] vt.Value.cols
+  | _ -> Alcotest.fail "xkey should give a keyed table"
+
+let test_dict_ops () =
+  let d =
+    Value.Dict (Value.syms [| "a"; "b" |], Value.longs [| 1; 2 |])
+  in
+  (match d with
+  | Value.Dict (k, v) ->
+      check tbool "lookup b" true
+        (Value.equal (Value.dict_lookup k v (Value.sym "b")) (Value.int 2));
+      check tbool "lookup missing is null" true
+        (match Value.dict_lookup k v (Value.sym "zz") with
+        | Value.Atom a -> Atom.is_null a
+        | _ -> false);
+      (match Value.dict_upsert k v (Value.sym "c") (Value.int 3) with
+      | Value.Dict (k', _) -> check tint "upsert appends" 3 (Value.length k')
+      | _ -> Alcotest.fail "upsert should give dict")
+  | _ -> assert false);
+  ()
+
+let test_type_codes () =
+  check tint "long atom" (-7) (Value.type_code (Value.int 1));
+  check tint "long vector" 7 (Value.type_code (Value.til 3));
+  check tint "table" 98
+    (Value.type_code (Value.Table (Value.table [ ("a", Value.til 1) ])));
+  check tint "general list" 0
+    (Value.type_code (Value.List [| Value.int 1; Value.sym "s" |]))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let atom_gen : Atom.t QCheck.arbitrary =
+  QCheck.(
+    oneof
+      [
+        map (fun b -> Atom.Bool b) bool;
+        map (fun i -> Atom.Long (Int64.of_int i)) small_signed_int;
+        map (fun f -> Atom.Float f) (float_bound_exclusive 1000.0);
+        map (fun s -> Atom.Sym s) (string_small_of (Gen.char_range 'a' 'z'));
+        always (Atom.Null Qtype.Long);
+        always (Atom.Null Qtype.Float);
+      ])
+
+let prop_compare_total_order =
+  QCheck.Test.make ~count:500 ~name:"atom compare is antisymmetric"
+    (QCheck.pair atom_gen atom_gen) (fun (a, b) ->
+      let c1 = Atom.compare a b and c2 = Atom.compare b a in
+      (c1 = 0 && c2 = 0) || (c1 < 0 && c2 > 0) || (c1 > 0 && c2 < 0))
+
+let prop_equal_reflexive =
+  QCheck.Test.make ~count:500 ~name:"atom equality is reflexive (incl. nulls)"
+    atom_gen (fun a -> Atom.equal a a)
+
+let prop_take_length =
+  QCheck.Test.make ~count:200 ~name:"take yields requested length"
+    QCheck.(pair (int_range (-20) 20) (int_range 1 30))
+    (fun (n, len) ->
+      let v = Value.til len in
+      Value.length (Value.take n v) = abs n)
+
+let prop_rev_involution =
+  QCheck.Test.make ~count:200 ~name:"reverse is an involution"
+    QCheck.(list_of_size (Gen.int_range 0 20) small_signed_int)
+    (fun xs ->
+      let v = Value.longs (Array.of_list xs) in
+      Value.equal (Value.rev (Value.rev v)) v)
+
+let prop_asc_sorted =
+  QCheck.Test.make ~count:200 ~name:"asc yields ascending order"
+    QCheck.(list_of_size (Gen.int_range 0 30) small_signed_int)
+    (fun xs ->
+      let sorted = Value.asc (Value.longs (Array.of_list xs)) in
+      let atoms = Value.atoms_exn sorted in
+      let ok = ref true in
+      for i = 0 to Array.length atoms - 2 do
+        if Atom.compare atoms.(i) atoms.(i + 1) > 0 then ok := false
+      done;
+      !ok)
+
+let prop_distinct_idempotent =
+  QCheck.Test.make ~count:200 ~name:"distinct is idempotent"
+    QCheck.(list_of_size (Gen.int_range 0 20) (int_range 0 5))
+    (fun xs ->
+      let v = Value.longs (Array.of_list xs) in
+      Value.equal (Value.distinct v) (Value.distinct (Value.distinct v)))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_compare_total_order; prop_equal_reflexive; prop_take_length;
+      prop_rev_involution; prop_asc_sorted; prop_distinct_idempotent;
+    ]
+
+let () =
+  Alcotest.run "qvalue"
+    [
+      ( "atoms",
+        [
+          Alcotest.test_case "null equality (2VL)" `Quick test_null_equality;
+          Alcotest.test_case "null propagation" `Quick test_null_propagation;
+          Alcotest.test_case "arithmetic promotion" `Quick test_arith_promotion;
+          Alcotest.test_case "date arithmetic" `Quick test_date_arith;
+          Alcotest.test_case "date roundtrip" `Quick test_date_roundtrip;
+          Alcotest.test_case "printing" `Quick test_atom_printing;
+        ] );
+      ( "values",
+        [
+          Alcotest.test_case "vector inference" `Quick test_vector_inference;
+          Alcotest.test_case "til/take/drop" `Quick test_til_take_drop;
+          Alcotest.test_case "where" `Quick test_where;
+          Alcotest.test_case "sort and grade" `Quick test_sort_grade;
+          Alcotest.test_case "distinct and group" `Quick test_distinct_group;
+          Alcotest.test_case "table basics" `Quick test_table_basics;
+          Alcotest.test_case "atom broadcast" `Quick test_table_atom_broadcast;
+          Alcotest.test_case "flip roundtrip" `Quick test_flip_roundtrip;
+          Alcotest.test_case "xkey" `Quick test_xkey;
+          Alcotest.test_case "dict ops" `Quick test_dict_ops;
+          Alcotest.test_case "type codes" `Quick test_type_codes;
+        ] );
+      ("properties", props);
+    ]

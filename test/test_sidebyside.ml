@@ -1,0 +1,56 @@
+(* The side-by-side framework run over the full 25-query Analytical
+   Workload at small scale, plus targeted extension queries: the kdb
+   interpreter and the Hyper-Q->pgdb pipeline must agree on everything. *)
+
+let extension_queries =
+  (* constructs beyond the 25-query workload: shifts, differ, sublist,
+     union join, take, sorting *)
+  [
+    "select Time, p:prev Price, n:next Price from trades where Symbol=`AAA";
+    "select Time from trades where Symbol=`AAA, differ Exch";
+    "2 sublist select Price from trades where Symbol=`BBH";
+    "select Symbol, Price, Bid from trades uj quotes";
+    "3#`Price xdesc select from trades where Symbol=`CCO";
+    "select s:sum Price by Exch from trades where Symbol in `AAA`BBH`CCO";
+    "exec max Price from trades";
+    "exec max Price by Symbol from trades";
+    "select n:count Price by Sector from trades lj 1!0!secmaster_w";
+    "distinct select Exch from trades";
+    "`Bid xasc select Symbol, Bid from trades uj quotes";
+    "select s:sum mx by Symbol from update mx:max Price by Symbol from \
+     trades where Exch=`N";
+    "select nulls:sum null mx from update mx:max Price by Symbol from \
+     trades where Exch=`N";
+    "select Time, Price from trades where Symbol=`AAA, Price>=avg Price";
+    "select n:count Price by Symbol from trades where Symbol like \"A*\"";
+    "select w:Size wavg Price by Symbol from trades";
+    "select lo:min Bid, hi:max Ask by 3600000 xbar Time from quotes";
+  ]
+
+let () =
+  let d = Workload.Marketdata.generate Workload.Marketdata.small_scale in
+  let reports = Sidebyside.Framework.run_workload d in
+  let workload_cases =
+    List.map
+      (fun (r : Sidebyside.Framework.report) ->
+        Alcotest.test_case r.Sidebyside.Framework.query `Quick (fun () ->
+            match r.Sidebyside.Framework.verdict with
+            | Sidebyside.Framework.Match -> ()
+            | v -> Alcotest.fail (Sidebyside.Framework.verdict_str v)))
+      reports
+  in
+  let h = Sidebyside.Framework.create d in
+  let extension_cases =
+    List.map
+      (fun q ->
+        Alcotest.test_case q `Quick (fun () ->
+            match Sidebyside.Framework.compare_query h q with
+            | Sidebyside.Framework.Match -> ()
+            | v -> Alcotest.fail (Sidebyside.Framework.verdict_str v)))
+      extension_queries
+  in
+  Alcotest.run "sidebyside"
+    [
+      ("analytical workload", workload_cases);
+      ("extension queries", extension_cases);
+    ]
