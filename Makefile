@@ -1,0 +1,19 @@
+.PHONY: all check test bench fmt clean
+
+all:
+	dune build @all
+
+check:
+	dune build @dev-check
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+fmt:
+	dune fmt
+
+clean:
+	dune clean

@@ -376,6 +376,97 @@ let bench_protocol () =
      can be formed; PG v3 streams per-row (paper Section 4.2)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Observability: per-stage percentiles over the full proxy            *)
+(* ------------------------------------------------------------------ *)
+
+(* drives the entire wire path (QIPC -> XC -> PG v3 -> pgdb -> pivot) so
+   the registry sees exactly what a production scrape would, then writes
+   the stage percentiles and the full metrics snapshot to BENCH_obs.json *)
+let bench_obs () =
+  header
+    "Observability - per-stage latency percentiles over the full proxy \
+     (writes BENCH_obs.json)";
+  let module P = Platform.Hyperq_platform in
+  let d = Lazy.force dataset in
+  let db = Pgdb.Db.create () in
+  MD.load_pg db d;
+  let platform = P.create db in
+  let client = P.Client.connect platform in
+  let queries = AW.queries d in
+  let rounds = 3 in
+  for _ = 1 to rounds do
+    List.iter
+      (fun q ->
+        List.iter
+          (fun s -> ignore (P.Client.query client s))
+          q.AW.setup;
+        ignore (P.Client.query client q.AW.text))
+      queries
+  done;
+  let reg = (P.obs platform).Obs.Ctx.registry in
+  let stage_hist name =
+    Obs.Metrics.histogram reg ~labels:[ ("stage", name) ] "hq_stage_seconds"
+  in
+  let stage_names =
+    List.map T.stage_name T.all_stages
+  in
+  Printf.printf "%-12s %8s %12s %12s %12s\n" "stage" "count" "p50(us)"
+    "p95(us)" "p99(us)";
+  List.iter
+    (fun s ->
+      let h = stage_hist s in
+      let p q = Obs.Metrics.percentile h q *. 1e6 in
+      Printf.printf "%-12s %8d %12.1f %12.1f %12.1f\n" s
+        (Obs.Metrics.hist_count h) (p 50.) (p 95.) (p 99.))
+    stage_names;
+  let query_h = Obs.Metrics.histogram reg "hq_query_seconds" in
+  Printf.printf "%-12s %8d %12.1f %12.1f %12.1f\n" "query(total)"
+    (Obs.Metrics.hist_count query_h)
+    (Obs.Metrics.percentile query_h 50. *. 1e6)
+    (Obs.Metrics.percentile query_h 95. *. 1e6)
+    (Obs.Metrics.percentile query_h 99. *. 1e6);
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"stages\": {\n";
+  let stage_json s =
+    let h = stage_hist s in
+    Printf.sprintf
+      "    \"%s\": {\"count\": %d, \"p50_us\": %.2f, \"p95_us\": %.2f, \
+       \"p99_us\": %.2f}"
+      s (Obs.Metrics.hist_count h)
+      (Obs.Metrics.percentile h 50. *. 1e6)
+      (Obs.Metrics.percentile h 95. *. 1e6)
+      (Obs.Metrics.percentile h 99. *. 1e6)
+  in
+  Buffer.add_string buf (String.concat ",\n" (List.map stage_json stage_names));
+  Buffer.add_string buf "\n  },\n  \"query_seconds\": ";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f},\n"
+       (Obs.Metrics.hist_count query_h)
+       (Obs.Metrics.percentile query_h 50. *. 1e3)
+       (Obs.Metrics.percentile query_h 95. *. 1e3)
+       (Obs.Metrics.percentile query_h 99. *. 1e3));
+  Buffer.add_string buf "  \"metrics\": [\n";
+  let samples = Obs.Metrics.snapshot reg in
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun s ->
+            Printf.sprintf
+              "    {\"name\": \"%s\", \"kind\": \"%s\", \"value\": %g}"
+              (String.concat "'"
+                 (String.split_on_char '"' s.Obs.Metrics.s_name))
+              s.Obs.Metrics.s_kind s.Obs.Metrics.s_value)
+          samples));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "--\nwrote %d metric samples to BENCH_obs.json\n"
+    (List.length samples);
+  P.Client.close client
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -438,6 +529,7 @@ let all_experiments =
     ("ordering", bench_ordering);
     ("materialization", bench_materialization);
     ("protocol", bench_protocol);
+    ("obs", bench_obs);
     ("micro", micro);
   ]
 

@@ -3,15 +3,20 @@
    with the TAQ-style market-data schema.
 
      dune exec bin/hyperq_server.exe
+     dune exec bin/hyperq_server.exe -- --stats   -- Prometheus dump on exit
      q) select vwap:(sum Price*Size)%sum Size by Symbol from trades
      q) aj[`Symbol`Time; trades; quotes]
-     q) \sql select from trades where Symbol=`AAA   -- show generated SQL
-     q) \q                                           -- quit *)
+     q) .hq.stats                                 -- in-band metrics table
+     q) \sql select from trades where Symbol=`AAA -- show generated SQL
+     q) \q                                        -- quit *)
 
 module P = Platform.Hyperq_platform
 module MD = Workload.Marketdata
 
 let () =
+  let dump_stats_on_exit =
+    Array.exists (fun a -> a = "--stats") Sys.argv
+  in
   let d = MD.generate MD.small_scale in
   let db = Pgdb.Db.create () in
   MD.load_pg db d;
@@ -26,7 +31,8 @@ let () =
     "Hyper-Q interactive session (backend: pgdb via PG v3 wire)\n\
      tables: trades (%d rows), quotes (%d rows), secmaster_w, risk_w, \
      limits_w\n\
-     commands: \\sql <q-query> shows generated SQL, \\q quits\n\n"
+     commands: \\sql <q-query> shows generated SQL, .hq.stats shows proxy \
+     metrics, \\q quits\n\n"
     (Array.length d.MD.trades)
     (Array.length d.MD.quotes);
   let rec loop () =
@@ -48,4 +54,8 @@ let () =
         loop ()
   in
   loop ();
-  P.Client.close client
+  P.Client.close client;
+  if dump_stats_on_exit then begin
+    print_endline "\n-- .hq.stats (Prometheus exposition) --";
+    print_string (P.stats_text platform)
+  end

@@ -35,22 +35,50 @@ type t = {
   mdi : Mdi.t;
   scopes : Scopes.t;
   timer : Stage_timer.t;
+  obs : Obs.Ctx.t;
+  stage_hists : (Stage_timer.stage * Obs.Metrics.histogram) list;
   config : config;
   mutable temp_counter : int;
   mutable error_log : (string * string) list;
       (* (query, categorised error), newest first, bounded *)
 }
 
-let create ?(config = default_config ()) ?mdi_config ?server_scope backend =
+let create ?(config = default_config ()) ?mdi_config ?server_scope ?obs backend
+    =
+  let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   {
     backend;
     mdi = Mdi.create ?config:mdi_config backend;
     scopes = Scopes.create ?server:server_scope ();
     timer = Stage_timer.create ();
+    obs;
+    stage_hists =
+      List.map
+        (fun s ->
+          ( s,
+            Obs.Metrics.histogram obs.Obs.Ctx.registry
+              ~help:"Query pipeline stage duration (seconds)"
+              ~labels:[ ("stage", Stage_timer.stage_name s) ]
+              "hq_stage_seconds" ))
+        Stage_timer.all_stages;
     config;
     temp_counter = 0;
     error_log = [];
   }
+
+(* every pipeline stage is recorded three ways from one measurement: the
+   per-session stage timer (Figures 6/7), the shared per-stage latency
+   histograms, and — when the endpoint has a query trace open — a child
+   span of that trace *)
+let stage (t : t) (s : Stage_timer.stage) (f : unit -> 'a) : 'a =
+  Obs.Ctx.span t.obs (Stage_timer.stage_name s) (fun () ->
+      let start = Obs.Clock.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let d = Obs.Clock.seconds_since start in
+          Stage_timer.record t.timer s d;
+          Obs.Metrics.observe (List.assoc s t.stage_hists) d)
+        f)
 
 (** Destroy the session: promote session variables to the server scope
     (paper Section 3.2.3). *)
@@ -128,10 +156,10 @@ let rec materialize_const_rels (t : t) (r : I.rel) : I.rel =
 let lower (t : t) (rel : I.rel) : string =
   let rel = materialize_const_rels t rel in
   let optimized =
-    Stage_timer.timed t.timer Stage_timer.Optimize (fun () ->
+    stage t Stage_timer.Optimize (fun () ->
         Xformer.optimize ~config:t.config.xformer rel)
   in
-  Stage_timer.timed t.timer Stage_timer.Serialize (fun () ->
+  stage t Stage_timer.Serialize (fun () ->
       Serializer.serialize_to_sql
         ~tolerate_eq2:(not t.config.xformer.Xformer.enable_2vl)
         optimized)
@@ -147,8 +175,7 @@ let materialize_cb (t : t) (_ctx : Binder.ctx) (name : string)
       let sql = lower t brel.Binder.rel in
       let create = Printf.sprintf "CREATE TEMPORARY TABLE %s AS %s" tbl sql in
       (match
-         Stage_timer.timed t.timer Stage_timer.Execute (fun () ->
-             Backend.exec t.backend create)
+         stage t Stage_timer.Execute (fun () -> Backend.exec t.backend create)
        with
       | Ok _ -> ()
       | Error e -> hq_error "backend" "materialization failed: %s" e);
@@ -239,7 +266,7 @@ let execute_rel (t : t) (brel : Binder.bound_rel) : QV.t * string list =
   let sql_before = List.length !(t.backend.Backend.sql_log) in
   let sql = lower t brel.Binder.rel in
   let res =
-    Stage_timer.timed t.timer Stage_timer.Execute (fun () ->
+    stage t Stage_timer.Execute (fun () ->
         match Backend.exec t.backend sql with
         | Ok (Backend.Result_set r) -> r
         | Ok (Backend.Command_ok tag) ->
@@ -253,14 +280,17 @@ let execute_rel (t : t) (brel : Binder.bound_rel) : QV.t * string list =
       sql_after
     |> List.rev
   in
-  (pivot res brel.Binder.shape, sent)
+  let value =
+    stage t Stage_timer.Pivot (fun () -> pivot res brel.Binder.shape)
+  in
+  (value, sent)
 
 (* a context-free scalar evaluates via a FROM-less SELECT *)
 let execute_scalar (t : t) (s : I.scalar) : QV.t =
   let rel = I.Aggregate { input = I.ConstRel { cols = []; rows = [] }; keys = []; aggs = [] } in
   ignore rel;
   let optimized =
-    Stage_timer.timed t.timer Stage_timer.Optimize (fun () ->
+    stage t Stage_timer.Optimize (fun () ->
         I.map_scalar
           (function
             | I.Eq2 (a, b) -> I.NullSafeEq (a, b)
@@ -269,7 +299,7 @@ let execute_scalar (t : t) (s : I.scalar) : QV.t =
           s)
   in
   let sql =
-    Stage_timer.timed t.timer Stage_timer.Serialize (fun () ->
+    stage t Stage_timer.Serialize (fun () ->
         let st_expr =
           Serializer.sql_of_scalar
             { Serializer.alias_counter = 0; tolerate_eq2 = false }
@@ -279,7 +309,7 @@ let execute_scalar (t : t) (s : I.scalar) : QV.t =
           { A.empty_select with projs = [ { A.p_expr = st_expr; p_alias = Some "value" } ] })
   in
   let res =
-    Stage_timer.timed t.timer Stage_timer.Execute (fun () ->
+    stage t Stage_timer.Execute (fun () ->
         match Backend.exec t.backend sql with
         | Ok (Backend.Result_set r) -> r
         | Ok (Backend.Command_ok tag) ->
@@ -312,10 +342,7 @@ let run_statement (t : t) (stmt : Ast.expr) : run_result =
   let ctx = make_ctx t in
   match stmt with
   | Ast.Assign (name, rhs) | Ast.GlobalAssign (name, rhs) ->
-      let v =
-        Stage_timer.timed t.timer Stage_timer.Algebrize (fun () ->
-            Binder.bind ctx rhs)
-      in
+      let v = stage t Stage_timer.Algebrize (fun () -> Binder.bind ctx rhs) in
       let def =
         match v with
         | Binder.BScalar (I.Const (l, ty)) -> Scopes.VScalar (l, ty)
@@ -332,10 +359,7 @@ let run_statement (t : t) (stmt : Ast.expr) : run_result =
       { value = None; sqls = [] }
   | stmt ->
       let sql_mark = List.length !(t.backend.Backend.sql_log) in
-      let v =
-        Stage_timer.timed t.timer Stage_timer.Algebrize (fun () ->
-            Binder.bind ctx stmt)
-      in
+      let v = stage t Stage_timer.Algebrize (fun () -> Binder.bind ctx stmt) in
       let value =
         match v with
         | Binder.BRel brel -> fst (execute_rel t brel)
@@ -368,8 +392,7 @@ let run_statement (t : t) (stmt : Ast.expr) : run_result =
 (** Parse and execute a Q program; returns the last statement's result. *)
 let run_program (t : t) (src : string) : run_result =
   let stmts =
-    Stage_timer.timed t.timer Stage_timer.Parse (fun () ->
-        Qlang.Parser.parse_program src)
+    stage t Stage_timer.Parse (fun () -> Qlang.Parser.parse_program src)
   in
   match stmts with
   | [] -> { value = None; sqls = [] }
@@ -383,8 +406,7 @@ let run_program (t : t) (src : string) : run_result =
     Q query (used by tests, examples and the translation benchmarks). *)
 let translate (t : t) (src : string) : string =
   let stmts =
-    Stage_timer.timed t.timer Stage_timer.Parse (fun () ->
-        Qlang.Parser.parse_program src)
+    stage t Stage_timer.Parse (fun () -> Qlang.Parser.parse_program src)
   in
   let stmt =
     match stmts with
@@ -392,16 +414,16 @@ let translate (t : t) (src : string) : string =
     | _ -> hq_error "parse" "translate expects a single statement"
   in
   let ctx = make_ctx t in
-  let v =
-    Stage_timer.timed t.timer Stage_timer.Algebrize (fun () ->
-        Binder.bind ctx stmt)
-  in
+  let v = stage t Stage_timer.Algebrize (fun () -> Binder.bind ctx stmt) in
   match v with
   | Binder.BRel brel -> lower t brel.Binder.rel
   | _ -> hq_error "bind" "translate expects a table query"
 
 (** The per-session stage timer, for benchmarking. *)
 let timer (t : t) = t.timer
+
+(** The observability context stages are recorded into. *)
+let obs (t : t) = t.obs
 
 (** The session's metadata interface (cache statistics, invalidation). *)
 let mdi (t : t) = t.mdi

@@ -20,11 +20,15 @@ type t
 
 (** Create a session over a backend. [server_scope] shares global
     variables across sessions (as on one kdb+ server); [mdi_config]
-    controls the metadata cache. *)
+    controls the metadata cache; [obs] is the observability context the
+    pipeline stages are recorded into (per-stage latency histograms, and
+    trace spans when a query trace is open) — defaults to a private
+    context so standalone engines stay fully instrumented. *)
 val create :
   ?config:config ->
   ?mdi_config:Mdi.config ->
   ?server_scope:Scopes.frame ->
+  ?obs:Obs.Ctx.t ->
   Backend.t ->
   t
 
@@ -54,6 +58,9 @@ val try_run : t -> string -> (run_result, string) result
 
 (** The session's stage timer (reset it between measured queries). *)
 val timer : t -> Stage_timer.t
+
+(** The session's observability context. *)
+val obs : t -> Obs.Ctx.t
 
 (** The session's metadata interface (cache statistics, invalidation). *)
 val mdi : t -> Mdi.t

@@ -4,9 +4,10 @@
     processing into translation stages — parse, algebrize (bind + metadata
     lookup), optimize (Xformer), serialize — against total execution time.
     The engine wraps each stage with this module so the benchmarks can
-    reproduce both figures. *)
+    reproduce both figures; it mirrors the same durations into the
+    {!Obs.Metrics} histograms of its observability context. *)
 
-type stage = Parse | Algebrize | Optimize | Serialize | Execute
+type stage = Parse | Algebrize | Optimize | Serialize | Execute | Pivot
 
 let stage_name = function
   | Parse -> "parse"
@@ -14,34 +15,30 @@ let stage_name = function
   | Optimize -> "optimize"
   | Serialize -> "serialize"
   | Execute -> "execute"
+  | Pivot -> "pivot"
 
-type t = { mutable spans : (stage * float) list }
+let all_stages = [ Parse; Algebrize; Optimize; Serialize; Execute; Pivot ]
 
-let create () = { spans = [] }
-let reset t = t.spans <- []
+type t = { mutable spans_rev : (stage * float) list  (** newest first *) }
 
-(* monotonic-ish wall clock; Sys.time is CPU time which undercounts I/O,
-   but the whole pipeline is CPU-bound in this reproduction *)
-let now () = Unix.gettimeofday ()
+let create () = { spans_rev = [] }
+let reset t = t.spans_rev <- []
 
-(** Run [f] and record its duration under [stage]. *)
+let record t stage seconds = t.spans_rev <- (stage, seconds) :: t.spans_rev
+
+(** Run [f] and record its monotonic duration under [stage]. *)
 let timed (t : t) (stage : stage) (f : unit -> 'a) : 'a =
-  let start = now () in
-  let finally () = t.spans <- (stage, now () -. start) :: t.spans in
-  match f () with
-  | v ->
-      finally ();
-      v
-  | exception e ->
-      finally ();
-      raise e
+  let start = Obs.Clock.now_ns () in
+  Fun.protect ~finally:(fun () -> record t stage (Obs.Clock.seconds_since start)) f
+
+let spans t = List.rev t.spans_rev
 
 (** Total seconds recorded for a stage (a stage may run several times per
     query, e.g. re-algebrization of unrolled functions). *)
 let total (t : t) (stage : stage) : float =
   List.fold_left
     (fun acc (s, d) -> if s = stage then acc +. d else acc)
-    0.0 t.spans
+    0.0 t.spans_rev
 
 let translation_total (t : t) : float =
   total t Parse +. total t Algebrize +. total t Optimize +. total t Serialize

@@ -2,11 +2,21 @@
 
     The engine wraps each pipeline stage in {!timed}; benchmarks read the
     accumulated spans to reproduce the paper's translation-overhead and
-    stage-split figures. *)
+    stage-split figures. Durations come from the monotonic clock
+    ({!Obs.Clock}), never from wall-clock time, so a stepping NTP clock
+    cannot record negative spans.
 
-type stage = Parse | Algebrize | Optimize | Serialize | Execute
+    This is the lightweight per-session view; the engine mirrors every
+    recorded duration into the {!Obs.Metrics} per-stage histograms of its
+    observability context, which add cross-session aggregation and
+    percentiles. *)
+
+type stage = Parse | Algebrize | Optimize | Serialize | Execute | Pivot
 
 val stage_name : stage -> string
+
+(** All stages, pipeline order. *)
+val all_stages : stage list
 
 type t
 
@@ -15,10 +25,16 @@ val create : unit -> t
 (** Drop all recorded spans (call between measured queries). *)
 val reset : t -> unit
 
-(** Run a thunk, recording its wall-clock duration under the stage. Spans
-    accumulate: a stage that runs several times per query (e.g. repeated
-    algebrization of unrolled functions) sums up. *)
+(** Record one span of [seconds] under the stage. *)
+val record : t -> stage -> float -> unit
+
+(** Run a thunk, recording its monotonic duration under the stage (also
+    on raise). Spans accumulate: a stage that runs several times per
+    query (e.g. repeated algebrization of unrolled functions) sums up. *)
 val timed : t -> stage -> (unit -> 'a) -> 'a
+
+(** Recorded spans in recording order. *)
+val spans : t -> (stage * float) list
 
 (** Total seconds recorded for one stage since the last {!reset}. *)
 val total : t -> stage -> float

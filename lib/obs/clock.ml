@@ -1,0 +1,7 @@
+let now_ns () : int64 = Monotonic_clock.now ()
+
+let ns_to_s (ns : int64) : float = Int64.to_float ns *. 1e-9
+
+let seconds_since (start : int64) : float =
+  let d = Int64.sub (now_ns ()) start in
+  if Int64.compare d 0L < 0 then 0.0 else ns_to_s d

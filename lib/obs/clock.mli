@@ -1,0 +1,19 @@
+(** Monotonic time source for all observability instrumentation.
+
+    Wall-clock time ([Unix.gettimeofday]) can step backwards under NTP
+    adjustment and would record negative span durations; everything in
+    {!Obs} measures with the OS monotonic clock instead (via the
+    [bechamel.monotonic_clock] C stub, the only monotonic source baked
+    into the container — [mtime] is not available). *)
+
+(** Current monotonic time in nanoseconds. Only differences are
+    meaningful; the epoch is unspecified. *)
+val now_ns : unit -> int64
+
+(** Seconds elapsed since an earlier {!now_ns} reading. Clamped to be
+    non-negative so a defective clock source can never produce negative
+    spans. *)
+val seconds_since : int64 -> float
+
+(** Convert a nanosecond difference to seconds. *)
+val ns_to_s : int64 -> float

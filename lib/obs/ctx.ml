@@ -1,0 +1,34 @@
+type t = {
+  registry : Metrics.t;
+  events : Events.sink;
+  mutable trace : Trace.t option;
+  mutable last_trace : Trace.span option;
+}
+
+let create ?registry ?events () =
+  let registry =
+    match registry with Some r -> r | None -> Metrics.create ()
+  in
+  let events = match events with Some e -> e | None -> Events.create () in
+  { registry; events; trace = None; last_trace = None }
+
+let span t name f =
+  match t.trace with
+  | Some tr -> Trace.with_span tr name f
+  | None -> f ()
+
+let add_attr t k v =
+  match t.trace with Some tr -> Trace.add_attr tr k v | None -> ()
+
+let start_trace t name =
+  let tr = Trace.start name in
+  t.trace <- Some tr;
+  tr
+
+let finish_trace t tr =
+  let root = Trace.finish tr in
+  (match t.trace with
+  | Some cur when cur == tr -> t.trace <- None
+  | _ -> ());
+  t.last_trace <- Some root;
+  root

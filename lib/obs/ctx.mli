@@ -1,0 +1,34 @@
+(** Observability context: one registry + one event sink + the trace of
+    the query currently in flight.
+
+    A context is shared by every layer serving one proxy instance
+    (Endpoint, XC, Engine, Gateway); each layer records into whatever is
+    active without knowing who opened it. Components that are used
+    standalone (an Engine in a benchmark, say) default to a private
+    context, so instrumentation never needs to be conditional. *)
+
+type t = {
+  registry : Metrics.t;
+  events : Events.sink;
+  mutable trace : Trace.t option;  (** trace of the in-flight query *)
+  mutable last_trace : Trace.span option;
+      (** most recently finished query trace (introspection, tests) *)
+}
+
+val create : ?registry:Metrics.t -> ?events:Events.sink -> unit -> t
+
+(** Run [f] inside a child span of the in-flight trace; just [f ()]
+    when no trace is open. *)
+val span : t -> string -> (unit -> 'a) -> 'a
+
+(** Attribute on the innermost open span of the in-flight trace, if
+    any. *)
+val add_attr : t -> string -> Trace.attr -> unit
+
+(** Open a fresh root trace for a query. Any previous in-flight trace
+    is abandoned. *)
+val start_trace : t -> string -> Trace.t
+
+(** Finish the in-flight trace (if [tr] is still it) and remember it as
+    {!field-last_trace}; returns the finished root span. *)
+val finish_trace : t -> Trace.t -> Trace.span

@@ -1,0 +1,48 @@
+type field =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Obj of (string * field) list
+  | Raw of string
+
+type sink = { mutable write : string -> unit }
+
+let create ?(write = fun _ -> ()) () = { write }
+
+let memory () =
+  let captured = ref [] in
+  let sink = { write = (fun line -> captured := line :: !captured) } in
+  (sink, fun () -> List.rev !captured)
+
+let to_channel oc =
+  {
+    write =
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc);
+  }
+
+let set_writer sink w = sink.write <- w
+
+let rec field_json = function
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_nan f || Float.is_integer f then Printf.sprintf "%.1f" f
+      else Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "\"%s\"" (Trace.json_escape s)
+  | Obj fields -> obj_json fields
+  | Raw s -> s
+
+and obj_json fields =
+  Printf.sprintf "{%s}"
+    (String.concat ","
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\":%s" (Trace.json_escape k) (field_json v))
+          fields))
+
+let emit sink fields = sink.write (obj_json fields)
+
+let query_sha (text : string) : string =
+  String.sub (Digest.to_hex (Digest.string text)) 0 16

@@ -1,0 +1,51 @@
+(** Structured JSONL event sink.
+
+    One line of JSON per completed query, with a pluggable writer so the
+    server can stream to a file descriptor while tests capture events in
+    memory. The default sink discards events, making instrumentation
+    free to leave enabled everywhere.
+
+    Query-event schema (all fields always present):
+    {v
+    { "ts": <unix seconds, wall clock — for correlation only>,
+      "query_sha": "<16 hex chars of MD5 of the query text>",
+      "query_bytes": <int>,
+      "status": "ok" | "error",
+      "error_class": "<category>" | "",
+      "duration_ms": <float>,
+      "stages_us": {"parse": .., "algebrize": .., "optimize": ..,
+                    "serialize": .., "execute": .., "pivot": ..},
+      "rows_out": <int>,
+      "qipc_bytes_in": <int>, "qipc_bytes_out": <int>,
+      "sql_statements": <int> }
+    v} *)
+
+type field =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Obj of (string * field) list
+  | Raw of string  (** pre-rendered JSON, inserted verbatim *)
+
+type sink
+
+(** A sink writing each event line through [write] (no trailing newline
+    is passed; the writer adds its own framing). Default writer drops. *)
+val create : ?write:(string -> unit) -> unit -> sink
+
+(** In-memory sink for tests: returns the sink and a function reading
+    the captured lines in emission order. *)
+val memory : unit -> sink * (unit -> string list)
+
+(** Sink appending one line per event to a channel, flushing each. *)
+val to_channel : out_channel -> sink
+
+(** Replace the writer (e.g. redirect the server's sink at startup). *)
+val set_writer : sink -> (string -> unit) -> unit
+
+(** Emit one event object as a single JSON line. *)
+val emit : sink -> (string * field) list -> unit
+
+(** Stable 16-hex-char digest of a query text, so logs can aggregate by
+    query shape without retaining the (possibly sensitive) text. *)
+val query_sha : string -> string

@@ -1,0 +1,239 @@
+type counter = { mutable c_value : int }
+
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  h_bounds : float array;  (** ascending upper bounds, +Inf excluded *)
+  h_counts : int array;  (** length = Array.length h_bounds + 1 *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type metric = {
+  m_name : string;
+  m_labels : (string * string) list;
+  m_help : string;
+  m_inst : instrument;
+}
+
+type t = {
+  mutable metrics : metric list;  (** newest first; snapshot reverses *)
+  index : (string, metric) Hashtbl.t;
+}
+
+let create () = { metrics = []; index = Hashtbl.create 32 }
+
+let label_str labels =
+  match labels with
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+      ^ "}"
+
+let key name labels = name ^ label_str labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register reg ?(help = "") ?(labels = []) name (make : unit -> instrument)
+    (extract : instrument -> 'a option) : 'a =
+  let k = key name labels in
+  match Hashtbl.find_opt reg.index k with
+  | Some m -> (
+      match extract m.m_inst with
+      | Some inst -> inst
+      | None ->
+          invalid_arg
+            (Printf.sprintf "metric %s already registered as a %s" k
+               (kind_name m.m_inst)))
+  | None ->
+      let inst = make () in
+      let m = { m_name = name; m_labels = labels; m_help = help; m_inst = inst }
+      in
+      Hashtbl.replace reg.index k m;
+      reg.metrics <- m :: reg.metrics;
+      match extract inst with
+      | Some i -> i
+      | None -> assert false
+
+let counter reg ?help ?labels name =
+  register reg ?help ?labels name
+    (fun () -> Counter { c_value = 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let gauge reg ?help ?labels name =
+  register reg ?help ?labels name
+    (fun () -> Gauge { g_value = 0.0 })
+    (function Gauge g -> Some g | _ -> None)
+
+(* 1us .. 10s on a 1-2.5-5 log scale: fine enough to separate parse from
+   execute, coarse enough that a histogram is 23 ints *)
+let default_buckets =
+  [|
+    1e-6; 2.5e-6; 5e-6; 1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3;
+    5e-3; 1e-2; 2.5e-2; 5e-2; 1e-1; 2.5e-1; 5e-1; 1.0; 2.5; 5.0; 10.0;
+  |]
+
+let histogram reg ?help ?labels ?(buckets = default_buckets) name =
+  register reg ?help ?labels name
+    (fun () ->
+      Histogram
+        {
+          h_bounds = Array.copy buckets;
+          h_counts = Array.make (Array.length buckets + 1) 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+        })
+    (function Histogram h -> Some h | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Instrument operations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let inc c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let set g v = g.g_value <- v
+let gauge_add g v = g.g_value <- g.g_value +. v
+let gauge_value g = g.g_value
+
+let bucket_index (h : histogram) (v : float) : int =
+  let n = Array.length h.h_bounds in
+  let rec go i = if i >= n then n else if v <= h.h_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  let i = bucket_index h v in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+
+let hist_reset h =
+  Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+  h.h_count <- 0;
+  h.h_sum <- 0.0;
+  h.h_min <- infinity;
+  h.h_max <- neg_infinity
+
+let percentile (h : histogram) (p : float) : float =
+  if h.h_count = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int h.h_count in
+    let n = Array.length h.h_bounds in
+    let estimate =
+      let rec go i cum =
+        if i > n then h.h_max
+        else
+          let cum' = cum + h.h_counts.(i) in
+          if float_of_int cum' >= rank && h.h_counts.(i) > 0 then
+            (* interpolate linearly inside bucket i *)
+            let lo = if i = 0 then 0.0 else h.h_bounds.(i - 1) in
+            let hi = if i = n then h.h_max else h.h_bounds.(i) in
+            let inside = rank -. float_of_int cum in
+            lo +. (hi -. lo) *. (inside /. float_of_int h.h_counts.(i))
+          else go (i + 1) cum'
+      in
+      go 0 0
+    in
+    (* clamp to observed range: a single sample answers exactly itself *)
+    Float.max h.h_min (Float.min h.h_max estimate)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exposition                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type sample = { s_name : string; s_kind : string; s_value : float }
+
+let snapshot reg : sample list =
+  List.rev reg.metrics
+  |> List.concat_map (fun m ->
+         let full = key m.m_name m.m_labels in
+         match m.m_inst with
+         | Counter c ->
+             [ { s_name = full; s_kind = "counter"; s_value = float_of_int c.c_value } ]
+         | Gauge g -> [ { s_name = full; s_kind = "gauge"; s_value = g.g_value } ]
+         | Histogram h ->
+             let facet suffix v =
+               {
+                 s_name = key (m.m_name ^ suffix) m.m_labels;
+                 s_kind = "histogram";
+                 s_value = v;
+               }
+             in
+             [
+               facet "_count" (float_of_int h.h_count);
+               facet "_sum" h.h_sum;
+               facet "_p50" (percentile h 50.0);
+               facet "_p95" (percentile h 95.0);
+               facet "_p99" (percentile h 99.0);
+             ])
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let to_prometheus reg : string =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem seen_header m.m_name) then begin
+        Hashtbl.add seen_header m.m_name ();
+        if m.m_help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" m.m_name m.m_help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" m.m_name (kind_name m.m_inst))
+      end;
+      match m.m_inst with
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" m.m_name (label_str m.m_labels)
+               c.c_value)
+      | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.m_name (label_str m.m_labels)
+               (float_str g.g_value))
+      | Histogram h ->
+          let n = Array.length h.h_bounds in
+          let cum = ref 0 in
+          for i = 0 to n do
+            cum := !cum + h.h_counts.(i);
+            let le =
+              if i = n then "+Inf" else float_str h.h_bounds.(i)
+            in
+            let labels = m.m_labels @ [ ("le", le) ] in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" m.m_name (label_str labels)
+                 !cum)
+          done;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %g\n" m.m_name (label_str m.m_labels)
+               h.h_sum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" m.m_name (label_str m.m_labels)
+               h.h_count))
+    (List.rev reg.metrics);
+  Buffer.contents buf

@@ -1,0 +1,117 @@
+type attr = Int of int | Float of float | Str of string
+
+type span = {
+  sp_name : string;
+  sp_start : int64;
+  mutable sp_end : int64;  (** equals [sp_start] while open *)
+  mutable sp_attrs_rev : (string * attr) list;
+  mutable sp_children_rev : span list;
+}
+
+type t = { root : span; mutable stack : span list  (** innermost first *) }
+
+let mk_span name =
+  let now = Clock.now_ns () in
+  { sp_name = name; sp_start = now; sp_end = now; sp_attrs_rev = []; sp_children_rev = [] }
+
+let start name =
+  let root = mk_span name in
+  { root; stack = [ root ] }
+
+let current t = match t.stack with s :: _ -> s | [] -> t.root
+
+let enter t name =
+  let sp = mk_span name in
+  let parent = current t in
+  parent.sp_children_rev <- sp :: parent.sp_children_rev;
+  t.stack <- sp :: t.stack
+
+let close sp =
+  let now = Clock.now_ns () in
+  (* monotonic source, but clamp anyway: a span must never be negative *)
+  sp.sp_end <- (if Int64.compare now sp.sp_start < 0 then sp.sp_start else now)
+
+let exit_span t =
+  match t.stack with
+  | sp :: (_ :: _ as rest) ->
+      close sp;
+      t.stack <- rest
+  | _ -> ()
+
+let with_span t name f =
+  enter t name;
+  Fun.protect ~finally:(fun () -> exit_span t) f
+
+let add_attr t k v =
+  let sp = current t in
+  sp.sp_attrs_rev <- (k, v) :: sp.sp_attrs_rev
+
+let add_root_attr t k v = t.root.sp_attrs_rev <- (k, v) :: t.root.sp_attrs_rev
+
+let set_span_attr sp k v = sp.sp_attrs_rev <- (k, v) :: sp.sp_attrs_rev
+
+let finish t =
+  List.iter close t.stack;
+  t.stack <- [];
+  t.root
+
+let name sp = sp.sp_name
+let children sp = List.rev sp.sp_children_rev
+let attrs sp = List.rev sp.sp_attrs_rev
+let duration_ns sp = Int64.sub sp.sp_end sp.sp_start
+let duration_s sp = Clock.ns_to_s (duration_ns sp)
+
+let rec find sp n =
+  if sp.sp_name = n then Some sp
+  else
+    List.fold_left
+      (fun acc c -> match acc with Some _ -> acc | None -> find c n)
+      None (children sp)
+
+let rec total_s sp n =
+  (if sp.sp_name = n then duration_s sp else 0.0)
+  +. List.fold_left (fun acc c -> acc +. total_s c n) 0.0 (children sp)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attr_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let rec to_json sp =
+  let attrs_part =
+    match attrs sp with
+    | [] -> ""
+    | ls ->
+        Printf.sprintf ",\"attrs\":{%s}"
+          (String.concat ","
+             (List.map
+                (fun (k, v) ->
+                  Printf.sprintf "\"%s\":%s" (json_escape k) (attr_json v))
+                ls))
+  in
+  let children_part =
+    match children sp with
+    | [] -> ""
+    | cs ->
+        Printf.sprintf ",\"spans\":[%s]"
+          (String.concat "," (List.map to_json cs))
+  in
+  Printf.sprintf "{\"name\":\"%s\",\"us\":%.1f%s%s}" (json_escape sp.sp_name)
+    (duration_s sp *. 1e6)
+    attrs_part children_part

@@ -1,0 +1,67 @@
+(** Per-query trace spans.
+
+    A trace is a tree of named, monotonic-clocked spans carried through
+    the proxy's hot path: the Endpoint opens a root ["query"] span, the
+    engine nests one child per pipeline stage (parse → algebrize →
+    optimize → serialize → execute → pivot), and the Gateway attaches
+    wire-level byte counts as attributes of whichever span is open while
+    the backend round trip is in flight. *)
+
+type attr = Int of int | Float of float | Str of string
+
+type span
+
+type t
+(** An in-flight trace: the root span plus the stack of open spans. *)
+
+(** Start a trace whose root span is open. *)
+val start : string -> t
+
+(** Open a child span of the innermost open span. *)
+val enter : t -> string -> unit
+
+(** Close the innermost open span. No-op on the root (use {!finish}). *)
+val exit_span : t -> unit
+
+(** [with_span t name f] runs [f] inside a child span, closing it on
+    both return and raise. *)
+val with_span : t -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span. *)
+val add_attr : t -> string -> attr -> unit
+
+(** Attach an attribute to the root span. *)
+val add_root_attr : t -> string -> attr -> unit
+
+(** Attach an attribute to a span directly (e.g. to a finished root,
+    once the reply size it describes is known). *)
+val set_span_attr : span -> string -> attr -> unit
+
+(** Close every open span (root included) and return the root. *)
+val finish : t -> span
+
+(** {1 Reading a finished trace} *)
+
+val name : span -> string
+
+(** Children in recording order. *)
+val children : span -> span list
+
+(** Attributes in recording order. *)
+val attrs : span -> (string * attr) list
+
+val duration_ns : span -> int64
+val duration_s : span -> float
+
+(** Depth-first search by span name. *)
+val find : span -> string -> span option
+
+(** Sum of [duration_s] over all spans named [name] in the tree. *)
+val total_s : span -> string -> float
+
+(** One-line JSON rendering of the span tree (used by the JSONL event
+    sink and handy for debugging). *)
+val to_json : span -> string
+
+(** JSON string-body escaping, shared with {!Events}. *)
+val json_escape : string -> string

@@ -1106,3 +1106,30 @@ and run_select (env : env) (s : A.select) : result =
       projs
   in
   { res_cols = List.combine out_names types; res_rows = out_rows }
+
+(* ------------------------------------------------------------------ *)
+(* Execution statistics                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Process-wide execution counters, kept dependency-free so the
+    executor stays at the bottom of the library stack; the platform's
+    observability layer mirrors them into its metrics registry when a
+    stats snapshot is taken. *)
+type stats = {
+  mutable selects_run : int;  (** top-level SELECTs executed *)
+  mutable rows_out : int;  (** rows returned by those SELECTs *)
+}
+
+let stats = { selects_run = 0; rows_out = 0 }
+
+let reset_stats () =
+  stats.selects_run <- 0;
+  stats.rows_out <- 0
+
+(* shadow the recursive entry point: count top-level SELECT executions
+   and their result cardinality, not nested subquery evaluations *)
+let run_select (env : env) (s : A.select) : result =
+  let r = run_select env s in
+  stats.selects_run <- stats.selects_run + 1;
+  stats.rows_out <- stats.rows_out + Array.length r.res_rows;
+  r

@@ -5,86 +5,306 @@
     applications connect to it unchanged. The endpoint performs the QIPC
     handshake, extracts query text from incoming messages, hands it to the
     cross compiler, and packs results (or errors) back into QIPC response
-    messages. *)
+    messages.
+
+    The endpoint is also the proxy's observability boundary: it counts
+    QIPC traffic and queries into the shared metrics registry, opens the
+    per-query trace span the engine nests its pipeline stages under,
+    emits one JSONL event per completed query, and answers the in-band
+    admin query [.hq.stats] directly from the registry — any QIPC client
+    can introspect the proxy without touching the backend. *)
+
+module QV = Qvalue.Value
+module M = Obs.Metrics
 
 type phase = Handshake | Connected | Closed
+
+(* the endpoint's slice of the metrics registry; get-or-create semantics
+   in Obs.Metrics make this shareable across connections *)
+type metrics = {
+  queries_total : M.counter;
+  admin_queries_total : M.counter;
+  query_errors_total : M.counter;
+  auth_failures_total : M.counter;
+  qipc_bytes_in : M.counter;
+  qipc_bytes_out : M.counter;
+  query_seconds : M.histogram;
+}
+
+let make_metrics (reg : M.t) : metrics =
+  {
+    queries_total =
+      M.counter reg ~help:"Q queries processed (admin queries excluded)"
+        "hq_queries_total";
+    admin_queries_total =
+      M.counter reg ~help:"In-band .hq.* admin queries answered"
+        "hq_admin_queries_total";
+    query_errors_total =
+      M.counter reg ~help:"Q queries that returned an error"
+        "hq_query_errors_total";
+    auth_failures_total =
+      M.counter reg
+        ~help:"QIPC handshakes rejected (bad credentials or malformed reply)"
+        "hq_auth_failures_total";
+    qipc_bytes_in =
+      M.counter reg ~help:"QIPC bytes received from Q clients"
+        "hq_qipc_bytes_in";
+    qipc_bytes_out =
+      M.counter reg ~help:"QIPC bytes sent to Q clients" "hq_qipc_bytes_out";
+    query_seconds =
+      M.histogram reg ~help:"End-to-end query latency at the endpoint (seconds)"
+        "hq_query_seconds";
+  }
 
 type t = {
   xc : Xc.t;
   users : (string * string) list;
+  obs : Obs.Ctx.t;
+  m : metrics;
   mutable phase : phase;
   mutable pending : string;
   mutable client_version : int;
 }
 
-let create ?(users = [ ("trader", "pwd") ]) (xc : Xc.t) : t =
-  { xc; users; phase = Handshake; pending = ""; client_version = 3 }
+let create ?(users = [ ("trader", "pwd") ]) ?obs (xc : Xc.t) : t =
+  let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
+  {
+    xc;
+    users;
+    obs;
+    m = make_metrics obs.Obs.Ctx.registry;
+    phase = Handshake;
+    pending = "";
+    client_version = 3;
+  }
 
 let authenticate t (h : Qipc.Codec.handshake) : bool =
   match List.assoc_opt h.Qipc.Codec.user t.users with
   | Some expected -> expected = h.Qipc.Codec.password
   | None -> false
 
+(* ------------------------------------------------------------------ *)
+(* In-band admin queries                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Mirror counters owned by layers below the observability context
+    (the pgdb executor is dependency-free) into registry gauges, so one
+    snapshot shows the whole stack. *)
+let refresh_external_gauges (reg : M.t) : unit =
+  M.set
+    (M.gauge reg ~help:"Top-level SELECTs executed by the pgdb backend"
+       "hq_backend_selects_run")
+    (float_of_int Pgdb.Exec.stats.Pgdb.Exec.selects_run);
+  M.set
+    (M.gauge reg ~help:"Rows produced by the pgdb backend"
+       "hq_backend_rows_out")
+    (float_of_int Pgdb.Exec.stats.Pgdb.Exec.rows_out)
+
+(** The registry as a Q table [(metric; kind; value)] — the reply to the
+    in-band [.hq.stats] query, so any QIPC client can introspect the
+    proxy without touching the backend. *)
+let stats_table (ctx : Obs.Ctx.t) : QV.t =
+  refresh_external_gauges ctx.Obs.Ctx.registry;
+  let samples = M.snapshot ctx.Obs.Ctx.registry in
+  let arr f = Array.of_list (List.map f samples) in
+  QV.Table
+    (QV.table
+       [
+         ("metric", QV.syms (arr (fun s -> s.M.s_name)));
+         ("kind", QV.syms (arr (fun s -> s.M.s_kind)));
+         ( "value",
+           QV.Vector
+             ( Qvalue.Qtype.Float,
+               arr (fun s -> Qvalue.Atom.Float s.M.s_value) ) );
+       ])
+
+let admin_reply (t : t) (text : string) : QV.t option =
+  match String.trim text with
+  | ".hq.stats" ->
+      M.inc t.m.admin_queries_total;
+      Some (stats_table t.obs)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Per-query observability                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rows_of_value : QV.t -> int = function
+  | QV.Table tb -> QV.table_length tb
+  | QV.KTable (_, vt) -> QV.table_length vt
+  | QV.Vector (_, atoms) -> Array.length atoms
+  | QV.List vs -> Array.length vs
+  | QV.Atom _ | QV.Dict _ -> 1
+
+(* error strings arrive categorised as "[category] message" (Section 5) *)
+let error_class (e : string) : string =
+  if String.length e > 2 && e.[0] = '[' then
+    match String.index_opt e ']' with
+    | Some i -> String.sub e 1 (i - 1)
+    | None -> "other"
+  else "other"
+
+let sql_statement_count (t : t) : int =
+  List.length
+    !((Hyperq.Engine.mdi (Xc.engine t.xc)).Hyperq.Mdi.backend
+        .Hyperq.Backend.sql_log)
+
+(** Run one query through the cross compiler under a fresh trace span,
+    record metrics, and emit the JSONL event. Returns the result and the
+    finished trace root. *)
+let traced_process (t : t) (text : string) ~(bytes_in : int) :
+    (QV.t option, string) result * Obs.Trace.span * float =
+  M.inc t.m.queries_total;
+  let start = Obs.Clock.now_ns () in
+  let tr = Obs.Ctx.start_trace t.obs "query" in
+  Obs.Trace.add_root_attr tr "query_sha"
+    (Obs.Trace.Str (Obs.Events.query_sha text));
+  let result =
+    match Xc.process t.xc text with
+    | r -> r
+    | exception e ->
+        (* never leave a half-open trace behind *)
+        ignore (Obs.Ctx.finish_trace t.obs tr);
+        raise e
+  in
+  let duration = Obs.Clock.seconds_since start in
+  M.observe t.m.query_seconds duration;
+  Obs.Trace.add_root_attr tr "qipc_bytes_in" (Obs.Trace.Int bytes_in);
+  let root = Obs.Ctx.finish_trace t.obs tr in
+  (result, root, duration)
+
+let emit_query_event (t : t) ~(text : string) ~(sql_before : int)
+    ~(result : (QV.t option, string) result) ~(duration : float)
+    ~(bytes_in : int) ~(bytes_out : int) (root : Obs.Trace.span) : unit =
+  let status, error_cls, rows =
+    match result with
+    | Ok v -> ("ok", "", match v with Some v -> rows_of_value v | None -> 0)
+    | Error e -> ("error", error_class e, 0)
+  in
+  let open Obs.Events in
+  emit t.obs.Obs.Ctx.events
+    [
+      ("ts", Float (Unix.gettimeofday ()));
+      ("query_sha", Str (query_sha text));
+      ("query_bytes", Int (String.length text));
+      ("status", Str status);
+      ("error_class", Str error_cls);
+      ("duration_ms", Float (duration *. 1000.0));
+      ( "stages_us",
+        Obj
+          (List.map
+             (fun s ->
+               ( Hyperq.Stage_timer.stage_name s,
+                 Float
+                   (Obs.Trace.total_s root (Hyperq.Stage_timer.stage_name s)
+                   *. 1e6) ))
+             Hyperq.Stage_timer.all_stages) );
+      ("rows_out", Int rows);
+      ("qipc_bytes_in", Int bytes_in);
+      ("qipc_bytes_out", Int bytes_out);
+      ("sql_statements", Int (sql_statement_count t - sql_before));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Byte-level protocol handling                                        *)
+(* ------------------------------------------------------------------ *)
+
 (** Feed client bytes in; returns the bytes to send back. An authentication
     failure closes the connection (kdb+ behaviour: the server just closes;
     we additionally surface a flag via [phase]). *)
 let feed (t : t) (bytes : string) : string =
+  M.add t.m.qipc_bytes_in (String.length bytes);
   t.pending <- t.pending ^ bytes;
-  match t.phase with
-  | Closed -> ""
-  | Handshake -> (
-      match Qipc.Codec.decode_handshake t.pending with
-      | exception Qipc.Codec.Decode_error _ -> "" (* wait for more bytes *)
-      | h ->
-          t.pending <- "";
-          if authenticate t h then begin
-            t.phase <- Connected;
-            t.client_version <- min h.Qipc.Codec.version 3;
-            Qipc.Codec.handshake_accept ~version:t.client_version
-          end
-          else begin
-            t.phase <- Closed;
-            ""
-          end)
-  | Connected ->
-      let out = Buffer.create 64 in
-      let progress = ref true in
-      while !progress do
-        progress := false;
-        match Qipc.Codec.decode_message t.pending with
-        | exception Qipc.Codec.Decode_error _ -> ()
-        | msg, consumed ->
-            t.pending <-
-              String.sub t.pending consumed (String.length t.pending - consumed);
-            progress := true;
-            let reply =
-              match msg.Qipc.Codec.body with
-              | Qipc.Codec.Query text -> (
-                  match Xc.process t.xc text with
-                  | Ok (Some v) ->
-                      Qipc.Codec.encode_message
-                        { mt = Qipc.Codec.Response; body = Qipc.Codec.Value v }
-                  | Ok None ->
-                      (* definitions return the identity-ish unit value *)
-                      Qipc.Codec.encode_message
-                        {
-                          mt = Qipc.Codec.Response;
-                          body = Qipc.Codec.Value (Qvalue.Value.List [||]);
-                        }
-                  | Error e ->
-                      Qipc.Codec.encode_message
-                        { mt = Qipc.Codec.Response; body = Qipc.Codec.Error e })
-              | Qipc.Codec.Value _ | Qipc.Codec.Error _ ->
-                  Qipc.Codec.encode_message
-                    {
-                      mt = Qipc.Codec.Response;
-                      body = Qipc.Codec.Error "endpoint expects query messages";
-                    }
-            in
-            (* async messages get no response *)
-            if msg.Qipc.Codec.mt <> Qipc.Codec.Async then
-              Buffer.add_string out reply
-      done;
-      Buffer.contents out
+  let reply_bytes =
+    match t.phase with
+    | Closed -> ""
+    | Handshake -> (
+        match Qipc.Codec.decode_handshake t.pending with
+        | exception Qipc.Codec.Decode_error _ -> "" (* wait for more bytes *)
+        | h ->
+            t.pending <- "";
+            if authenticate t h then begin
+              t.phase <- Connected;
+              t.client_version <- min h.Qipc.Codec.version 3;
+              Qipc.Codec.handshake_accept ~version:t.client_version
+            end
+            else begin
+              M.inc t.m.auth_failures_total;
+              t.phase <- Closed;
+              ""
+            end)
+    | Connected ->
+        let out = Buffer.create 64 in
+        let progress = ref true in
+        while !progress do
+          progress := false;
+          match Qipc.Codec.decode_message t.pending with
+          | exception Qipc.Codec.Decode_error _ -> ()
+          | msg, consumed ->
+              t.pending <-
+                String.sub t.pending consumed
+                  (String.length t.pending - consumed);
+              progress := true;
+              let reply =
+                match msg.Qipc.Codec.body with
+                | Qipc.Codec.Query text -> (
+                    match admin_reply t text with
+                    | Some v ->
+                        (* answered in-band, backend untouched *)
+                        Qipc.Codec.encode_message
+                          { mt = Qipc.Codec.Response; body = Qipc.Codec.Value v }
+                    | None ->
+                        let sql_before = sql_statement_count t in
+                        let result, root, duration =
+                          traced_process t text ~bytes_in:consumed
+                        in
+                        let reply =
+                          match result with
+                          | Ok (Some v) ->
+                              Qipc.Codec.encode_message
+                                {
+                                  mt = Qipc.Codec.Response;
+                                  body = Qipc.Codec.Value v;
+                                }
+                          | Ok None ->
+                              (* definitions return the identity-ish unit
+                                 value *)
+                              Qipc.Codec.encode_message
+                                {
+                                  mt = Qipc.Codec.Response;
+                                  body = Qipc.Codec.Value (QV.List [||]);
+                                }
+                          | Error e ->
+                              M.inc t.m.query_errors_total;
+                              Qipc.Codec.encode_message
+                                {
+                                  mt = Qipc.Codec.Response;
+                                  body = Qipc.Codec.Error e;
+                                }
+                        in
+                        Obs.Trace.set_span_attr root "qipc_bytes_out"
+                          (Obs.Trace.Int (String.length reply));
+                        emit_query_event t ~text ~sql_before ~result ~duration
+                          ~bytes_in:consumed ~bytes_out:(String.length reply)
+                          root;
+                        reply)
+                | Qipc.Codec.Value _ | Qipc.Codec.Error _ ->
+                    Qipc.Codec.encode_message
+                      {
+                        mt = Qipc.Codec.Response;
+                        body = Qipc.Codec.Error "endpoint expects query messages";
+                      }
+              in
+              (* async messages get no response *)
+              if msg.Qipc.Codec.mt <> Qipc.Codec.Async then
+                Buffer.add_string out reply
+        done;
+        Buffer.contents out
+  in
+  M.add t.m.qipc_bytes_out (String.length reply_bytes);
+  reply_bytes
 
 let is_closed t = t.phase = Closed
+
+(** The observability context this endpoint records into. *)
+let obs (t : t) = t.obs

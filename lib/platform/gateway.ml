@@ -5,22 +5,68 @@
     This implementation goes through real protocol bytes on both directions
     — a {!Pgwire.Server} wraps the pgdb session, a {!Pgwire.Client} drives
     it — so the data path exercises exactly what a networked deployment
-    would, minus the socket. *)
+    would, minus the socket.
+
+    The gateway sits on the wire/pivot boundary the paper's evaluation
+    cares about, so it meters that boundary: PG v3 bytes in both
+    directions and backend statement counts go to the metrics registry,
+    and each statement's byte counts are attached as attributes of
+    whichever trace span is open while the round trip is in flight (the
+    engine's [execute] span). *)
+
+module M = Obs.Metrics
 
 (** Build a wire-level backend over a pgdb session. Every statement is
     round-tripped through encoded PG v3 messages. *)
 let wire_backend ?(user = "app") ?(password = "secret")
-    ?(auth = Pgwire.Server.Trust) (session : Pgdb.Db.session) :
+    ?(auth = Pgwire.Server.Trust) ?obs (session : Pgdb.Db.session) :
     Hyperq.Backend.t =
+  let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
+  let reg = obs.Obs.Ctx.registry in
+  let pg_out =
+    M.counter reg ~help:"PG v3 bytes sent to the backend" "hq_pgwire_bytes_out"
+  in
+  let pg_in =
+    M.counter reg ~help:"PG v3 bytes received from the backend"
+      "hq_pgwire_bytes_in"
+  in
+  let statements =
+    M.counter reg ~help:"SQL statements dispatched to the backend"
+      "hq_backend_statements_total"
+  in
+  let backend_errors =
+    M.counter reg ~help:"Backend statements that returned an error"
+      "hq_backend_errors_total"
+  in
   let server = Pgwire.Server.create ~users:[ (user, password) ] ~auth session in
-  let transport bytes = Pgwire.Server.feed server bytes in
+  (* meter the raw transport so handshake and row-stream bytes all count *)
+  let sent = ref 0 and received = ref 0 in
+  let transport bytes =
+    sent := !sent + String.length bytes;
+    M.add pg_out (String.length bytes);
+    let reply = Pgwire.Server.feed server bytes in
+    received := !received + String.length reply;
+    M.add pg_in (String.length reply);
+    reply
+  in
   let client = Pgwire.Client.connect ~user ~password transport in
   let exec sql =
-    match Pgwire.Client.query client sql with
-    | Ok { Pgwire.Client.columns; rows; tag } ->
-        if columns = [] && Array.length rows = 0 then
-          Ok (Hyperq.Backend.Command_ok tag)
-        else Ok (Hyperq.Backend.Result_set { Hyperq.Backend.cols = columns; rows })
-    | Error e -> Error e
+    M.inc statements;
+    let sent0 = !sent and received0 = !received in
+    let result =
+      match Pgwire.Client.query client sql with
+      | Ok { Pgwire.Client.columns; rows; tag } ->
+          if columns = [] && Array.length rows = 0 then
+            Ok (Hyperq.Backend.Command_ok tag)
+          else
+            Ok (Hyperq.Backend.Result_set { Hyperq.Backend.cols = columns; rows })
+      | Error e ->
+          M.inc backend_errors;
+          Error e
+    in
+    (* lands on the engine's execute span when a query trace is open *)
+    Obs.Ctx.add_attr obs "pg_bytes_out" (Obs.Trace.Int (!sent - sent0));
+    Obs.Ctx.add_attr obs "pg_bytes_in" (Obs.Trace.Int (!received - received0));
+    result
   in
   { Hyperq.Backend.name = "pg-wire"; exec; sql_log = ref [] }

@@ -5,7 +5,11 @@
     Data path per query, entirely over real protocol bytes:
     Q app --QIPC bytes--> Endpoint -> XC(QT: algebrize/optimize/serialize)
          -> Gateway --PG v3 bytes--> pgdb --rows--> Gateway (pivot)
-         -> Endpoint --QIPC bytes--> Q app *)
+         -> Endpoint --QIPC bytes--> Q app
+
+    All connections share one observability context: the metrics
+    registry behind the in-band [.hq.stats] query and {!stats_text}, the
+    JSONL event sink, and the per-query trace. *)
 
 type t = {
   db : Pgdb.Db.t;
@@ -14,6 +18,7 @@ type t = {
           connections, as on a kdb+ server *)
   users : (string * string) list;
   engine_config : unit -> Hyperq.Engine.config;
+  obs : Obs.Ctx.t;
 }
 
 type connection = {
@@ -23,26 +28,43 @@ type connection = {
 }
 
 let create ?(users = [ ("trader", "pwd") ])
-    ?(engine_config = Hyperq.Engine.default_config) (db : Pgdb.Db.t) : t =
+    ?(engine_config = Hyperq.Engine.default_config) ?obs (db : Pgdb.Db.t) : t
+    =
+  let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   {
     db;
     server_scope = Hyperq.Scopes.create_server_frame ();
     users;
     engine_config = (fun () -> engine_config ());
+    obs;
   }
+
+(** The platform's observability context (registry, event sink,
+    in-flight trace). *)
+let obs (t : t) = t.obs
+
+(** Prometheus text exposition of the platform's registry (external
+    gauges refreshed first) — what a metrics scraper or the server
+    binary's [--stats] shutdown dump prints. *)
+let stats_text (t : t) : string =
+  Endpoint.refresh_external_gauges t.obs.Obs.Ctx.registry;
+  Obs.Metrics.to_prometheus t.obs.Obs.Ctx.registry
+
+(** The same snapshot as a Q table — what [.hq.stats] answers. *)
+let stats_value (t : t) : Qvalue.Value.t = Endpoint.stats_table t.obs
 
 (** Open a client connection: a fresh backend session (temp-table scope), a
     fresh engine session sharing the server variable scope, wired through
     the XC and exposed as a QIPC endpoint. *)
 let connect (t : t) : connection =
   let session = Pgdb.Db.open_session t.db in
-  let backend = Gateway.wire_backend session in
+  let backend = Gateway.wire_backend ~obs:t.obs session in
   let make_engine be =
     Hyperq.Engine.create ~config:(t.engine_config ())
-      ~server_scope:t.server_scope be
+      ~server_scope:t.server_scope ~obs:t.obs be
   in
   let xc = Xc.create make_engine backend in
-  { endpoint = Endpoint.create ~users:t.users xc; xc; session }
+  { endpoint = Endpoint.create ~users:t.users ~obs:t.obs xc; xc; session }
 
 (** Close a connection: promotes session variables to the server scope and
     releases backend temp tables (paper Sections 3.2.3, 4.3). *)
@@ -58,20 +80,51 @@ module Client = struct
   type client = {
     conn : connection;
     mutable connected : bool;
+    mutable version : int;  (** negotiated capability byte *)
   }
 
   exception Client_error of string
 
+  (** Classify the server's handshake reply. A valid acceptance is
+      exactly one byte whose value is a capability level no higher than
+      the one we requested; an empty reply is the kdb+-style silent
+      close on bad credentials; anything else is a malformed reply from
+      something that is not speaking QIPC. *)
+  let validate_handshake ~(requested : int) (reply : string) :
+      (int, string) result =
+    match String.length reply with
+    | 0 -> Error "authentication rejected"
+    | 1 ->
+        let cap = Char.code reply.[0] in
+        if cap <= requested then Ok cap
+        else
+          Error
+            (Printf.sprintf
+               "malformed handshake reply: capability byte %d exceeds \
+                requested version %d"
+               cap requested)
+    | n -> Error (Printf.sprintf "malformed handshake reply: %d bytes" n)
+
   (** Connect over QIPC bytes (handshake included). *)
   let connect ?(user = "trader") ?(password = "pwd") (t : t) : client =
     let conn = connect t in
+    let requested = 3 in
     let hello =
-      Qipc.Codec.encode_handshake ~user ~password ~version:3
+      Qipc.Codec.encode_handshake ~user ~password ~version:requested
     in
     let reply = Endpoint.feed conn.endpoint hello in
-    if String.length reply <> 1 then
-      raise (Client_error "authentication rejected");
-    { conn; connected = true }
+    match validate_handshake ~requested reply with
+    | Ok version -> { conn; connected = true; version }
+    | Error msg ->
+        (* server-side rejections already counted by the endpoint; count
+           malformed replies here so both failure modes reach the same
+           metric *)
+        if String.length reply > 0 then
+          Obs.Metrics.inc
+            (Obs.Metrics.counter t.obs.Obs.Ctx.registry
+               "hq_auth_failures_total");
+        disconnect conn;
+        raise (Client_error msg)
 
   (** Send one synchronous Q query; decode the QIPC response. *)
   let query (c : client) (q : string) : (Qvalue.Value.t, string) result =

@@ -1,0 +1,409 @@
+(* Observability layer tests: metrics registry math, per-query trace
+   spans across a full wire-level round trip, the in-band .hq.stats
+   query, the JSONL event sink, and the hardened QIPC handshake. *)
+
+module M = Obs.Metrics
+module Tr = Obs.Trace
+module V = Pgdb.Value
+module Db = Pgdb.Db
+module S = Catalog.Schema
+module Ty = Catalog.Sqltype
+module QV = Qvalue.Value
+module QA = Qvalue.Atom
+module P = Platform.Hyperq_platform
+module ST = Hyperq.Stage_timer
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+let tfloat = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_and_gauge () =
+  let reg = M.create () in
+  let c = M.counter reg "c_total" in
+  M.inc c;
+  M.add c 41;
+  check tint "counter accumulates" 42 (M.counter_value c);
+  (* get-or-create: same (name, labels) pair returns the same counter *)
+  M.inc (M.counter reg "c_total");
+  check tint "re-registration shares state" 43 (M.counter_value c);
+  let g = M.gauge reg "g" in
+  M.set g 1.5;
+  M.gauge_add g 1.0;
+  check tfloat "gauge" 2.5 (M.gauge_value g);
+  (* same name as a different kind is rejected *)
+  match M.gauge reg "c_total" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch must raise"
+
+let test_histogram_empty () =
+  let reg = M.create () in
+  let h = M.histogram reg "lat" in
+  check tint "empty count" 0 (M.hist_count h);
+  check tfloat "empty sum" 0.0 (M.hist_sum h);
+  check tfloat "empty p50" 0.0 (M.percentile h 50.0);
+  check tfloat "empty p99" 0.0 (M.percentile h 99.0)
+
+let test_histogram_single_sample () =
+  let reg = M.create () in
+  let h = M.histogram reg "lat" in
+  M.observe h 0.003;
+  check tint "count" 1 (M.hist_count h);
+  (* clamping to the observed range makes a single sample answer exactly
+     itself at every percentile *)
+  check tfloat "p50 is the sample" 0.003 (M.percentile h 50.0);
+  check tfloat "p99 is the sample" 0.003 (M.percentile h 99.0);
+  check tfloat "p0 is the sample" 0.003 (M.percentile h 0.0)
+
+let test_histogram_percentiles () =
+  let reg = M.create () in
+  let buckets = Array.init 10 (fun i -> 0.01 *. float_of_int (i + 1)) in
+  let h = M.histogram reg ~buckets "lat" in
+  (* one sample in the middle of each bucket *)
+  for i = 0 to 9 do
+    M.observe h ((0.01 *. float_of_int i) +. 0.005)
+  done;
+  check tint "count" 10 (M.hist_count h);
+  (* rank 5 lands at the upper edge of the 5th bucket *)
+  check tfloat "p50" 0.05 (M.percentile h 50.0);
+  (* rank 9.9 interpolates inside the last bucket, clamped to the max
+     observed sample *)
+  check tfloat "p99 clamped to max" 0.095 (M.percentile h 99.0);
+  check tbool "sum" true (Float.abs (M.hist_sum h -. 0.5) < 1e-9);
+  M.hist_reset h;
+  check tint "reset drops samples" 0 (M.hist_count h)
+
+let test_histogram_overflow_bucket () =
+  let reg = M.create () in
+  let h = M.histogram reg ~buckets:[| 0.1; 1.0 |] "lat" in
+  M.observe h 5.0;
+  (* above every bound: falls in the +Inf bucket, percentile reports the
+     observed max rather than infinity *)
+  check tfloat "overflow p50" 5.0 (M.percentile h 50.0)
+
+let test_prometheus_exposition () =
+  let reg = M.create () in
+  M.add (M.counter reg ~help:"help text" "requests_total") 7;
+  M.set (M.gauge reg "temperature") 21.5;
+  let h = M.histogram reg ~buckets:[| 0.1; 1.0 |] ~labels:[ ("stage", "parse") ] "lat_seconds" in
+  M.observe h 0.05;
+  M.observe h 0.5;
+  let text = M.to_prometheus reg in
+  let contains needle =
+    let re = Str.regexp_string needle in
+    (try ignore (Str.search_forward re text 0); true with Not_found -> false)
+  in
+  check tbool "help line" true (contains "# HELP requests_total help text");
+  check tbool "type line" true (contains "# TYPE requests_total counter");
+  check tbool "counter sample" true (contains "requests_total 7");
+  check tbool "gauge sample" true (contains "temperature 21.5");
+  check tbool "bucket series is cumulative" true
+    (contains "lat_seconds_bucket{stage=\"parse\",le=\"+Inf\"} 2");
+  check tbool "histogram count" true
+    (contains "lat_seconds_count{stage=\"parse\"} 2")
+
+(* ------------------------------------------------------------------ *)
+(* Stage timer (monotonic, recording order)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_stage_timer_order_and_totals () =
+  let t = ST.create () in
+  ST.record t ST.Parse 0.001;
+  ST.record t ST.Execute 0.01;
+  ST.record t ST.Parse 0.002;
+  check tint "three spans" 3 (List.length (ST.spans t));
+  (match ST.spans t with
+  | [ (ST.Parse, a); (ST.Execute, _); (ST.Parse, b) ] ->
+      check tfloat "first span first" 0.001 a;
+      check tfloat "last span last" 0.002 b
+  | _ -> Alcotest.fail "spans must come back in recording order");
+  check tfloat "stage total sums" 0.003 (ST.total t ST.Parse);
+  ST.reset t;
+  check tint "reset" 0 (List.length (ST.spans t))
+
+let test_stage_timer_monotonic_nonnegative () =
+  let t = ST.create () in
+  for _ = 1 to 100 do
+    ST.timed t ST.Parse (fun () -> ())
+  done;
+  List.iter
+    (fun (_, d) -> check tbool "span is non-negative" true (d >= 0.0))
+    (ST.spans t)
+
+(* ------------------------------------------------------------------ *)
+(* Full round trip: spans, metrics, .hq.stats                          *)
+(* ------------------------------------------------------------------ *)
+
+let make_db () =
+  let db = Db.create () in
+  Db.load_table db
+    (S.table ~order_col:"hq_ord" "trades"
+       [
+         S.column "hq_ord" Ty.TBigint;
+         S.column "Symbol" Ty.TVarchar;
+         S.column "Price" Ty.TDouble;
+         S.column "Size" Ty.TBigint;
+       ])
+    (List.mapi
+       (fun i (sym, px, sz) ->
+         [| V.Int (Int64.of_int i); V.Str sym; V.Float px; V.Int (Int64.of_int sz) |])
+       [ ("A", 10.0, 100); ("B", 20.0, 200); ("A", 11.0, 150) ]);
+  db
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "query failed: %s" e
+
+let sample_value reg name =
+  match
+    List.find_opt (fun s -> s.M.s_name = name) (M.snapshot reg)
+  with
+  | Some s -> s.M.s_value
+  | None -> Alcotest.failf "metric %s not in snapshot" name
+
+let test_round_trip_span_tree () =
+  let p = P.create (make_db ()) in
+  let c = P.Client.connect p in
+  ignore (ok (P.Client.query c "select Price from trades where Symbol=`A"));
+  let root =
+    match (P.obs p).Obs.Ctx.last_trace with
+    | Some r -> r
+    | None -> Alcotest.fail "no trace recorded"
+  in
+  check tbool "root is the query span" true (Tr.name root = "query");
+  (* the pipeline stages appear as children, in pipeline order *)
+  let child_names = List.map Tr.name (Tr.children root) in
+  let expected = [ "parse"; "algebrize"; "optimize"; "serialize"; "execute"; "pivot" ] in
+  let positions =
+    List.map
+      (fun stage ->
+        let rec idx i = function
+          | [] -> Alcotest.failf "stage %s missing from span tree" stage
+          | n :: _ when n = stage -> i
+          | _ :: rest -> idx (i + 1) rest
+        in
+        idx 0 child_names)
+      expected
+  in
+  check tbool "stages in pipeline order" true
+    (List.for_all2 ( <= ) positions (List.tl positions @ [ max_int ]));
+  (* every span carries a non-negative monotonic duration *)
+  let rec walk sp =
+    check tbool "span duration >= 0" true (Tr.duration_s sp >= 0.0);
+    List.iter walk (Tr.children sp)
+  in
+  walk root;
+  (* QIPC byte counts ride on the root span *)
+  let root_attrs = Tr.attrs root in
+  check tbool "qipc_bytes_in attr" true (List.mem_assoc "qipc_bytes_in" root_attrs);
+  check tbool "qipc_bytes_out attr" true (List.mem_assoc "qipc_bytes_out" root_attrs);
+  check tbool "query_sha attr" true (List.mem_assoc "query_sha" root_attrs);
+  (* PG-wire byte counts ride on the span open during the backend round
+     trip (the execute span) *)
+  let exec_span =
+    match Tr.find root "execute" with
+    | Some s -> s
+    | None -> Alcotest.fail "no execute span"
+  in
+  let exec_attrs = Tr.attrs exec_span in
+  check tbool "pg_bytes_out attr" true (List.mem_assoc "pg_bytes_out" exec_attrs);
+  (match List.assoc "pg_bytes_in" exec_attrs with
+  | Tr.Int n -> check tbool "pg bytes flowed" true (n > 0)
+  | _ -> Alcotest.fail "pg_bytes_in must be an int");
+  (* the trace renders as one JSON line *)
+  let json = Tr.to_json root in
+  check tbool "trace json mentions pivot" true
+    (String.length json > 0
+    &&
+    let re = Str.regexp_string "\"pivot\"" in
+    (try ignore (Str.search_forward re json 0); true with Not_found -> false))
+
+let test_round_trip_metrics () =
+  let p = P.create (make_db ()) in
+  let reg = (P.obs p).Obs.Ctx.registry in
+  let c = P.Client.connect p in
+  for _ = 1 to 3 do
+    ignore (ok (P.Client.query c "select Price from trades"))
+  done;
+  check tbool "queries_total" true (sample_value reg "hq_queries_total" >= 3.0);
+  check tbool "qipc in" true (sample_value reg "hq_qipc_bytes_in" > 0.0);
+  check tbool "qipc out" true (sample_value reg "hq_qipc_bytes_out" > 0.0);
+  check tbool "pg wire in" true (sample_value reg "hq_pgwire_bytes_in" > 0.0);
+  check tbool "pg wire out" true (sample_value reg "hq_pgwire_bytes_out" > 0.0);
+  check tbool "per-stage histogram counted" true
+    (sample_value reg "hq_stage_seconds_count{stage=\"parse\"}" >= 3.0);
+  check tbool "execute histogram counted" true
+    (sample_value reg "hq_stage_seconds_count{stage=\"execute\"}" >= 3.0);
+  check tbool "pivot histogram counted" true
+    (sample_value reg "hq_stage_seconds_count{stage=\"pivot\"}" >= 3.0);
+  check tbool "query latency histogram" true
+    (sample_value reg "hq_query_seconds_count" >= 3.0);
+  (* the same registry renders as Prometheus text *)
+  let text = P.stats_text p in
+  let contains needle =
+    let re = Str.regexp_string needle in
+    (try ignore (Str.search_forward re text 0); true with Not_found -> false)
+  in
+  check tbool "prometheus queries_total" true (contains "hq_queries_total 3");
+  check tbool "prometheus stage buckets" true
+    (contains "hq_stage_seconds_bucket{stage=\"parse\",le=");
+  check tbool "prometheus backend gauge" true (contains "hq_backend_selects_run")
+
+let test_hq_stats_over_qipc () =
+  let p = P.create (make_db ()) in
+  let c = P.Client.connect p in
+  for _ = 1 to 2 do
+    ignore (ok (P.Client.query c "select Price from trades"))
+  done;
+  (* .hq.stats is answered by the endpoint without a backend round trip *)
+  let sql_log =
+    !((Hyperq.Engine.mdi (Platform.Xc.engine c.P.Client.conn.P.xc))
+        .Hyperq.Mdi.backend.Hyperq.Backend.sql_log)
+  in
+  let statements_before = List.length sql_log in
+  let v = ok (P.Client.query c ".hq.stats") in
+  let sql_log_after =
+    !((Hyperq.Engine.mdi (Platform.Xc.engine c.P.Client.conn.P.xc))
+        .Hyperq.Mdi.backend.Hyperq.Backend.sql_log)
+  in
+  check tint "no backend statements for .hq.stats" statements_before
+    (List.length sql_log_after);
+  match v with
+  | QV.Table tb ->
+      let metric_col = QV.column_exn tb "metric" in
+      let value_col = QV.column_exn tb "value" in
+      let lookup name =
+        let rec go i =
+          if i >= QV.length metric_col then
+            Alcotest.failf "metric %s not in .hq.stats" name
+          else
+            match QV.index metric_col i with
+            | QV.Atom (QA.Sym s) when s = name -> (
+                match QV.index value_col i with
+                | QV.Atom (QA.Float f) -> f
+                | _ -> Alcotest.fail "value column must be floats")
+            | _ -> go (i + 1)
+        in
+        go 0
+      in
+      check tbool "queries_total over QIPC" true
+        (lookup "hq_queries_total" >= 2.0);
+      check tbool "stage histograms over QIPC" true
+        (lookup "hq_stage_seconds_count{stage=\"serialize\"}" >= 2.0);
+      check tbool "admin query counted separately" true
+        (lookup "hq_admin_queries_total" >= 1.0)
+  | v -> Alcotest.failf "expected a table, got %s" (Qvalue.Qprint.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL events                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_jsonl_events () =
+  let sink, read = Obs.Events.memory () in
+  let ctx = Obs.Ctx.create ~events:sink () in
+  let p = P.create ~obs:ctx (make_db ()) in
+  let c = P.Client.connect p in
+  ignore (ok (P.Client.query c "select Price from trades"));
+  (match P.Client.query c "select nope from missing_table" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error");
+  let lines = read () in
+  check tint "one event per query" 2 (List.length lines);
+  let contains line needle =
+    let re = Str.regexp_string needle in
+    (try ignore (Str.search_forward re line 0); true with Not_found -> false)
+  in
+  let first = List.nth lines 0 and second = List.nth lines 1 in
+  check tbool "ok status" true (contains first "\"status\":\"ok\"");
+  check tbool "row count" true (contains first "\"rows_out\":3");
+  check tbool "stage durations present" true (contains first "\"parse\":");
+  check tbool "pivot stage present" true (contains first "\"pivot\":");
+  check tbool "qipc bytes in event" true (contains first "\"qipc_bytes_in\":");
+  check tbool "sql statement count" true (contains first "\"sql_statements\":");
+  check tbool "query sha present" true
+    (contains first
+       (Printf.sprintf "\"query_sha\":\"%s\""
+          (Obs.Events.query_sha "select Price from trades")));
+  check tbool "error status" true (contains second "\"status\":\"error\"");
+  check tbool "error class non-empty" true
+    (not (contains second "\"error_class\":\"\""))
+
+(* ------------------------------------------------------------------ *)
+(* Handshake hardening                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_handshake_validation () =
+  let v = P.Client.validate_handshake ~requested:3 in
+  (match v "\003" with
+  | Ok 3 -> ()
+  | _ -> Alcotest.fail "capability 3 must be accepted");
+  (match v "\001" with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "downgrade to capability 1 must be accepted");
+  (match v "" with
+  | Error m -> check tbool "rejection message" true (m = "authentication rejected")
+  | Ok _ -> Alcotest.fail "empty reply is a rejection");
+  (match v "\009" with
+  | Error m ->
+      check tbool "capability error is distinct" true
+        (m <> "authentication rejected")
+  | Ok _ -> Alcotest.fail "capability above requested is malformed");
+  match v "ab" with
+  | Error m ->
+      check tbool "length error is distinct" true (m <> "authentication rejected")
+  | Ok _ -> Alcotest.fail "multi-byte reply is malformed"
+
+let test_auth_failure_counted () =
+  let p = P.create (make_db ()) in
+  (match P.Client.connect ~user:"intruder" ~password:"guess" p with
+  | exception P.Client.Client_error m ->
+      check tbool "distinct rejection error" true (m = "authentication rejected")
+  | _ -> Alcotest.fail "bad credentials must be rejected");
+  let reg = (P.obs p).Obs.Ctx.registry in
+  check tbool "auth failure counted" true
+    (sample_value reg "hq_auth_failures_total" >= 1.0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
+          Alcotest.test_case "histogram: empty" `Quick test_histogram_empty;
+          Alcotest.test_case "histogram: single sample" `Quick
+            test_histogram_single_sample;
+          Alcotest.test_case "histogram: percentiles" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "histogram: overflow bucket" `Quick
+            test_histogram_overflow_bucket;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
+        ] );
+      ( "stage-timer",
+        [
+          Alcotest.test_case "recording order and totals" `Quick
+            test_stage_timer_order_and_totals;
+          Alcotest.test_case "monotonic non-negative" `Quick
+            test_stage_timer_monotonic_nonnegative;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case "span tree over the wire" `Quick
+            test_round_trip_span_tree;
+          Alcotest.test_case "metrics over the wire" `Quick
+            test_round_trip_metrics;
+          Alcotest.test_case ".hq.stats over QIPC" `Quick
+            test_hq_stats_over_qipc;
+          Alcotest.test_case "JSONL events" `Quick test_jsonl_events;
+        ] );
+      ( "handshake",
+        [
+          Alcotest.test_case "reply validation" `Quick test_handshake_validation;
+          Alcotest.test_case "auth failures counted" `Quick
+            test_auth_failure_counted;
+        ] );
+    ]
