@@ -1,7 +1,13 @@
-.PHONY: all check test bench fmt clean
+.PHONY: all check test bench fmt clean ci
 
 all:
 	dune build @all
+
+# build + full test suite; the introspection suite exercises the HTTP
+# admin endpoint through its pure handler, so no curl / open port needed
+ci:
+	dune build @all
+	dune runtest
 
 check:
 	dune build @dev-check

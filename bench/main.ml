@@ -467,6 +467,108 @@ let bench_obs () =
   P.Client.close client
 
 (* ------------------------------------------------------------------ *)
+(* Workload introspection: fingerprint-store overhead                  *)
+(* ------------------------------------------------------------------ *)
+
+(* drives a 10k-query workload through the full proxy so the fingerprint
+   store and flight recorder see production-shaped traffic, then isolates
+   the introspection cost (normalize + hash + record) per query and
+   writes BENCH_qstats.json; target is <5% of end-to-end query latency *)
+let bench_qstats () =
+  header
+    "Workload introspection - fingerprint-store overhead (writes \
+     BENCH_qstats.json)";
+  let module P = Platform.Hyperq_platform in
+  let d = MD.generate MD.small_scale in
+  let db = Pgdb.Db.create () in
+  MD.load_pg db d;
+  let recorder = Obs.Recorder.create ~capacity:64 ~sample_every:100 () in
+  let obs = Obs.Ctx.create ~recorder () in
+  let platform = P.create ~obs db in
+  let client = P.Client.connect platform in
+  let shapes =
+    [
+      (fun i -> Printf.sprintf "select Price from trades where Symbol=`%s"
+          d.MD.syms.(i mod Array.length d.MD.syms));
+      (fun i -> Printf.sprintf "select sum Size from trades where Price>%f"
+          (float_of_int (i mod 50)));
+      (fun _ -> "select avg Bid from quotes");
+      (fun i -> Printf.sprintf "select from trades where Size>%d" (i mod 1000));
+    ]
+  in
+  let total_queries = 10_000 in
+  List.iteri
+    (fun i shape ->
+      ignore i;
+      ignore (P.Client.query client (shape 0)))
+    shapes;
+  for i = 0 to total_queries - 1 do
+    let shape = List.nth shapes (i mod List.length shapes) in
+    ignore (P.Client.query client (shape i))
+  done;
+  let ctx = P.obs platform in
+  let qstats = ctx.Obs.Ctx.qstats in
+  let reg = ctx.Obs.Ctx.registry in
+  let query_h = Obs.Metrics.histogram reg "hq_query_seconds" in
+  let mean_query_us =
+    Obs.Metrics.hist_sum query_h
+    /. float_of_int (Stdlib.max 1 (Obs.Metrics.hist_count query_h))
+    *. 1e6
+  in
+  (* isolated introspection cost on a scratch store, over the same texts *)
+  let scratch = Obs.Qstats.create () in
+  let texts =
+    Array.init 256 (fun i ->
+        (List.nth shapes (i mod List.length shapes)) i)
+  in
+  let iterations = 20_000 in
+  let t0 = now () in
+  for i = 0 to iterations - 1 do
+    let text = texts.(i mod Array.length texts) in
+    let norm = Qlang.Fingerprint.normalize text in
+    let fp = Qlang.Fingerprint.of_normalized norm in
+    Obs.Qstats.record scratch ~fingerprint:fp ~query:norm ~duration_s:1e-4
+      ~error_class:None ~rows_out:10 ~bytes_in:64 ~bytes_out:256
+      ~stages:[ ("parse", 1e-5); ("execute", 5e-5) ]
+  done;
+  let mean_introspect_us = (now () -. t0) *. 1e6 /. float_of_int iterations in
+  let overhead_pct = 100.0 *. mean_introspect_us /. Float.max 1e-9 mean_query_us in
+  let ring_size = Obs.Recorder.size recorder in
+  let ring_ok = ring_size <= Obs.Recorder.capacity recorder in
+  Printf.printf "%-34s %12d\n" "queries through the proxy" total_queries;
+  Printf.printf "%-34s %12d\n" "distinct fingerprints tracked"
+    (Obs.Qstats.size qstats);
+  Printf.printf "%-34s %12d\n" "LRU evictions" (Obs.Qstats.evictions qstats);
+  Printf.printf "%-34s %12.1f\n" "mean query latency (us)" mean_query_us;
+  Printf.printf "%-34s %12.3f\n" "mean introspection cost (us)"
+    mean_introspect_us;
+  Printf.printf "%-34s %11.3f%%  (target <5%%)\n" "overhead" overhead_pct;
+  Printf.printf "%-34s %6d <= %-5d %s\n" "flight-recorder ring" ring_size
+    (Obs.Recorder.capacity recorder)
+    (if ring_ok then "(bounded ok)" else "(OVERFLOW!)");
+  let oc = open_out "BENCH_qstats.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"queries\": %d,\n\
+    \  \"fingerprints_tracked\": %d,\n\
+    \  \"lru_evictions\": %d,\n\
+    \  \"mean_query_us\": %.3f,\n\
+    \  \"mean_introspect_us\": %.3f,\n\
+    \  \"overhead_pct\": %.4f,\n\
+    \  \"ring_size\": %d,\n\
+    \  \"ring_capacity\": %d,\n\
+    \  \"ring_bounded\": %b,\n\
+    \  \"top\": %s\n\
+     }\n"
+    total_queries (Obs.Qstats.size qstats) (Obs.Qstats.evictions qstats)
+    mean_query_us mean_introspect_us overhead_pct ring_size
+    (Obs.Recorder.capacity recorder) ring_ok
+    (Obs.Qstats.to_json ~n:5 qstats);
+  close_out oc;
+  Printf.printf "--\nwrote BENCH_qstats.json\n";
+  P.Client.close client
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -530,6 +632,7 @@ let all_experiments =
     ("materialization", bench_materialization);
     ("protocol", bench_protocol);
     ("obs", bench_obs);
+    ("qstats", bench_qstats);
     ("micro", micro);
   ]
 

@@ -3,24 +3,75 @@
    with the TAQ-style market-data schema.
 
      dune exec bin/hyperq_server.exe
-     dune exec bin/hyperq_server.exe -- --stats   -- Prometheus dump on exit
+     dune exec bin/hyperq_server.exe -- --stats           -- metrics to stderr on exit
+     dune exec bin/hyperq_server.exe -- --admin-port 9090 -- live HTTP admin endpoint
      q) select vwap:(sum Price*Size)%sum Size by Symbol from trades
      q) aj[`Symbol`Time; trades; quotes]
      q) .hq.stats                                 -- in-band metrics table
+     q) .hq.top[5]                                -- top query fingerprints
+     q) .hq.slow[]                                -- slow-query flight recorder
+     q) .hq.stats.reset                           -- zero counters/histograms
      q) \sql select from trades where Symbol=`AAA -- show generated SQL
-     q) \q                                        -- quit *)
+     q) \q                                        -- quit
+
+   stdout is the REPL's result channel; diagnostics (--stats dump,
+   admin-listener notices) go to stderr so piped output stays clean. *)
 
 module P = Platform.Hyperq_platform
 module MD = Workload.Marketdata
 
+let usage =
+  "hyperq_server [options]\n\n\
+   Interactive Hyper-Q proxy REPL. Two ways to read the proxy's metrics:\n\
+   the one-shot exit dump (--stats, written to stderr when the REPL\n\
+   quits) and the live HTTP admin endpoint (--admin-port, scrapeable\n\
+   while queries are in flight — what a production deployment monitors).\n\n\
+   Options:"
+
 let () =
-  let dump_stats_on_exit =
-    Array.exists (fun a -> a = "--stats") Sys.argv
+  let dump_stats_on_exit = ref false in
+  let admin_port = ref 0 in
+  let slow_threshold_ms = ref 100.0 in
+  let slow_sample = ref 0 in
+  let speclist =
+    [
+      ( "--stats",
+        Arg.Set dump_stats_on_exit,
+        " dump Prometheus metrics to stderr when the REPL exits" );
+      ( "--admin-port",
+        Arg.Set_int admin_port,
+        "PORT serve GET /metrics, /healthz, /stats.json, /slow.json and \
+         POST /reset on 127.0.0.1:PORT" );
+      ( "--slow-threshold-ms",
+        Arg.Set_float slow_threshold_ms,
+        "MS flight-record queries slower than MS (default 100)" );
+      ( "--slow-sample",
+        Arg.Set_int slow_sample,
+        "N also flight-record every Nth fast query (0 disables, default)" );
+    ]
   in
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a)))
+    usage;
   let d = MD.generate MD.small_scale in
   let db = Pgdb.Db.create () in
   MD.load_pg db d;
   let platform = P.create db in
+  let recorder = (P.obs platform).Obs.Ctx.recorder in
+  Obs.Recorder.set_threshold recorder (!slow_threshold_ms /. 1000.0);
+  Obs.Recorder.set_sample_every recorder !slow_sample;
+  if !admin_port > 0 then begin
+    ignore
+      (Thread.create
+         (fun () ->
+           try Obs.Http.listen ~port:!admin_port (P.admin_handler platform)
+           with e ->
+             Printf.eprintf "admin listener failed: %s\n%!"
+               (Printexc.to_string e))
+         ());
+    Printf.eprintf "admin endpoint on http://127.0.0.1:%d (GET /metrics)\n%!"
+      !admin_port
+  end;
   let client = P.Client.connect platform in
   (* a translation-only engine for the \sql command *)
   let sql_engine =
@@ -31,8 +82,8 @@ let () =
     "Hyper-Q interactive session (backend: pgdb via PG v3 wire)\n\
      tables: trades (%d rows), quotes (%d rows), secmaster_w, risk_w, \
      limits_w\n\
-     commands: \\sql <q-query> shows generated SQL, .hq.stats shows proxy \
-     metrics, \\q quits\n\n"
+     commands: \\sql <q-query> shows generated SQL, .hq.stats / .hq.top[n] \
+     / .hq.slow[n] / .hq.stats.reset for proxy introspection, \\q quits\n\n"
     (Array.length d.MD.trades)
     (Array.length d.MD.quotes);
   let rec loop () =
@@ -55,7 +106,9 @@ let () =
   in
   loop ();
   P.Client.close client;
-  if dump_stats_on_exit then begin
-    print_endline "\n-- .hq.stats (Prometheus exposition) --";
-    print_string (P.stats_text platform)
+  if !dump_stats_on_exit then begin
+    (* stderr: stdout is the REPL/result channel and may be piped *)
+    prerr_endline "\n-- .hq.stats (Prometheus exposition) --";
+    output_string stderr (P.stats_text platform);
+    flush stderr
   end

@@ -18,11 +18,23 @@ type t = {
   exec : string -> (reply, string) Stdlib.result;
       (** execute one SQL statement *)
   sql_log : string list ref;  (** every statement sent, newest first *)
+  sql_count : int ref;  (** length of [sql_log], maintained so callers
+                            can bookmark and slice the log without
+                            walking it *)
 }
 
 let exec (b : t) (sql : string) : (reply, string) Stdlib.result =
   b.sql_log := sql :: !(b.sql_log);
+  incr b.sql_count;
   b.exec sql
+
+let log_mark (b : t) : int = !(b.sql_count)
+
+let sql_since (b : t) (mark : int) : string list =
+  let rec go acc n l =
+    match l with x :: tl when n > 0 -> go (x :: acc) (n - 1) tl | _ -> acc
+  in
+  go [] (!(b.sql_count) - mark) !(b.sql_log)
 
 let exec_exn (b : t) (sql : string) : reply =
   match exec b sql with
@@ -63,4 +75,4 @@ let of_pgdb_session (sess : Pgdb.Db.session) : t =
     | exception Pgdb.Errors.Sql_error { code; message } ->
         Error (Printf.sprintf "%s: %s" code message)
   in
-  { name = "pgdb-direct"; exec; sql_log = ref [] }
+  { name = "pgdb-direct"; exec; sql_log = ref []; sql_count = ref 0 }

@@ -16,10 +16,20 @@ type t = {
   exec : string -> (reply, string) Stdlib.result;
       (** execute one SQL statement *)
   sql_log : string list ref;  (** every statement sent, newest first *)
+  sql_count : int ref;  (** length of [sql_log], maintained so callers
+                            can bookmark and slice the log without
+                            walking it *)
 }
 
 (** Execute a statement, recording it in [sql_log]. *)
 val exec : t -> string -> (reply, string) Stdlib.result
+
+(** Statements logged so far (O(1)) — a bookmark for {!sql_since}. *)
+val log_mark : t -> int
+
+(** Statements logged since [mark], oldest first. Walks only the entries
+    added after the mark, never the whole log. *)
+val sql_since : t -> int -> string list
 
 val exec_exn : t -> string -> reply
 val query_exn : t -> string -> result

@@ -263,7 +263,7 @@ type run_result = {
 }
 
 let execute_rel (t : t) (brel : Binder.bound_rel) : QV.t * string list =
-  let sql_before = List.length !(t.backend.Backend.sql_log) in
+  let sql_before = Backend.log_mark t.backend in
   let sql = lower t brel.Binder.rel in
   let res =
     stage t Stage_timer.Execute (fun () ->
@@ -273,13 +273,7 @@ let execute_rel (t : t) (brel : Binder.bound_rel) : QV.t * string list =
             hq_error "backend" "expected rows, got %s" tag
         | Error e -> hq_error "backend" "%s" e)
   in
-  let sql_after = !(t.backend.Backend.sql_log) in
-  let sent =
-    List.filteri
-      (fun i _ -> i < List.length sql_after - sql_before)
-      sql_after
-    |> List.rev
-  in
+  let sent = Backend.sql_since t.backend sql_before in
   let value =
     stage t Stage_timer.Pivot (fun () -> pivot res brel.Binder.shape)
   in
@@ -358,7 +352,7 @@ let run_statement (t : t) (stmt : Ast.expr) : run_result =
       | _ -> Scopes.upsert t.scopes name def);
       { value = None; sqls = [] }
   | stmt ->
-      let sql_mark = List.length !(t.backend.Backend.sql_log) in
+      let sql_mark = Backend.log_mark t.backend in
       let v = stage t Stage_timer.Algebrize (fun () -> Binder.bind ctx stmt) in
       let value =
         match v with
@@ -382,11 +376,7 @@ let run_statement (t : t) (stmt : Ast.expr) : run_result =
         | Binder.BFun l -> QV.string_ (Ast.to_string (Ast.Lambda l))
         | Binder.BPrim p -> QV.string_ p
       in
-      let sqls =
-        let log = !(t.backend.Backend.sql_log) in
-        List.filteri (fun i _ -> i < List.length log - sql_mark) log
-        |> List.rev
-      in
+      let sqls = Backend.sql_since t.backend sql_mark in
       { value = Some value; sqls }
 
 (** Parse and execute a Q program; returns the last statement's result. *)

@@ -1,16 +1,22 @@
 type t = {
   registry : Metrics.t;
   events : Events.sink;
+  qstats : Qstats.t;
+  recorder : Recorder.t;
   mutable trace : Trace.t option;
   mutable last_trace : Trace.span option;
 }
 
-let create ?registry ?events () =
+let create ?registry ?events ?qstats ?recorder () =
   let registry =
     match registry with Some r -> r | None -> Metrics.create ()
   in
   let events = match events with Some e -> e | None -> Events.create () in
-  { registry; events; trace = None; last_trace = None }
+  let qstats = match qstats with Some q -> q | None -> Qstats.create () in
+  let recorder =
+    match recorder with Some r -> r | None -> Recorder.create ()
+  in
+  { registry; events; qstats; recorder; trace = None; last_trace = None }
 
 let span t name f =
   match t.trace with

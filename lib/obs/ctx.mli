@@ -1,5 +1,6 @@
-(** Observability context: one registry + one event sink + the trace of
-    the query currently in flight.
+(** Observability context: one registry + one event sink + the
+    per-fingerprint workload statistics store + the slow-query flight
+    recorder + the trace of the query currently in flight.
 
     A context is shared by every layer serving one proxy instance
     (Endpoint, XC, Engine, Gateway); each layer records into whatever is
@@ -10,12 +11,20 @@
 type t = {
   registry : Metrics.t;
   events : Events.sink;
+  qstats : Qstats.t;  (** per-fingerprint workload statistics *)
+  recorder : Recorder.t;  (** slow-query flight recorder *)
   mutable trace : Trace.t option;  (** trace of the in-flight query *)
   mutable last_trace : Trace.span option;
       (** most recently finished query trace (introspection, tests) *)
 }
 
-val create : ?registry:Metrics.t -> ?events:Events.sink -> unit -> t
+val create :
+  ?registry:Metrics.t ->
+  ?events:Events.sink ->
+  ?qstats:Qstats.t ->
+  ?recorder:Recorder.t ->
+  unit ->
+  t
 
 (** Run [f] inside a child span of the in-flight trace; just [f ()]
     when no trace is open. *)

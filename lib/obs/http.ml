@@ -1,0 +1,168 @@
+type request = {
+  meth : string;
+  path : string;
+  query : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = { status : int; content_type : string; body : string }
+
+let text status body = { status; content_type = "text/plain; charset=utf-8"; body }
+let json status body = { status; content_type = "application/json"; body }
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let render_response (r : response) : string =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    r.status (reason r.status) r.content_type (String.length r.body) r.body
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let find_sub (hay : string) (needle : string) : int option =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(** Index just past the header terminator, or [None] while incomplete. *)
+let header_end (raw : string) : int option =
+  match find_sub raw "\r\n\r\n" with
+  | Some i -> Some (i + 4)
+  | None -> ( match find_sub raw "\n\n" with Some i -> Some (i + 2) | None -> None)
+
+let content_length (headers : (string * string) list) : int =
+  match List.assoc_opt "content-length" headers with
+  | Some v -> ( match int_of_string_opt (String.trim v) with Some n when n >= 0 -> n | _ -> 0)
+  | None -> 0
+
+let parse_headers (lines : string list) : (string * string) list =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | Some i ->
+          Some
+            ( String.lowercase_ascii (String.trim (String.sub line 0 i)),
+              String.trim (String.sub line (i + 1) (String.length line - i - 1))
+            )
+      | None -> None)
+    lines
+
+(** Parse a complete HTTP/1.1 request. [Error] distinguishes a malformed
+    request from one that needs more bytes ([`Incomplete]). *)
+let parse_request (raw : string) :
+    (request, [ `Incomplete | `Malformed of string ]) result =
+  match header_end raw with
+  | None -> Error `Incomplete
+  | Some body_start -> (
+      let head = String.sub raw 0 body_start in
+      let lines =
+        String.split_on_char '\n' head
+        |> List.map (fun l ->
+               if String.length l > 0 && l.[String.length l - 1] = '\r' then
+                 String.sub l 0 (String.length l - 1)
+               else l)
+        |> List.filter (fun l -> l <> "")
+      in
+      match lines with
+      | [] -> Error (`Malformed "empty request")
+      | request_line :: header_lines -> (
+          match String.split_on_char ' ' request_line with
+          | [ meth; target; version ]
+            when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+            ->
+              let headers = parse_headers header_lines in
+              let want = content_length headers in
+              let have = String.length raw - body_start in
+              if have < want then Error `Incomplete
+              else
+                let body = String.sub raw body_start want in
+                let path, query =
+                  match String.index_opt target '?' with
+                  | Some i ->
+                      ( String.sub target 0 i,
+                        String.sub target (i + 1) (String.length target - i - 1)
+                      )
+                  | None -> (target, "")
+                in
+                Ok { meth; path; query; headers; body }
+          | _ -> Error (`Malformed ("bad request line: " ^ request_line))))
+
+(** Turn raw request bytes into raw response bytes: parse, dispatch to
+    [handler], render; malformed or truncated input yields a 400 and a
+    raising handler a 500. The whole admin plane is testable through
+    this one pure function — no socket required. *)
+let handle (handler : request -> response) (raw : string) : string =
+  let resp =
+    match parse_request raw with
+    | Ok req -> ( try handler req with e -> text 500 (Printexc.to_string e ^ "\n"))
+    | Error `Incomplete -> text 400 "incomplete request\n"
+    | Error (`Malformed m) -> text 400 (m ^ "\n")
+  in
+  render_response resp
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let max_request_bytes = 65536
+
+(** Serve one connection: read until the request is complete (or the
+    peer closes / the size cap is hit), write the response, close. *)
+let serve_connection (fd : Unix.file_descr) (handler : request -> response) :
+    unit =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec read_request () =
+    match parse_request (Buffer.contents buf) with
+    | Ok _ | Error (`Malformed _) -> ()
+    | Error `Incomplete ->
+        if Buffer.length buf >= max_request_bytes then ()
+        else
+          let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+          if n > 0 then begin
+            Buffer.add_subbytes buf chunk 0 n;
+            read_request ()
+          end
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      read_request ();
+      let out = handle handler (Buffer.contents buf) in
+      let b = Bytes.of_string out in
+      let rec write_all off =
+        if off < Bytes.length b then
+          match Unix.write fd b off (Bytes.length b - off) with
+          | 0 -> ()
+          | n -> write_all (off + n)
+          | exception _ -> ()
+      in
+      write_all 0)
+
+(** Blocking accept loop on 127.0.0.1:[port] (run it in its own thread).
+    Exceptions from individual connections are swallowed so one broken
+    scraper cannot take the admin plane down. *)
+let listen ~(port : int) (handler : request -> response) : unit =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 16;
+  while true do
+    match Unix.accept sock with
+    | fd, _ -> ( try serve_connection fd handler with _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done

@@ -1,0 +1,39 @@
+(** Minimal hand-rolled HTTP/1.1 for the admin/scrape endpoint.
+
+    Just enough protocol for [curl] and a Prometheus scraper: one
+    request per connection, [GET]/[POST], [Content-Length] bodies,
+    [Connection: close]. No dependencies beyond [Unix], and the entire
+    request/response path is exercised through the pure {!handle}
+    function, so the test suite covers the endpoint without opening a
+    socket. *)
+
+type request = {
+  meth : string;  (** uppercase method, e.g. ["GET"] *)
+  path : string;  (** target without the query string *)
+  query : string;  (** raw query string, [""] when absent *)
+  headers : (string * string) list;  (** keys lowercased *)
+  body : string;
+}
+
+type response = { status : int; content_type : string; body : string }
+
+val text : int -> string -> response
+val json : int -> string -> response
+
+val render_response : response -> string
+
+(** Parse a complete request. [`Incomplete] means more bytes are needed
+    (headers unterminated or body shorter than [Content-Length]). *)
+val parse_request :
+  string -> (request, [ `Incomplete | `Malformed of string ]) result
+
+(** Raw request bytes -> raw response bytes. Malformed/truncated input
+    becomes a 400, a raising handler a 500. *)
+val handle : (request -> response) -> string -> string
+
+(** Read one request from the descriptor, respond, close it. *)
+val serve_connection : Unix.file_descr -> (request -> response) -> unit
+
+(** Blocking accept loop on 127.0.0.1:[port]; run in its own thread.
+    Per-connection failures are swallowed. *)
+val listen : port:int -> (request -> response) -> unit

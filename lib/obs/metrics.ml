@@ -77,13 +77,27 @@ let gauge reg ?help ?labels name =
     (fun () -> Gauge { g_value = 0.0 })
     (function Gauge g -> Some g | _ -> None)
 
-(* 1us .. 10s on a 1-2.5-5 log scale: fine enough to separate parse from
-   execute, coarse enough that a histogram is 23 ints *)
-let default_buckets =
-  [|
-    1e-6; 2.5e-6; 5e-6; 1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3;
-    5e-3; 1e-2; 2.5e-2; 5e-2; 1e-1; 2.5e-1; 5e-1; 1.0; 2.5; 5.0; 10.0;
-  |]
+let log_buckets ?(mantissas = [| 1.0; 2.5; 5.0 |]) ~lo ~hi () =
+  if lo <= 0.0 || hi <= lo then invalid_arg "log_buckets: need 0 < lo < hi";
+  let out = ref [] in
+  let e = ref (int_of_float (Float.floor (Float.log10 lo))) in
+  let finished = ref false in
+  while not !finished do
+    let decade = 10.0 ** float_of_int !e in
+    Array.iter
+      (fun m ->
+        let v = m *. decade in
+        if v >= lo *. 0.999999 && v <= hi *. 1.000001 then out := v :: !out)
+      mantissas;
+    if decade > hi then finished := true else incr e
+  done;
+  Array.of_list (List.rev !out)
+
+(* 100ns .. 10s on a 1-2.5-5 log scale: fine enough that sub-ms stages
+   (parse on a warm cache runs in single-digit us) spread over several
+   buckets instead of clamping into one, coarse enough that a histogram
+   is a few dozen ints *)
+let default_buckets = log_buckets ~lo:1e-7 ~hi:10.0 ()
 
 let histogram reg ?help ?labels ?(buckets = default_buckets) name =
   register reg ?help ?labels name
@@ -133,6 +147,15 @@ let hist_reset h =
   h.h_sum <- 0.0;
   h.h_min <- infinity;
   h.h_max <- neg_infinity
+
+let reset_all reg =
+  List.iter
+    (fun m ->
+      match m.m_inst with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h -> hist_reset h)
+    reg.metrics
 
 let percentile (h : histogram) (p : float) : float =
   if h.h_count = 0 then 0.0

@@ -33,8 +33,8 @@ val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> c
 val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
 
 (** [histogram reg name] with bucket upper bounds in ascending order
-    (seconds for latency use). The default buckets span 1us .. 10s on a
-    1-2.5-5 log scale. An implicit +Inf bucket is always appended. *)
+    (seconds for latency use). The default buckets span 100ns .. 10s on
+    a 1-2.5-5 log scale. An implicit +Inf bucket is always appended. *)
 val histogram :
   t ->
   ?help:string ->
@@ -42,6 +42,12 @@ val histogram :
   ?buckets:float array ->
   string ->
   histogram
+
+(** [log_buckets ~lo ~hi ()] generates ascending log-scale bucket
+    boundaries: every [mantissa * 10^e] falling inside [lo, hi]
+    (default mantissas 1-2.5-5, i.e. three buckets per decade). *)
+val log_buckets :
+  ?mantissas:float array -> lo:float -> hi:float -> unit -> float array
 
 val default_buckets : float array
 
@@ -70,6 +76,12 @@ val percentile : histogram -> float -> float
 
 (** Drop all recorded observations (testing / between bench runs). *)
 val hist_reset : histogram -> unit
+
+(** Zero every instrument in the registry — counters and gauges to 0,
+    histograms emptied — keeping all registrations (names, labels,
+    bucket layouts) intact. Backs the [.hq.stats.reset] admin query so
+    benchmark runs can be bracketed without restarting the proxy. *)
+val reset_all : t -> unit
 
 (** {1 Exposition} *)
 

@@ -1,0 +1,85 @@
+(** Per-fingerprint workload statistics (pg_stat_statements for the
+    proxy).
+
+    A bounded, LRU-evicting table keyed by query fingerprint — the
+    stable hash of a query's {e shape} (literals stripped, whitespace
+    collapsed; see [Qlang.Fingerprint]). Each entry accumulates calls,
+    errors by class, rows and bytes in/out, per-stage latency sums, and
+    a compact log-bucketed latency histogram, so the proxy can answer
+    "which query shapes hurt" across millions of queries in O(capacity)
+    memory.
+
+    Read in-band via the [.hq.top[n]] admin query, over HTTP via
+    [GET /stats.json], and merged into the Prometheus exposition as
+    [hq_fingerprint_*_total{fingerprint="..."}] for the top-K. *)
+
+type entry = {
+  e_fingerprint : string;
+  e_query : string;  (** normalized query text (shape, literals stripped) *)
+  mutable e_calls : int;
+  mutable e_errors : int;
+  mutable e_error_classes : (string * int) list;  (** per error class *)
+  mutable e_rows_out : int;
+  mutable e_bytes_in : int;
+  mutable e_bytes_out : int;
+  mutable e_total_s : float;
+  mutable e_max_s : float;
+  mutable e_stages : (string * float) list;  (** per-stage latency sums *)
+  e_hist : int array;  (** log2-us-bucketed latency histogram *)
+  mutable e_last_use : int;  (** logical tick, for LRU eviction *)
+}
+
+type t
+
+val default_capacity : int
+
+(** [create ?capacity ()] — at most [capacity] distinct fingerprints are
+    tracked (default {!default_capacity}); inserting beyond that evicts
+    the least-recently-used entry. *)
+val create : ?capacity:int -> unit -> t
+
+(** Fold one completed query into its fingerprint's entry. [stages] are
+    (stage name, seconds) pairs added to the per-stage sums. *)
+val record :
+  t ->
+  fingerprint:string ->
+  query:string ->
+  duration_s:float ->
+  error_class:string option ->
+  rows_out:int ->
+  bytes_in:int ->
+  bytes_out:int ->
+  stages:(string * float) list ->
+  unit
+
+(** The [n] entries with the largest total time, descending. *)
+val top : t -> int -> entry list
+
+val find : t -> string -> entry option
+val size : t -> int
+val capacity : t -> int
+
+(** LRU evictions performed since creation / last {!reset}. *)
+val evictions : t -> int
+
+(** Drop every entry (for [.hq.stats.reset] / bracketing bench runs). *)
+val reset : t -> unit
+
+val entry_avg_s : entry -> float
+
+(** Percentile (0..100) estimated from the entry's log-bucketed
+    histogram: the upper bound of the bucket holding the rank, clamped
+    to the observed max. Buckets are powers of two in microseconds, so
+    the estimate is within 2x — enough to separate a 50us shape from a
+    5ms one, in 24 ints per fingerprint. *)
+val entry_percentile : entry -> float -> float
+
+val entry_json : entry -> string
+
+(** JSON array of the top-[n] entries (default: all). *)
+val to_json : ?n:int -> t -> string
+
+(** Prometheus text for the top-[k] (default 10) entries:
+    [hq_fingerprint_{calls,errors,seconds,rows}_total] with a
+    [fingerprint] label. Appended to the registry exposition. *)
+val to_prometheus : ?k:int -> t -> string

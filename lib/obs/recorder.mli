@@ -1,0 +1,74 @@
+(** Slow-query flight recorder.
+
+    A fixed-size ring buffer capturing the forensic detail the
+    aggregate metrics throw away: the full span tree, the generated SQL,
+    and the categorised error of any query that ran longer than a
+    configurable threshold — plus an optional 1-in-N tail sample of fast
+    queries so the recorder also shows what {e normal} looks like.
+
+    The ring never exceeds its capacity: new captures overwrite the
+    oldest. Read in-band via [.hq.slow[n]] or dump as JSONL via
+    [GET /slow.json]. *)
+
+type record = {
+  r_ts : float;  (** wall-clock capture time (correlation only) *)
+  r_fingerprint : string;
+  r_query : string;
+  r_duration_s : float;
+  r_status : string;  (** ["ok"] or ["error"] *)
+  r_error : string;  (** categorised error text, [""] when ok *)
+  r_sql : string list;  (** generated SQL statements, oldest first *)
+  r_span : Trace.span;  (** finished root span of the query's trace *)
+  r_kind : string;  (** ["slow"] or ["sample"] *)
+}
+
+type t
+
+val default_capacity : int
+val default_threshold_s : float
+
+(** [create ?capacity ?threshold_s ?sample_every ()]. [sample_every = 0]
+    (the default) disables tail sampling. *)
+val create :
+  ?capacity:int -> ?threshold_s:float -> ?sample_every:int -> unit -> t
+
+(** Offer one completed query; captured when [duration_s >= threshold],
+    or as every [sample_every]-th fast query. Returns whether kept. *)
+val observe :
+  t ->
+  ts:float ->
+  fingerprint:string ->
+  query:string ->
+  duration_s:float ->
+  status:string ->
+  error:string ->
+  sql:string list ->
+  Trace.span ->
+  bool
+
+(** The newest [n] captured records, newest first. *)
+val recent : t -> int -> record list
+
+val set_threshold : t -> float -> unit
+val threshold : t -> float
+val set_sample_every : t -> int -> unit
+val sample_every : t -> int
+
+val capacity : t -> int
+
+(** Records currently held; never exceeds {!capacity}. *)
+val size : t -> int
+
+(** Queries offered since creation / last {!reset}. *)
+val seen : t -> int
+
+val captured_slow : t -> int
+val captured_sampled : t -> int
+
+(** Drop all captured records and counters. *)
+val reset : t -> unit
+
+val record_json : record -> string
+
+(** One JSON line per held record, newest first. *)
+val to_jsonl : t -> string

@@ -10,9 +10,13 @@
     The endpoint is also the proxy's observability boundary: it counts
     QIPC traffic and queries into the shared metrics registry, opens the
     per-query trace span the engine nests its pipeline stages under,
-    emits one JSONL event per completed query, and answers the in-band
-    admin query [.hq.stats] directly from the registry — any QIPC client
-    can introspect the proxy without touching the backend. *)
+    emits one JSONL event per completed query, fingerprints every query
+    into the per-shape statistics store, offers it to the slow-query
+    flight recorder, and answers the in-band admin queries directly —
+    [.hq.stats] (registry snapshot), [.hq.top[n]] (fingerprint table by
+    total time), [.hq.slow[n]] (flight-recorder captures) and
+    [.hq.stats.reset] — so any QIPC client can introspect the proxy
+    without touching the backend. *)
 
 module QV = Qvalue.Value
 module M = Obs.Metrics
@@ -87,10 +91,12 @@ let authenticate t (h : Qipc.Codec.handshake) : bool =
 (* In-band admin queries                                               *)
 (* ------------------------------------------------------------------ *)
 
-(** Mirror counters owned by layers below the observability context
-    (the pgdb executor is dependency-free) into registry gauges, so one
-    snapshot shows the whole stack. *)
-let refresh_external_gauges (reg : M.t) : unit =
+(** Mirror counters owned by layers outside the metrics registry (the
+    dependency-free pgdb executor, the fingerprint store, the flight
+    recorder) into registry gauges, so one snapshot shows the whole
+    stack. *)
+let refresh_external_gauges (ctx : Obs.Ctx.t) : unit =
+  let reg = ctx.Obs.Ctx.registry in
   M.set
     (M.gauge reg ~help:"Top-level SELECTs executed by the pgdb backend"
        "hq_backend_selects_run")
@@ -98,13 +104,30 @@ let refresh_external_gauges (reg : M.t) : unit =
   M.set
     (M.gauge reg ~help:"Rows produced by the pgdb backend"
        "hq_backend_rows_out")
-    (float_of_int Pgdb.Exec.stats.Pgdb.Exec.rows_out)
+    (float_of_int Pgdb.Exec.stats.Pgdb.Exec.rows_out);
+  M.set
+    (M.gauge reg ~help:"Distinct query fingerprints currently tracked"
+       "hq_fingerprints_tracked")
+    (float_of_int (Obs.Qstats.size ctx.Obs.Ctx.qstats));
+  M.set
+    (M.gauge reg ~help:"Fingerprint entries evicted (LRU) since reset"
+       "hq_fingerprint_evictions")
+    (float_of_int (Obs.Qstats.evictions ctx.Obs.Ctx.qstats));
+  M.set
+    (M.gauge reg ~help:"Queries held by the slow-query flight recorder"
+       "hq_slow_records")
+    (float_of_int (Obs.Recorder.size ctx.Obs.Ctx.recorder));
+  M.set
+    (M.gauge reg
+       ~help:"Queries captured by the flight recorder as over-threshold"
+       "hq_slow_captured_total")
+    (float_of_int (Obs.Recorder.captured_slow ctx.Obs.Ctx.recorder))
 
 (** The registry as a Q table [(metric; kind; value)] — the reply to the
     in-band [.hq.stats] query, so any QIPC client can introspect the
     proxy without touching the backend. *)
 let stats_table (ctx : Obs.Ctx.t) : QV.t =
-  refresh_external_gauges ctx.Obs.Ctx.registry;
+  refresh_external_gauges ctx;
   let samples = M.snapshot ctx.Obs.Ctx.registry in
   let arr f = Array.of_list (List.map f samples) in
   QV.Table
@@ -118,12 +141,100 @@ let stats_table (ctx : Obs.Ctx.t) : QV.t =
                arr (fun s -> Qvalue.Atom.Float s.M.s_value) ) );
        ])
 
+(** The top-[n] fingerprint entries as a Q table sorted by total time —
+    the reply to [.hq.top[n]]. *)
+let top_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
+  let entries = Obs.Qstats.top ctx.Obs.Ctx.qstats n in
+  let arr f = Array.of_list (List.map f entries) in
+  let floats f = QV.floats (arr f) in
+  let longs f = QV.longs (arr f) in
+  QV.Table
+    (QV.table
+       [
+         ("fingerprint", QV.syms (arr (fun e -> e.Obs.Qstats.e_fingerprint)));
+         ("query", QV.syms (arr (fun e -> e.Obs.Qstats.e_query)));
+         ("calls", longs (fun e -> e.Obs.Qstats.e_calls));
+         ("errors", longs (fun e -> e.Obs.Qstats.e_errors));
+         ("total_ms", floats (fun e -> e.Obs.Qstats.e_total_s *. 1e3));
+         ("avg_ms", floats (fun e -> Obs.Qstats.entry_avg_s e *. 1e3));
+         ( "p95_ms",
+           floats (fun e -> Obs.Qstats.entry_percentile e 95.0 *. 1e3) );
+         ("rows_out", longs (fun e -> e.Obs.Qstats.e_rows_out));
+       ])
+
+(** The newest [n] flight-recorder captures as a Q table — the reply to
+    [.hq.slow[n]]. The span tree rides along as a JSON column. *)
+let slow_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
+  let records = Obs.Recorder.recent ctx.Obs.Ctx.recorder n in
+  let arr f = Array.of_list (List.map f records) in
+  QV.Table
+    (QV.table
+       [
+         ("ts", QV.floats (arr (fun r -> r.Obs.Recorder.r_ts)));
+         ("fingerprint", QV.syms (arr (fun r -> r.Obs.Recorder.r_fingerprint)));
+         ("query", QV.syms (arr (fun r -> r.Obs.Recorder.r_query)));
+         ("ms", QV.floats (arr (fun r -> r.Obs.Recorder.r_duration_s *. 1e3)));
+         ("status", QV.syms (arr (fun r -> r.Obs.Recorder.r_status)));
+         ("kind", QV.syms (arr (fun r -> r.Obs.Recorder.r_kind)));
+         ( "sql",
+           QV.syms (arr (fun r -> String.concat "; " r.Obs.Recorder.r_sql)) );
+         ( "trace",
+           QV.syms (arr (fun r -> Obs.Trace.to_json r.Obs.Recorder.r_span)) );
+       ])
+
+(** Zero the metrics registry, the pgdb executor counters it mirrors,
+    and the fingerprint store, so benchmark runs can be bracketed
+    without restarting the proxy. The flight recorder keeps its
+    captures — they are forensic, not cumulative. *)
+let reset_stats (ctx : Obs.Ctx.t) : unit =
+  M.reset_all ctx.Obs.Ctx.registry;
+  Pgdb.Exec.reset_stats ();
+  Obs.Qstats.reset ctx.Obs.Ctx.qstats
+
+(* [.hq.top] and [.hq.slow] take an optional bracketed count:
+   [".hq.top[5]"], [".hq.top[]"], or bare [".hq.top"]. Returns [None]
+   when [text] is not this admin query at all. *)
+let parse_bracket_arg ~(prefix : string) (text : string) : int option option =
+  let pl = String.length prefix in
+  if String.length text < pl || String.sub text 0 pl <> prefix then None
+  else
+    let rest = String.trim (String.sub text pl (String.length text - pl)) in
+    if rest = "" || rest = "[]" then Some None
+    else if
+      String.length rest >= 2 && rest.[0] = '[' && rest.[String.length rest - 1] = ']'
+    then
+      match
+        int_of_string_opt (String.trim (String.sub rest 1 (String.length rest - 2)))
+      with
+      | Some n when n >= 0 -> Some (Some n)
+      | _ -> None
+    else None
+
 let admin_reply (t : t) (text : string) : QV.t option =
-  match String.trim text with
-  | ".hq.stats" ->
-      M.inc t.m.admin_queries_total;
-      Some (stats_table t.obs)
-  | _ -> None
+  (* count the admin query before building the reply so a .hq.stats
+     snapshot includes itself *)
+  let answered mk =
+    M.inc t.m.admin_queries_total;
+    Some (mk ())
+  in
+  let text = String.trim text in
+  match text with
+  | ".hq.stats" -> answered (fun () -> stats_table t.obs)
+  | ".hq.stats.reset" ->
+      reset_stats t.obs;
+      answered (fun () -> QV.Atom (Qvalue.Atom.Sym "reset"))
+  | _ -> (
+      match parse_bracket_arg ~prefix:".hq.top" text with
+      | Some n ->
+          answered (fun () -> top_table t.obs (Option.value n ~default:10))
+      | None -> (
+          match parse_bracket_arg ~prefix:".hq.slow" text with
+          | Some n ->
+              answered (fun () ->
+                  slow_table t.obs
+                    (Option.value n
+                       ~default:(Obs.Recorder.capacity t.obs.Obs.Ctx.recorder)))
+          | None -> None))
 
 (* ------------------------------------------------------------------ *)
 (* Per-query observability                                             *)
@@ -144,10 +255,10 @@ let error_class (e : string) : string =
     | None -> "other"
   else "other"
 
-let sql_statement_count (t : t) : int =
-  List.length
-    !((Hyperq.Engine.mdi (Xc.engine t.xc)).Hyperq.Mdi.backend
-        .Hyperq.Backend.sql_log)
+let backend (t : t) : Hyperq.Backend.t =
+  (Hyperq.Engine.mdi (Xc.engine t.xc)).Hyperq.Mdi.backend
+
+let sql_statement_count (t : t) : int = Hyperq.Backend.log_mark (backend t)
 
 (** Run one query through the cross compiler under a fresh trace span,
     record metrics, and emit the JSONL event. Returns the result and the
@@ -204,6 +315,37 @@ let emit_query_event (t : t) ~(text : string) ~(sql_before : int)
       ("qipc_bytes_out", Int bytes_out);
       ("sql_statements", Int (sql_statement_count t - sql_before));
     ]
+
+(** Fold the completed query into the per-fingerprint statistics store
+    and offer it to the slow-query flight recorder (with the SQL it
+    generated and its full span tree). *)
+let record_workload (t : t) ~(text : string) ~(sql_before : int)
+    ~(result : (QV.t option, string) result) ~(duration : float)
+    ~(bytes_in : int) ~(bytes_out : int) (root : Obs.Trace.span) : unit =
+  let norm = Qlang.Fingerprint.normalize text in
+  let fp = Qlang.Fingerprint.of_normalized norm in
+  let status, error =
+    match result with Ok _ -> ("ok", "") | Error e -> ("error", e)
+  in
+  let rows =
+    match result with Ok (Some v) -> rows_of_value v | Ok None | Error _ -> 0
+  in
+  let stages =
+    List.map
+      (fun s ->
+        let name = Hyperq.Stage_timer.stage_name s in
+        (name, Obs.Trace.total_s root name))
+      Hyperq.Stage_timer.all_stages
+  in
+  Obs.Qstats.record t.obs.Obs.Ctx.qstats ~fingerprint:fp ~query:norm
+    ~duration_s:duration
+    ~error_class:(match result with Ok _ -> None | Error e -> Some (error_class e))
+    ~rows_out:rows ~bytes_in ~bytes_out ~stages;
+  let sql = Hyperq.Backend.sql_since (backend t) sql_before in
+  ignore
+    (Obs.Recorder.observe t.obs.Obs.Ctx.recorder ~ts:(Unix.gettimeofday ())
+       ~fingerprint:fp ~query:norm ~duration_s:duration ~status ~error ~sql
+       root)
 
 (* ------------------------------------------------------------------ *)
 (* Byte-level protocol handling                                        *)
@@ -285,6 +427,9 @@ let feed (t : t) (bytes : string) : string =
                         Obs.Trace.set_span_attr root "qipc_bytes_out"
                           (Obs.Trace.Int (String.length reply));
                         emit_query_event t ~text ~sql_before ~result ~duration
+                          ~bytes_in:consumed ~bytes_out:(String.length reply)
+                          root;
+                        record_workload t ~text ~sql_before ~result ~duration
                           ~bytes_in:consumed ~bytes_out:(String.length reply)
                           root;
                         reply)

@@ -69,4 +69,4 @@ let wire_backend ?(user = "app") ?(password = "secret")
     Obs.Ctx.add_attr obs "pg_bytes_in" (Obs.Trace.Int (!received - received0));
     result
   in
-  { Hyperq.Backend.name = "pg-wire"; exec; sql_log = ref [] }
+  { Hyperq.Backend.name = "pg-wire"; exec; sql_log = ref []; sql_count = ref 0 }

@@ -44,14 +44,60 @@ let create ?(users = [ ("trader", "pwd") ])
 let obs (t : t) = t.obs
 
 (** Prometheus text exposition of the platform's registry (external
-    gauges refreshed first) — what a metrics scraper or the server
+    gauges refreshed first), with the top-K query fingerprints appended
+    as [hq_fingerprint_*_total{fingerprint="..."}] series — what a
+    metrics scraper ([GET /metrics] on the admin port) or the server
     binary's [--stats] shutdown dump prints. *)
 let stats_text (t : t) : string =
-  Endpoint.refresh_external_gauges t.obs.Obs.Ctx.registry;
+  Endpoint.refresh_external_gauges t.obs;
   Obs.Metrics.to_prometheus t.obs.Obs.Ctx.registry
+  ^ Obs.Qstats.to_prometheus ~k:10 t.obs.Obs.Ctx.qstats
 
 (** The same snapshot as a Q table — what [.hq.stats] answers. *)
 let stats_value (t : t) : Qvalue.Value.t = Endpoint.stats_table t.obs
+
+(** The full registry snapshot plus the fingerprint table as one JSON
+    document — what [GET /stats.json] serves. *)
+let stats_json (t : t) : string =
+  Endpoint.refresh_external_gauges t.obs;
+  let samples = Obs.Metrics.snapshot t.obs.Obs.Ctx.registry in
+  let metrics =
+    String.concat ","
+      (List.map
+         (fun s ->
+           Printf.sprintf "{\"name\":\"%s\",\"kind\":\"%s\",\"value\":%g}"
+             (Obs.Trace.json_escape s.Obs.Metrics.s_name)
+             s.Obs.Metrics.s_kind s.Obs.Metrics.s_value)
+         samples)
+  in
+  Printf.sprintf "{\"metrics\":[%s],\"fingerprints\":%s}\n" metrics
+    (Obs.Qstats.to_json t.obs.Obs.Ctx.qstats)
+
+(** Zero counters/histograms and the fingerprint store — [.hq.stats.reset]
+    and [POST /reset]. *)
+let reset_stats (t : t) : unit = Endpoint.reset_stats t.obs
+
+(** Route an admin-plane HTTP request: [GET /metrics] (Prometheus text),
+    [GET /healthz], [GET /stats.json], [GET /slow.json] (flight-recorder
+    JSONL) and [POST /reset]. Pure — drive it through {!Obs.Http.handle}
+    in tests, or hang it off {!Obs.Http.listen} in the server binary. *)
+let admin_handler (t : t) (req : Obs.Http.request) : Obs.Http.response =
+  match (req.Obs.Http.meth, req.Obs.Http.path) with
+  | "GET", "/metrics" -> Obs.Http.text 200 (stats_text t)
+  | "GET", "/healthz" -> Obs.Http.text 200 "ok\n"
+  | "GET", "/stats.json" -> Obs.Http.json 200 (stats_json t)
+  | "GET", "/slow.json" ->
+      {
+        Obs.Http.status = 200;
+        content_type = "application/x-ndjson";
+        body = Obs.Recorder.to_jsonl t.obs.Obs.Ctx.recorder;
+      }
+  | "POST", "/reset" ->
+      reset_stats t;
+      Obs.Http.json 200 "{\"status\":\"reset\"}\n"
+  | _, ("/metrics" | "/healthz" | "/stats.json" | "/slow.json" | "/reset") ->
+      Obs.Http.text 405 "method not allowed\n"
+  | _ -> Obs.Http.text 404 "not found\n"
 
 (** Open a client connection: a fresh backend session (temp-table scope), a
     fresh engine session sharing the server variable scope, wired through

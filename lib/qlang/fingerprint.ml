@@ -1,0 +1,60 @@
+(** Query fingerprinting: collapse a Q query to its {e shape} so workload
+    statistics can aggregate by what a query does rather than by its
+    literal text (pg_stat_statements-style).
+
+    Normalization runs the real {!Lexer} and re-renders the token stream
+    canonically:
+
+    - numeric, temporal and boolean literals (including juxtaposed
+      vector literals like [1 2 3]) become a single [?];
+    - string literals become [?], symbol literals (and symbol vectors
+      like [`a`b`c]) become [`?];
+    - comments are dropped (the lexer never emits them);
+    - whitespace collapses to single separators, so layout and
+      indentation never change the fingerprint;
+    - names, verbs and adverbs pass through verbatim — two queries that
+      differ in a verb or an identifier are different shapes.
+
+    Text the lexer rejects (garbage bytes, unterminated strings) falls
+    back to whitespace-collapsed raw text, so every query — including
+    ones that will fail to parse — gets a stable fingerprint. *)
+
+let collapse_ws (s : string) : string =
+  String.split_on_char ' '
+    (String.map (function '\n' | '\t' | '\r' -> ' ' | c -> c) s)
+  |> List.filter (fun w -> w <> "")
+  |> String.concat " "
+
+let token_text : Token.t -> string option = function
+  | Token.Num _ | Token.NumVec _ | Token.Str _ -> Some "?"
+  | Token.SymLit _ -> Some "`?"
+  | Token.Name n -> Some n
+  | Token.Verb v -> Some v
+  | Token.Adverb a -> Some a
+  | Token.LParen -> Some "("
+  | Token.RParen -> Some ")"
+  | Token.LBracket -> Some "["
+  | Token.RBracket -> Some "]"
+  | Token.LBrace -> Some "{"
+  | Token.RBrace -> Some "}"
+  | Token.Semi -> Some ";"
+  | Token.Eof -> None
+
+(** The canonical shape text of a query. Never raises. *)
+let normalize (text : string) : string =
+  match Lexer.tokenize text with
+  | toks ->
+      let parts = List.filter_map token_text toks in
+      let rec drop_trailing_semi = function
+        | ";" :: rest -> drop_trailing_semi rest
+        | rest -> rest
+      in
+      List.rev parts |> drop_trailing_semi |> List.rev |> String.concat " "
+  | exception Lexer.Error _ -> collapse_ws text
+
+(** Stable 16-hex-char fingerprint hash of an already-normalized text. *)
+let of_normalized (norm : string) : string =
+  String.sub (Digest.to_hex (Digest.string norm)) 0 16
+
+(** [fingerprint text = of_normalized (normalize text)]. *)
+let fingerprint (text : string) : string = of_normalized (normalize text)

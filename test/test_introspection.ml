@@ -1,0 +1,561 @@
+(* Workload introspection plane tests: query fingerprint normalization,
+   the LRU fingerprint statistics store, the slow-query flight recorder,
+   the hand-rolled HTTP admin endpoint, and the in-band .hq.top /
+   .hq.slow / .hq.stats.reset admin queries over a scripted workload. *)
+
+module F = Qlang.Fingerprint
+module M = Obs.Metrics
+module QS = Obs.Qstats
+module R = Obs.Recorder
+module H = Obs.Http
+module Tr = Obs.Trace
+module QV = Qvalue.Value
+module QA = Qvalue.Atom
+module V = Pgdb.Value
+module Db = Pgdb.Db
+module S = Catalog.Schema
+module Ty = Catalog.Sqltype
+module P = Platform.Hyperq_platform
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+let tstr = Alcotest.string
+
+let contains hay needle =
+  let re = Str.regexp_string needle in
+  try
+    ignore (Str.search_forward re hay 0);
+    true
+  with Not_found -> false
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint normalization                                           *)
+(* ------------------------------------------------------------------ *)
+
+let same a b =
+  check tstr
+    (Printf.sprintf "fingerprint(%s) = fingerprint(%s)" a b)
+    (F.fingerprint a) (F.fingerprint b)
+
+let differ a b =
+  check tbool
+    (Printf.sprintf "fingerprint(%s) <> fingerprint(%s)" a b)
+    true
+    (F.fingerprint a <> F.fingerprint b)
+
+let test_fp_numeric_literals () =
+  same "select Price from trades where Size>100"
+    "select Price from trades where Size>999";
+  same "x+1" "x+2.5";
+  (* juxtaposed vector literals collapse to one placeholder *)
+  same "sum 1 2 3" "sum 4 5";
+  same "f[1;2;3]" "f[9;8;7]"
+
+let test_fp_string_and_symbol_literals () =
+  same "g \"abc\"" "g \"something much longer\"";
+  same "select from trades where Symbol=`AAA"
+    "select from trades where Symbol=`ZZZ";
+  (* symbol vectors normalize like single symbols *)
+  same "aj[`Symbol`Time; trades; quotes]" "aj[`Sym2`T2; trades; quotes]"
+    |> ignore;
+  (* but those two differ in nothing else, so they must share *)
+  same "f `a`b`c" "f `x"
+
+let test_fp_whitespace_and_comments () =
+  same "select   Price    from trades" "select Price from trades";
+  same "select Price from trades / trailing comment"
+    "select Price from trades";
+  same "select Price from trades\n" "select Price from trades";
+  same "select Price from trades;" "select Price from trades"
+
+let test_fp_lambda_bodies () =
+  same "f:{x+1}" "f:{x+42}";
+  same "{[a;b] a+b*2}" "{[a;b] a+b*7}";
+  differ "f:{x+1}" "f:{x-1}"
+
+let test_fp_shapes_differ () =
+  differ "select Price from trades" "select Size from trades";
+  differ "a+1" "a-1";
+  differ "select Price from trades" "select Price from quotes";
+  differ "sum x" "avg x"
+
+let test_fp_lexer_fallback () =
+  (* bytes the lexer rejects still fingerprint stably (via collapsed
+     raw text) instead of raising *)
+  let junk = "select \xc3\xa9 from trades \"unterminated" in
+  check tstr "fallback is deterministic" (F.fingerprint junk)
+    (F.fingerprint junk);
+  check tbool "fallback collapses whitespace" true
+    (F.fingerprint "a   @@\x01  b" = F.fingerprint "a @@\x01 b")
+
+let test_fp_normalized_text () =
+  check tstr "literals stripped" "select Price from trades where Size > ?"
+    (F.normalize "select Price from trades where Size>100");
+  check tstr "symbols stripped" "f `?" (F.normalize "f `abc`def");
+  check tstr "strings stripped" "g ?" (F.normalize "g \"hello\"")
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint statistics store                                        *)
+(* ------------------------------------------------------------------ *)
+
+let record ?(fp = "fp") ?(dur = 0.01) ?(err = None) ?(rows = 1) qs =
+  QS.record qs ~fingerprint:fp ~query:("q-" ^ fp) ~duration_s:dur
+    ~error_class:err ~rows_out:rows ~bytes_in:10 ~bytes_out:20
+    ~stages:[ ("parse", 0.001); ("execute", 0.005) ]
+
+let test_qstats_accumulation () =
+  let qs = QS.create () in
+  record qs ~fp:"a" ~dur:0.01;
+  record qs ~fp:"a" ~dur:0.03 ~err:(Some "binder");
+  record qs ~fp:"b" ~dur:0.002;
+  check tint "two fingerprints" 2 (QS.size qs);
+  let a = Option.get (QS.find qs "a") in
+  check tint "calls" 2 a.QS.e_calls;
+  check tint "errors" 1 a.QS.e_errors;
+  check tint "error class counted" 1 (List.assoc "binder" a.QS.e_error_classes);
+  check tbool "total accumulates" true
+    (Float.abs (a.QS.e_total_s -. 0.04) < 1e-9);
+  check tbool "stage sums accumulate" true
+    (Float.abs (List.assoc "parse" a.QS.e_stages -. 0.002) < 1e-9);
+  check tint "rows accumulate" 2 a.QS.e_rows_out;
+  check tint "bytes accumulate" 20 a.QS.e_bytes_in;
+  (* top is sorted by total time *)
+  match QS.top qs 10 with
+  | [ first; second ] ->
+      check tstr "heaviest first" "a" first.QS.e_fingerprint;
+      check tstr "lightest second" "b" second.QS.e_fingerprint
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l)
+
+let test_qstats_lru_eviction () =
+  let qs = QS.create ~capacity:4 () in
+  List.iter (fun fp -> record qs ~fp) [ "a"; "b"; "c"; "d" ];
+  (* touch "a" so it is the most recently used *)
+  record qs ~fp:"a";
+  record qs ~fp:"e";
+  (* capacity respected; "b" (least recently used) evicted *)
+  check tint "size bounded" 4 (QS.size qs);
+  check tint "one eviction" 1 (QS.evictions qs);
+  check tbool "MRU survives" true (QS.find qs "a" <> None);
+  check tbool "LRU evicted" true (QS.find qs "b" = None);
+  (* hammering new fingerprints never exceeds capacity *)
+  for i = 0 to 999 do
+    record qs ~fp:(Printf.sprintf "fp%d" i)
+  done;
+  check tbool "still bounded" true (QS.size qs <= QS.capacity qs)
+
+let test_qstats_percentile_and_reset () =
+  let qs = QS.create () in
+  for _ = 1 to 99 do
+    record qs ~fp:"x" ~dur:0.0001 (* 100us *)
+  done;
+  record qs ~fp:"x" ~dur:0.5;
+  let e = Option.get (QS.find qs "x") in
+  let p50 = QS.entry_percentile e 50.0 in
+  let p99 = QS.entry_percentile e 99.5 in
+  check tbool "p50 near 100us (within 2x bucket)" true
+    (p50 >= 0.0001 && p50 <= 0.0003);
+  check tbool "tail hits the slow outlier" true (p99 >= 0.25);
+  check tbool "avg between" true
+    (QS.entry_avg_s e > 0.0001 && QS.entry_avg_s e < 0.5);
+  QS.reset qs;
+  check tint "reset empties" 0 (QS.size qs)
+
+let test_qstats_prometheus_and_json () =
+  let qs = QS.create () in
+  record qs ~fp:"abc123";
+  let prom = QS.to_prometheus ~k:5 qs in
+  check tbool "calls series" true
+    (contains prom "hq_fingerprint_calls_total{fingerprint=\"abc123\"} 1");
+  check tbool "seconds series" true
+    (contains prom "hq_fingerprint_seconds_total{fingerprint=\"abc123\"}");
+  check tbool "type comment" true
+    (contains prom "# TYPE hq_fingerprint_calls_total counter");
+  let j = QS.to_json qs in
+  check tbool "json has fingerprint" true (contains j "\"fingerprint\":\"abc123\"");
+  check tbool "json has stages" true (contains j "\"stages_ms\"");
+  check tbool "empty store renders empty exposition" true
+    (QS.to_prometheus (QS.create ()) = "")
+
+(* ------------------------------------------------------------------ *)
+(* Slow-query flight recorder                                          *)
+(* ------------------------------------------------------------------ *)
+
+let span_of name =
+  let tr = Tr.start name in
+  Tr.finish tr
+
+let observe ?(dur = 1.0) ?(status = "ok") ?(error = "") r i =
+  R.observe r ~ts:(float_of_int i) ~fingerprint:"fp" ~query:"q"
+    ~duration_s:dur ~status ~error
+    ~sql:[ "SELECT 1" ]
+    (span_of "query")
+
+let test_recorder_threshold_and_bound () =
+  let r = R.create ~capacity:8 ~threshold_s:0.1 () in
+  check tbool "fast query not captured" false (observe r 1 ~dur:0.001);
+  check tbool "slow query captured" true (observe r 2 ~dur:0.2);
+  check tint "one record" 1 (R.size r);
+  (* a 10k-query burst never grows the ring past its capacity *)
+  for i = 0 to 9_999 do
+    ignore (observe r i ~dur:1.0)
+  done;
+  check tint "ring bounded at capacity" 8 (R.size r);
+  check tint "all slow queries counted" 10_001 (R.captured_slow r);
+  (* newest first, newest survive the wraparound *)
+  (match R.recent r 3 with
+  | a :: b :: _ ->
+      check tbool "newest first" true (a.R.r_ts >= b.R.r_ts);
+      check tbool "newest retained" true (a.R.r_ts = 9999.0)
+  | _ -> Alcotest.fail "expected records");
+  R.reset r;
+  check tint "reset empties ring" 0 (R.size r)
+
+let test_recorder_tail_sampling () =
+  let r = R.create ~capacity:100 ~threshold_s:10.0 ~sample_every:10 () in
+  let captured = ref 0 in
+  for i = 1 to 100 do
+    if observe r i ~dur:0.001 then incr captured
+  done;
+  check tint "1-in-10 fast queries sampled" 10 !captured;
+  check tint "sampled counter" 10 (R.captured_sampled r);
+  check tint "no slow captures" 0 (R.captured_slow r);
+  match R.recent r 1 with
+  | [ rec_ ] -> check tstr "kind is sample" "sample" rec_.R.r_kind
+  | _ -> Alcotest.fail "expected one record"
+
+let test_recorder_jsonl () =
+  let r = R.create ~capacity:4 ~threshold_s:0.0 () in
+  ignore
+    (R.observe r ~ts:1.5 ~fingerprint:"deadbeef" ~query:"select ? from t"
+       ~duration_s:0.25 ~status:"error" ~error:"[binder] nope"
+       ~sql:[ "SELECT a FROM t"; "DROP TABLE tmp" ]
+       (span_of "query"));
+  let jl = R.to_jsonl r in
+  check tbool "fingerprint in jsonl" true (contains jl "\"fingerprint\":\"deadbeef\"");
+  check tbool "sql array" true (contains jl "\"SELECT a FROM t\",\"DROP TABLE tmp\"");
+  check tbool "error escaped in" true (contains jl "[binder] nope");
+  check tbool "trace tree embedded" true (contains jl "\"trace\":{\"name\":\"query\"");
+  check tbool "one line per record" true
+    (String.length jl > 0 && jl.[String.length jl - 1] = '\n')
+
+(* ------------------------------------------------------------------ *)
+(* HTTP request parsing / rendering                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_http_parse () =
+  (match H.parse_request "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n" with
+  | Ok req ->
+      check tstr "method" "GET" req.H.meth;
+      check tstr "path" "/metrics" req.H.path;
+      check tstr "host header" "x" (List.assoc "host" req.H.headers)
+  | Error _ -> Alcotest.fail "well-formed request must parse");
+  (match H.parse_request "GET /stats.json?limit=5 HTTP/1.1\r\n\r\n" with
+  | Ok req ->
+      check tstr "query split off path" "/stats.json" req.H.path;
+      check tstr "query string kept" "limit=5" req.H.query
+  | Error _ -> Alcotest.fail "query-string request must parse");
+  (match
+     H.parse_request
+       "POST /reset HTTP/1.1\r\nContent-Length: 4\r\n\r\nwipe"
+   with
+  | Ok req -> check tstr "body read to content-length" "wipe" req.H.body
+  | Error _ -> Alcotest.fail "POST with body must parse");
+  (match H.parse_request "GET /metrics HTTP/1.1\r\nHost: x\r\n" with
+  | Error `Incomplete -> ()
+  | _ -> Alcotest.fail "unterminated headers are incomplete");
+  (match H.parse_request "POST /r HTTP/1.1\r\nContent-Length: 10\r\n\r\nab" with
+  | Error `Incomplete -> ()
+  | _ -> Alcotest.fail "short body is incomplete");
+  match H.parse_request "NONSENSE\r\n\r\n" with
+  | Error (`Malformed _) -> ()
+  | _ -> Alcotest.fail "bad request line is malformed"
+
+let test_http_render_and_handle () =
+  let handler req =
+    match req.H.path with
+    | "/boom" -> failwith "kaboom"
+    | p -> H.text 200 ("you asked for " ^ p ^ "\n")
+  in
+  let resp = H.handle handler "GET /hello HTTP/1.1\r\n\r\n" in
+  check tbool "status line" true (contains resp "HTTP/1.1 200 OK");
+  check tbool "content-length present" true (contains resp "Content-Length: 21");
+  check tbool "body present" true (contains resp "you asked for /hello");
+  check tbool "connection close" true (contains resp "Connection: close");
+  let bad = H.handle handler "garbage" in
+  check tbool "malformed -> 400" true (contains bad "HTTP/1.1 400");
+  let boom = H.handle handler "GET /boom HTTP/1.1\r\n\r\n" in
+  check tbool "raising handler -> 500" true (contains boom "HTTP/1.1 500")
+
+(* ------------------------------------------------------------------ *)
+(* End to end: scripted workload over QIPC + admin plane               *)
+(* ------------------------------------------------------------------ *)
+
+let make_db () =
+  let db = Db.create () in
+  Db.load_table db
+    (S.table ~order_col:"hq_ord" "trades"
+       [
+         S.column "hq_ord" Ty.TBigint;
+         S.column "Symbol" Ty.TVarchar;
+         S.column "Price" Ty.TDouble;
+         S.column "Size" Ty.TBigint;
+       ])
+    (List.mapi
+       (fun i (sym, px, sz) ->
+         [| V.Int (Int64.of_int i); V.Str sym; V.Float px; V.Int (Int64.of_int sz) |])
+       [ ("A", 10.0, 100); ("B", 20.0, 200); ("A", 11.0, 150) ]);
+  db
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "query failed: %s" e
+
+(* platform whose recorder captures everything (threshold 0) *)
+let make_platform () =
+  let recorder = R.create ~threshold_s:0.0 () in
+  let obs = Obs.Ctx.create ~recorder () in
+  P.create ~obs (make_db ())
+
+let column_syms tb name =
+  let col = QV.column_exn tb name in
+  Array.init (QV.length col) (fun i ->
+      match QV.index col i with
+      | QV.Atom (QA.Sym s) -> s
+      | v -> Alcotest.failf "expected sym, got %s" (Qvalue.Qprint.to_string v))
+
+let column_longs tb name =
+  let col = QV.column_exn tb name in
+  Array.init (QV.length col) (fun i ->
+      match QV.index col i with
+      | QV.Atom (QA.Long n) -> Int64.to_int n
+      | v -> Alcotest.failf "expected long, got %s" (Qvalue.Qprint.to_string v))
+
+let test_hq_top_scripted_workload () =
+  let p = make_platform () in
+  let c = P.Client.connect p in
+  (* shape 1: five calls across two literal variants (same fingerprint) *)
+  for _ = 1 to 3 do
+    ignore (ok (P.Client.query c "select Price from trades where Symbol=`A"))
+  done;
+  for _ = 1 to 2 do
+    ignore (ok (P.Client.query c "select Price from trades where Symbol=`B"))
+  done;
+  (* shape 2: one call *)
+  ignore (ok (P.Client.query c "select Size from trades"));
+  let v = ok (P.Client.query c ".hq.top[5]") in
+  match v with
+  | QV.Table tb ->
+      check tint "two fingerprints" 2 (QV.table_length tb);
+      let fps = column_syms tb "fingerprint" in
+      let queries = column_syms tb "query" in
+      let calls = column_longs tb "calls" in
+      let errors = column_longs tb "errors" in
+      (* find the row for each shape by its normalized text *)
+      let idx_of q =
+        let rec go i =
+          if i >= Array.length queries then
+            Alcotest.failf "shape %s not in .hq.top" q
+          else if queries.(i) = q then i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let shape1 = idx_of "select Price from trades where Symbol = `?" in
+      let shape2 = idx_of "select Size from trades" in
+      check tint "shape 1 counted exactly" 5 calls.(shape1);
+      check tint "shape 2 counted exactly" 1 calls.(shape2);
+      check tint "no errors" 0 errors.(shape1);
+      check tstr "fingerprint matches the fingerprinter"
+        (F.fingerprint "select Price from trades where Symbol=`XYZ")
+        fps.(shape1);
+      (* .hq.top[1] truncates to the heaviest shape *)
+      (match ok (P.Client.query c ".hq.top[1]") with
+      | QV.Table tb1 -> check tint "top[1] rows" 1 (QV.table_length tb1)
+      | _ -> Alcotest.fail "expected table");
+      (* admin queries themselves are not fingerprinted *)
+      let qs = (P.obs p).Obs.Ctx.qstats in
+      check tint "admin queries not in the store" 2 (QS.size qs)
+  | v -> Alcotest.failf "expected a table, got %s" (Qvalue.Qprint.to_string v)
+
+let test_hq_slow_capture () =
+  let p = make_platform () in
+  let c = P.Client.connect p in
+  ignore (ok (P.Client.query c "select Price from trades where Symbol=`A"));
+  let v = ok (P.Client.query c ".hq.slow[]") in
+  match v with
+  | QV.Table tb ->
+      check tint "one capture" 1 (QV.table_length tb);
+      let sqls = column_syms tb "sql" in
+      let traces = column_syms tb "trace" in
+      let status = column_syms tb "status" in
+      check tbool "generated SQL captured" true (contains sqls.(0) "SELECT");
+      check tbool "span tree has the query root" true
+        (contains traces.(0) "\"name\":\"query\"");
+      check tbool "span tree has pipeline stages" true
+        (contains traces.(0) "\"execute\""
+        && contains traces.(0) "\"parse\""
+        && contains traces.(0) "\"pivot\"");
+      check tstr "status ok" "ok" status.(0);
+      (* errors are captured with their categorised text *)
+      (match P.Client.query c "select nope from missing_table" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "expected error");
+      (match ok (P.Client.query c ".hq.slow[1]") with
+      | QV.Table tb2 ->
+          let st = column_syms tb2 "status" in
+          check tstr "newest first is the error" "error" st.(0)
+      | _ -> Alcotest.fail "expected table")
+  | v -> Alcotest.failf "expected a table, got %s" (Qvalue.Qprint.to_string v)
+
+let test_hq_stats_reset () =
+  let p = make_platform () in
+  let reg = (P.obs p).Obs.Ctx.registry in
+  let c = P.Client.connect p in
+  for _ = 1 to 4 do
+    ignore (ok (P.Client.query c "select Price from trades"))
+  done;
+  let queries_total () =
+    M.counter_value (M.counter reg "hq_queries_total")
+  in
+  check tint "counted before reset" 4 (queries_total ());
+  (match ok (P.Client.query c ".hq.stats.reset") with
+  | QV.Atom (QA.Sym "reset") -> ()
+  | v -> Alcotest.failf "expected `reset, got %s" (Qvalue.Qprint.to_string v));
+  check tint "counters zeroed" 0 (queries_total ());
+  check tint "fingerprint store zeroed" 0 (QS.size (P.obs p).Obs.Ctx.qstats);
+  check tbool "histograms zeroed" true
+    (M.hist_count (M.histogram reg "hq_query_seconds") = 0);
+  (* the proxy keeps serving and counting after a reset *)
+  ignore (ok (P.Client.query c "select Price from trades"));
+  check tint "counting resumes from zero" 1 (queries_total ())
+
+let test_admin_endpoint_routes () =
+  let p = make_platform () in
+  let c = P.Client.connect p in
+  for _ = 1 to 3 do
+    ignore (ok (P.Client.query c "select Price from trades"))
+  done;
+  let get path = H.handle (P.admin_handler p) (Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path) in
+  (* /healthz *)
+  let hz = get "/healthz" in
+  check tbool "healthz 200" true (contains hz "HTTP/1.1 200");
+  check tbool "healthz body" true (contains hz "ok");
+  (* /metrics serves the same registry .hq.stats reports *)
+  let metrics = get "/metrics" in
+  check tbool "metrics 200" true (contains metrics "HTTP/1.1 200");
+  check tbool "metrics counted queries" true (contains metrics "hq_queries_total 3");
+  check tbool "metrics has stage buckets" true
+    (contains metrics "hq_stage_seconds_bucket{stage=\"parse\",le=");
+  check tbool "metrics merges fingerprints" true
+    (contains metrics "hq_fingerprint_calls_total{fingerprint=");
+  (* the in-band table agrees with the scrape *)
+  (match ok (P.Client.query c ".hq.stats") with
+  | QV.Table tb ->
+      let metric_col = QV.column_exn tb "metric" in
+      let value_col = QV.column_exn tb "value" in
+      let rec lookup i =
+        if i >= QV.length metric_col then Alcotest.fail "metric missing"
+        else
+          match (QV.index metric_col i, QV.index value_col i) with
+          | QV.Atom (QA.Sym "hq_queries_total"), QV.Atom (QA.Float f) -> f
+          | _ -> lookup (i + 1)
+      in
+      (* 3 workload queries; the .hq.stats call itself is admin-only *)
+      check tbool "in-band and scrape agree" true (lookup 0 = 3.0)
+  | _ -> Alcotest.fail "expected table");
+  (* /stats.json *)
+  let sj = get "/stats.json" in
+  check tbool "stats.json 200" true (contains sj "HTTP/1.1 200");
+  check tbool "stats.json metrics array" true (contains sj "\"metrics\":[");
+  check tbool "stats.json fingerprints" true (contains sj "\"fingerprints\":[");
+  check tbool "stats.json has calls" true (contains sj "\"calls\":3");
+  (* /slow.json (threshold 0: everything captured) *)
+  let slj = get "/slow.json" in
+  check tbool "slow.json 200" true (contains slj "HTTP/1.1 200");
+  check tbool "slow.json ndjson" true (contains slj "application/x-ndjson");
+  check tbool "slow.json has traces" true (contains slj "\"trace\":{");
+  (* POST /reset *)
+  let reset =
+    H.handle (P.admin_handler p) "POST /reset HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+  in
+  check tbool "reset 200" true (contains reset "HTTP/1.1 200");
+  check tbool "reset acknowledges" true (contains reset "\"status\":\"reset\"");
+  let after = get "/metrics" in
+  check tbool "counters zeroed over HTTP" true
+    (contains after "hq_queries_total 0");
+  (* routing edges *)
+  check tbool "404 for unknown path" true (contains (get "/nope") "HTTP/1.1 404");
+  let post_metrics =
+    H.handle (P.admin_handler p) "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+  in
+  check tbool "405 for POST /metrics" true (contains post_metrics "HTTP/1.1 405");
+  let get_reset = get "/reset" in
+  check tbool "405 for GET /reset" true (contains get_reset "HTTP/1.1 405")
+
+let test_default_buckets_log_scale () =
+  let b = M.default_buckets in
+  check tbool "ascending" true
+    (Array.for_all (fun x -> x > 0.0) b
+    &&
+    let rec mono i = i >= Array.length b - 1 || (b.(i) < b.(i + 1) && mono (i + 1)) in
+    mono 0);
+  check tbool "sub-microsecond floor" true (b.(0) <= 1e-6);
+  check tbool "spans to 10s" true (b.(Array.length b - 1) = 10.0);
+  (* fast parse stages (1-10us) spread over several buckets *)
+  let in_range = Array.to_list b |> List.filter (fun x -> x >= 1e-6 && x <= 1e-5) in
+  check tbool "multiple buckets under 10us" true (List.length in_range >= 3);
+  (* generator respects bounds *)
+  let g = M.log_buckets ~lo:1e-3 ~hi:1.0 () in
+  check tbool "generator bounds" true (g.(0) = 1e-3 && g.(Array.length g - 1) = 1.0)
+
+let () =
+  Alcotest.run "introspection"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "numeric literals" `Quick test_fp_numeric_literals;
+          Alcotest.test_case "string/symbol literals" `Quick
+            test_fp_string_and_symbol_literals;
+          Alcotest.test_case "whitespace and comments" `Quick
+            test_fp_whitespace_and_comments;
+          Alcotest.test_case "lambda bodies" `Quick test_fp_lambda_bodies;
+          Alcotest.test_case "different shapes differ" `Quick
+            test_fp_shapes_differ;
+          Alcotest.test_case "lexer fallback" `Quick test_fp_lexer_fallback;
+          Alcotest.test_case "normalized text" `Quick test_fp_normalized_text;
+        ] );
+      ( "qstats",
+        [
+          Alcotest.test_case "accumulation" `Quick test_qstats_accumulation;
+          Alcotest.test_case "LRU eviction" `Quick test_qstats_lru_eviction;
+          Alcotest.test_case "percentiles and reset" `Quick
+            test_qstats_percentile_and_reset;
+          Alcotest.test_case "prometheus and json" `Quick
+            test_qstats_prometheus_and_json;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "threshold and ring bound" `Quick
+            test_recorder_threshold_and_bound;
+          Alcotest.test_case "tail sampling" `Quick test_recorder_tail_sampling;
+          Alcotest.test_case "jsonl dump" `Quick test_recorder_jsonl;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "request parsing" `Quick test_http_parse;
+          Alcotest.test_case "render and handle" `Quick
+            test_http_render_and_handle;
+        ] );
+      ( "admin-plane",
+        [
+          Alcotest.test_case ".hq.top scripted workload" `Quick
+            test_hq_top_scripted_workload;
+          Alcotest.test_case ".hq.slow capture" `Quick test_hq_slow_capture;
+          Alcotest.test_case ".hq.stats.reset" `Quick test_hq_stats_reset;
+          Alcotest.test_case "HTTP admin endpoint routes" `Quick
+            test_admin_endpoint_routes;
+          Alcotest.test_case "log-scale default buckets" `Quick
+            test_default_buckets_log_scale;
+        ] );
+    ]
