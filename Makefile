@@ -1,13 +1,19 @@
-.PHONY: all check test bench fmt clean ci
+.PHONY: all check test bench bench-smoke fmt clean ci
 
 all:
 	dune build @all
 
-# build + full test suite; the introspection suite exercises the HTTP
-# admin endpoint through its pure handler, so no curl / open port needed
+# build + full test suite + the correlation-plane overhead smoke gate;
+# the introspection suite exercises the HTTP admin endpoint through its
+# pure handler, so no curl / open port needed
 ci:
 	dune build @all
 	dune runtest
+	dune exec bench/main.exe -- smoke
+
+# quick overhead gate only (exit 1 if the correlation plane regresses)
+bench-smoke:
+	dune exec bench/main.exe -- smoke
 
 check:
 	dune build @dev-check

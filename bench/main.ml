@@ -12,6 +12,10 @@
      ordering        Ablation C: order elision on/off
      materialization Ablation D: logical vs physical materialization
      protocol        Figure 5  : QIPC column pivot vs PG v3 row streaming
+     obs             Per-stage percentiles over the full proxy
+     qstats          Fingerprint-store overhead
+     trace_export    Correlation-plane overhead (ids/traceparent/export/log)
+     smoke           Quick trace_export gate for `make ci` (exit 1 on fail)
      micro           Bechamel micro-benchmarks of the translation pipeline *)
 
 module E = Hyperq.Engine
@@ -569,6 +573,131 @@ let bench_qstats () =
   P.Client.close client
 
 (* ------------------------------------------------------------------ *)
+(* Correlated tracing: end-to-end overhead of the correlation plane    *)
+(* ------------------------------------------------------------------ *)
+
+(* drives a workload through the full proxy (which now generates trace
+   ids, decorates SQL with traceparent comments, keeps the session
+   registry current, exports every finished trace and logs per query),
+   then isolates the pure correlation cost per query — id generation,
+   traceparent decoration, session registry churn, export-ring offer and
+   one rendered log line — and compares it to the measured end-to-end
+   query latency. Target: <2% overhead. Full run writes
+   BENCH_trace_export.json; [~smoke:true] is the quick CI gate. *)
+let bench_trace_export ?(smoke = false) () =
+  header
+    (if smoke then "Correlated tracing - overhead smoke check"
+     else "Correlated tracing - correlation-plane overhead (writes \
+           BENCH_trace_export.json)");
+  let module P = Platform.Hyperq_platform in
+  let d = MD.generate MD.small_scale in
+  let db = Pgdb.Db.create () in
+  MD.load_pg db d;
+  let obs = Obs.Ctx.create () in
+  let platform = P.create ~obs db in
+  let client = P.Client.connect platform in
+  let shapes =
+    [
+      (fun i -> Printf.sprintf "select Price from trades where Symbol=`%s"
+          d.MD.syms.(i mod Array.length d.MD.syms));
+      (fun i -> Printf.sprintf "select sum Size from trades where Price>%f"
+          (float_of_int (i mod 50)));
+      (fun _ -> "select avg Bid from quotes");
+    ]
+  in
+  let total_queries = if smoke then 300 else 10_000 in
+  for i = 0 to total_queries - 1 do
+    let shape = List.nth shapes (i mod List.length shapes) in
+    ignore (P.Client.query client (shape i))
+  done;
+  let reg = obs.Obs.Ctx.registry in
+  let query_h = Obs.Metrics.histogram reg "hq_query_seconds" in
+  let mean_query_us =
+    Obs.Metrics.hist_sum query_h
+    /. float_of_int (Stdlib.max 1 (Obs.Metrics.hist_count query_h))
+    *. 1e6
+  in
+  let exported = Obs.Export.exported_total obs.Obs.Ctx.export in
+  (* isolated correlation cost on scratch components *)
+  let scratch_sessions = Obs.Sessions.create () in
+  let session = Obs.Sessions.register ~user:"bench" scratch_sessions in
+  let scratch_export = Obs.Export.create () in
+  let scratch_log =
+    Obs.Log.create ~sink:(Obs.Events.create ()) (Obs.Metrics.create ())
+  in
+  let sql = "SELECT \"Price\" FROM trades WHERE \"Symbol\" = 'S000'" in
+  let iterations = if smoke then 5_000 else 50_000 in
+  let t0 = now () in
+  for _ = 1 to iterations do
+    let tr = Obs.Trace.start "query" in
+    let trace_id = Obs.Trace.trace_id tr in
+    Obs.Sessions.query_started session ~query:sql ~fingerprint:"fp";
+    Obs.Sessions.set_trace session trace_id;
+    let decorated =
+      sql ^ " /* traceparent='"
+      ^ Obs.Trace.traceparent ~trace_id
+          ~span_id:(Obs.Trace.span_id (Obs.Trace.current tr))
+      ^ "' */"
+    in
+    ignore (String.length decorated);
+    Obs.Trace.with_span tr "execute" (fun () -> ());
+    let root = Obs.Trace.finish tr in
+    Obs.Sessions.query_finished session;
+    Obs.Export.offer scratch_export ~ts:(Unix.gettimeofday ()) ~trace_id root;
+    Obs.Log.info scratch_log ~trace_id "query completed"
+      [ ("duration_ms", Obs.Events.Float 0.1) ]
+  done;
+  let mean_correlate_us = (now () -. t0) *. 1e6 /. float_of_int iterations in
+  let overhead_pct =
+    100.0 *. mean_correlate_us /. Float.max 1e-9 mean_query_us
+  in
+  let export_ring = obs.Obs.Ctx.export in
+  let ring_ok = Obs.Export.size export_ring <= Obs.Export.capacity export_ring in
+  Printf.printf "%-34s %12d\n" "queries through the proxy" total_queries;
+  Printf.printf "%-34s %12d\n" "traces exported" exported;
+  Printf.printf "%-34s %12.1f\n" "mean query latency (us)" mean_query_us;
+  Printf.printf "%-34s %12.3f\n" "mean correlation cost (us)"
+    mean_correlate_us;
+  Printf.printf "%-34s %11.3f%%  (target <2%%)\n" "overhead" overhead_pct;
+  Printf.printf "%-34s %6d <= %-5d %s\n" "trace-export ring"
+    (Obs.Export.size export_ring)
+    (Obs.Export.capacity export_ring)
+    (if ring_ok then "(bounded ok)" else "(OVERFLOW!)");
+  P.Client.close client;
+  if smoke then begin
+    (* generous gate: the full run targets <2%, but the smoke run's tiny
+       sample is noisy, so only fail on an order-of-magnitude regression *)
+    let limit = 5.0 in
+    if (not ring_ok) || overhead_pct > limit then begin
+      Printf.printf
+        "--\nSMOKE FAIL: overhead %.3f%% > %.1f%% or ring overflow\n"
+        overhead_pct limit;
+      exit 1
+    end;
+    Printf.printf "--\nsmoke ok\n"
+  end
+  else begin
+    let oc = open_out "BENCH_trace_export.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"queries\": %d,\n\
+      \  \"traces_exported\": %d,\n\
+      \  \"mean_query_us\": %.3f,\n\
+      \  \"mean_correlate_us\": %.3f,\n\
+      \  \"overhead_pct\": %.4f,\n\
+      \  \"ring_size\": %d,\n\
+      \  \"ring_capacity\": %d,\n\
+      \  \"ring_bounded\": %b\n\
+       }\n"
+      total_queries exported mean_query_us mean_correlate_us overhead_pct
+      (Obs.Export.size export_ring)
+      (Obs.Export.capacity export_ring)
+      ring_ok;
+    close_out oc;
+    Printf.printf "--\nwrote BENCH_trace_export.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -633,6 +762,8 @@ let all_experiments =
     ("protocol", bench_protocol);
     ("obs", bench_obs);
     ("qstats", bench_qstats);
+    ("trace_export", (fun () -> bench_trace_export ()));
+    ("smoke", (fun () -> bench_trace_export ~smoke:true ()));
     ("micro", micro);
   ]
 
@@ -644,7 +775,11 @@ let () =
       print_endline
         "Hyper-Q reproduction benchmarks (all experiments; pass a name to \
          run one)";
-      List.iter (fun (_, f) -> f ()) all_experiments
+      (* "smoke" is the CI gate variant of trace_export, not a distinct
+         experiment — skip it when running everything *)
+      List.iter
+        (fun (name, f) -> if name <> "smoke" then f ())
+        all_experiments
   | names ->
       List.iter
         (fun n ->

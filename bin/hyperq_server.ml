@@ -10,6 +10,8 @@
      q) .hq.stats                                 -- in-band metrics table
      q) .hq.top[5]                                -- top query fingerprints
      q) .hq.slow[]                                -- slow-query flight recorder
+     q) .hq.activity                              -- session registry (who runs what)
+     q) .hq.traces[5]                             -- last finished query traces
      q) .hq.stats.reset                           -- zero counters/histograms
      q) \sql select from trades where Symbol=`AAA -- show generated SQL
      q) \q                                        -- quit
@@ -33,6 +35,9 @@ let () =
   let admin_port = ref 0 in
   let slow_threshold_ms = ref 100.0 in
   let slow_sample = ref 0 in
+  let log_level = ref "info" in
+  let log_file = ref "" in
+  let trace_ring = ref Obs.Export.default_capacity in
   let speclist =
     [
       ( "--stats",
@@ -40,23 +45,61 @@ let () =
         " dump Prometheus metrics to stderr when the REPL exits" );
       ( "--admin-port",
         Arg.Set_int admin_port,
-        "PORT serve GET /metrics, /healthz, /stats.json, /slow.json and \
-         POST /reset on 127.0.0.1:PORT" );
+        "PORT serve GET /metrics, /healthz, /stats.json, /slow.json, \
+         /traces.json, /logs.json, /activity.json and POST /reset on \
+         127.0.0.1:PORT" );
       ( "--slow-threshold-ms",
         Arg.Set_float slow_threshold_ms,
         "MS flight-record queries slower than MS (default 100)" );
       ( "--slow-sample",
         Arg.Set_int slow_sample,
         "N also flight-record every Nth fast query (0 disables, default)" );
+      ( "--log-level",
+        Arg.Set_string log_level,
+        "LEVEL structured-log threshold: debug|info|warn|error (default \
+         info)" );
+      ( "--log-file",
+        Arg.Set_string log_file,
+        "PATH append the JSONL stream (query events + log lines) to PATH" );
+      ( "--trace-ring",
+        Arg.Set_int trace_ring,
+        Printf.sprintf
+          "N keep the last N finished traces for /traces.json and \
+           .hq.traces (default %d)"
+          Obs.Export.default_capacity );
     ]
   in
   Arg.parse speclist
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a)))
     usage;
+  let level =
+    match Obs.Log.level_of_string !log_level with
+    | Some l -> l
+    | None ->
+        raise
+          (Arg.Bad (Printf.sprintf "unknown --log-level %S" !log_level))
+  in
   let d = MD.generate MD.small_scale in
   let db = Pgdb.Db.create () in
   MD.load_pg db d;
-  let platform = P.create db in
+  (* assemble the observability context by hand so the flags can size
+     the trace ring and set the log threshold before any layer logs *)
+  let registry = Obs.Metrics.create () in
+  let events = Obs.Events.create () in
+  if !log_file <> "" then begin
+    let oc =
+      open_out_gen [ Open_append; Open_creat ] 0o644 !log_file
+    in
+    at_exit (fun () -> try close_out oc with _ -> ());
+    Obs.Events.set_writer events (fun line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+  end;
+  let log = Obs.Log.create ~level ~sink:events registry in
+  let export = Obs.Export.create ~capacity:(max 1 !trace_ring) () in
+  let obs = Obs.Ctx.create ~registry ~events ~log ~export () in
+  let platform = P.create ~obs db in
   let recorder = (P.obs platform).Obs.Ctx.recorder in
   Obs.Recorder.set_threshold recorder (!slow_threshold_ms /. 1000.0);
   Obs.Recorder.set_sample_every recorder !slow_sample;
@@ -83,7 +126,8 @@ let () =
      tables: trades (%d rows), quotes (%d rows), secmaster_w, risk_w, \
      limits_w\n\
      commands: \\sql <q-query> shows generated SQL, .hq.stats / .hq.top[n] \
-     / .hq.slow[n] / .hq.stats.reset for proxy introspection, \\q quits\n\n"
+     / .hq.slow[n] / .hq.activity / .hq.traces[n] / .hq.stats.reset for \
+     proxy introspection, \\q quits\n\n"
     (Array.length d.MD.trades)
     (Array.length d.MD.quotes);
   let rec loop () =

@@ -21,9 +21,15 @@ type t = {
   sql_count : int ref;  (** length of [sql_log], maintained so callers
                             can bookmark and slice the log without
                             walking it *)
+  decorate : (string -> string) ref;
+      (** statement rewrite applied before logging and dispatch — the
+          Gateway installs the sqlcommenter [traceparent] comment here
+          so the decorated text is what both [sql_log] and the backend
+          see *)
 }
 
 let exec (b : t) (sql : string) : (reply, string) Stdlib.result =
+  let sql = !(b.decorate) sql in
   b.sql_log := sql :: !(b.sql_log);
   incr b.sql_count;
   b.exec sql
@@ -75,4 +81,10 @@ let of_pgdb_session (sess : Pgdb.Db.session) : t =
     | exception Pgdb.Errors.Sql_error { code; message } ->
         Error (Printf.sprintf "%s: %s" code message)
   in
-  { name = "pgdb-direct"; exec; sql_log = ref []; sql_count = ref 0 }
+  {
+    name = "pgdb-direct";
+    exec;
+    sql_log = ref [];
+    sql_count = ref 0;
+    decorate = ref Fun.id;
+  }

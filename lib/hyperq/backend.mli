@@ -19,9 +19,15 @@ type t = {
   sql_count : int ref;  (** length of [sql_log], maintained so callers
                             can bookmark and slice the log without
                             walking it *)
+  decorate : (string -> string) ref;
+      (** statement rewrite applied before logging and dispatch — the
+          Gateway installs the sqlcommenter [traceparent] comment here
+          so the decorated text is what both [sql_log] and the backend
+          see *)
 }
 
-(** Execute a statement, recording it in [sql_log]. *)
+(** Execute a statement: apply [decorate], record the decorated text in
+    [sql_log], dispatch it. *)
 val exec : t -> string -> (reply, string) Stdlib.result
 
 (** Statements logged so far (O(1)) — a bookmark for {!sql_since}. *)

@@ -265,6 +265,10 @@ type run_result = {
 let execute_rel (t : t) (brel : Binder.bound_rel) : QV.t * string list =
   let sql_before = Backend.log_mark t.backend in
   let sql = lower t brel.Binder.rel in
+  if Obs.Log.enabled t.obs.Obs.Ctx.log Obs.Log.Debug then
+    Obs.Log.debug t.obs.Obs.Ctx.log ~trace_id:(Obs.Ctx.trace_id t.obs)
+      "generated sql"
+      [ ("sql", Obs.Events.Str sql) ];
   let res =
     stage t Stage_timer.Execute (fun () ->
         match Backend.exec t.backend sql with
@@ -428,6 +432,9 @@ let try_run (t : t) (src : string) : (run_result, string) result =
     t.error_log <- (src, msg) :: t.error_log;
     if List.length t.error_log > 100 then
       t.error_log <- List.filteri (fun i _ -> i < 100) t.error_log;
+    Obs.Log.error t.obs.Obs.Ctx.log ~trace_id:(Obs.Ctx.trace_id t.obs)
+      "query failed"
+      [ ("error", Obs.Events.Str msg); ("query", Obs.Events.Str src) ];
     Error msg
   in
   match run_program t src with

@@ -3,11 +3,14 @@ type t = {
   events : Events.sink;
   qstats : Qstats.t;
   recorder : Recorder.t;
+  sessions : Sessions.t;
+  log : Log.t;
+  export : Export.t;
   mutable trace : Trace.t option;
   mutable last_trace : Trace.span option;
 }
 
-let create ?registry ?events ?qstats ?recorder () =
+let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export () =
   let registry =
     match registry with Some r -> r | None -> Metrics.create ()
   in
@@ -16,7 +19,26 @@ let create ?registry ?events ?qstats ?recorder () =
   let recorder =
     match recorder with Some r -> r | None -> Recorder.create ()
   in
-  { registry; events; qstats; recorder; trace = None; last_trace = None }
+  let sessions =
+    match sessions with Some s -> s | None -> Sessions.create ()
+  in
+  let log =
+    (* the logger shares the event sink so query events and log lines
+       interleave in one JSONL stream *)
+    match log with Some l -> l | None -> Log.create ~sink:events registry
+  in
+  let export = match export with Some e -> e | None -> Export.create () in
+  {
+    registry;
+    events;
+    qstats;
+    recorder;
+    sessions;
+    log;
+    export;
+    trace = None;
+    last_trace = None;
+  }
 
 let span t name f =
   match t.trace with
@@ -25,6 +47,14 @@ let span t name f =
 
 let add_attr t k v =
   match t.trace with Some tr -> Trace.add_attr tr k v | None -> ()
+
+let trace_id t =
+  match t.trace with Some tr -> Trace.trace_id tr | None -> ""
+
+let trace_ids t =
+  match t.trace with
+  | Some tr -> Some (Trace.trace_id tr, Trace.span_id (Trace.current tr))
+  | None -> None
 
 let start_trace t name =
   let tr = Trace.start name in
@@ -37,4 +67,7 @@ let finish_trace t tr =
   | Some cur when cur == tr -> t.trace <- None
   | _ -> ());
   t.last_trace <- Some root;
+  (* every finished query trace lands in the bounded export ring *)
+  Export.offer t.export ~ts:(Unix.gettimeofday ())
+    ~trace_id:(Trace.trace_id tr) root;
   root

@@ -1,6 +1,7 @@
 (** Observability context: one registry + one event sink + the
     per-fingerprint workload statistics store + the slow-query flight
-    recorder + the trace of the query currently in flight.
+    recorder + the session registry + the structured logger + the
+    trace-export ring + the trace of the query currently in flight.
 
     A context is shared by every layer serving one proxy instance
     (Endpoint, XC, Engine, Gateway); each layer records into whatever is
@@ -13,6 +14,9 @@ type t = {
   events : Events.sink;
   qstats : Qstats.t;  (** per-fingerprint workload statistics *)
   recorder : Recorder.t;  (** slow-query flight recorder *)
+  sessions : Sessions.t;  (** connection registry ([.hq.activity]) *)
+  log : Log.t;  (** structured leveled logger *)
+  export : Export.t;  (** bounded ring of finished traces *)
   mutable trace : Trace.t option;  (** trace of the in-flight query *)
   mutable last_trace : Trace.span option;
       (** most recently finished query trace (introspection, tests) *)
@@ -23,6 +27,9 @@ val create :
   ?events:Events.sink ->
   ?qstats:Qstats.t ->
   ?recorder:Recorder.t ->
+  ?sessions:Sessions.t ->
+  ?log:Log.t ->
+  ?export:Export.t ->
   unit ->
   t
 
@@ -34,10 +41,18 @@ val span : t -> string -> (unit -> 'a) -> 'a
     any. *)
 val add_attr : t -> string -> Trace.attr -> unit
 
+(** The in-flight trace's id, [""] when none is open. *)
+val trace_id : t -> string
+
+(** [(trace_id, innermost open span id)] of the in-flight trace — what
+    the Gateway renders into the SQL [traceparent] comment. *)
+val trace_ids : t -> (string * string) option
+
 (** Open a fresh root trace for a query. Any previous in-flight trace
     is abandoned. *)
 val start_trace : t -> string -> Trace.t
 
-(** Finish the in-flight trace (if [tr] is still it) and remember it as
-    {!field-last_trace}; returns the finished root span. *)
+(** Finish the in-flight trace (if [tr] is still it), remember it as
+    {!field-last_trace} and offer it to the export ring; returns the
+    finished root span. *)
 val finish_trace : t -> Trace.t -> Trace.span

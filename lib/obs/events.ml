@@ -25,24 +25,45 @@ let to_channel oc =
 
 let set_writer sink w = sink.write <- w
 
-let rec field_json = function
-  | Int i -> string_of_int i
+(* rendered straight into one buffer: a log line fires per query, so
+   avoid the per-field sprintf/concat garbage a naive renderer makes *)
+let rec add_field buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
-      if Float.is_nan f || Float.is_integer f then Printf.sprintf "%.1f" f
-      else Printf.sprintf "%g" f
-  | Str s -> Printf.sprintf "\"%s\"" (Trace.json_escape s)
-  | Obj fields -> obj_json fields
-  | Raw s -> s
+      (* NaN/infinity have no JSON literal; Trace.float_json degrades
+         them to null / "inf" / "-inf" so the line stays parseable *)
+      Buffer.add_string buf (Trace.float_json f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Trace.add_json_escaped buf s;
+      Buffer.add_char buf '"'
+  | Obj fields -> add_obj buf fields
+  | Raw s -> Buffer.add_string buf s
 
-and obj_json fields =
-  Printf.sprintf "{%s}"
-    (String.concat ","
-       (List.map
-          (fun (k, v) ->
-            Printf.sprintf "\"%s\":%s" (Trace.json_escape k) (field_json v))
-          fields))
+and add_obj buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Trace.add_json_escaped buf k;
+      Buffer.add_string buf "\":";
+      add_field buf v)
+    fields;
+  Buffer.add_char buf '}'
+
+let field_json f =
+  let buf = Buffer.create 64 in
+  add_field buf f;
+  Buffer.contents buf
+
+let obj_json fields =
+  let buf = Buffer.create 128 in
+  add_obj buf fields;
+  Buffer.contents buf
 
 let emit sink fields = sink.write (obj_json fields)
+let write sink line = sink.write line
 
 let query_sha (text : string) : string =
   String.sub (Digest.to_hex (Digest.string text)) 0 16

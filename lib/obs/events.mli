@@ -46,6 +46,15 @@ val set_writer : sink -> (string -> unit) -> unit
 (** Emit one event object as a single JSON line. *)
 val emit : sink -> (string * field) list -> unit
 
+(** Write one pre-rendered line through the sink (the structured logger
+    renders its own lines so it can also keep them in its tail ring). *)
+val write : sink -> string -> unit
+
+(** Render one field as JSON. Non-finite floats degrade to parseable
+    JSON: NaN becomes [null], the infinities the strings ["inf"] /
+    ["-inf"]. *)
+val field_json : field -> string
+
 (** Stable 16-hex-char digest of a query text, so logs can aggregate by
     query shape without retaining the (possibly sensitive) text. *)
 val query_sha : string -> string

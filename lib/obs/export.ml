@@ -1,0 +1,112 @@
+type exported = {
+  x_ts : float;  (** wall clock at trace finish (correlation only) *)
+  x_trace_id : string;
+  x_root : Trace.span;  (** finished root span *)
+}
+
+type t = {
+  capacity : int;
+  ring : exported option array;
+  mutable next : int;  (** next write slot *)
+  mutable stored : int;  (** live entries, <= capacity always *)
+  mutable exported_total : int;
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Export.create: capacity must be >= 1";
+  { capacity; ring = Array.make capacity None; next = 0; stored = 0; exported_total = 0 }
+
+let capacity t = t.capacity
+let size t = t.stored
+let exported_total t = t.exported_total
+
+let reset t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.stored <- 0;
+  t.exported_total <- 0
+
+let offer t ~(ts : float) ~(trace_id : string) (root : Trace.span) : unit =
+  t.ring.(t.next) <- Some { x_ts = ts; x_trace_id = trace_id; x_root = root };
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.stored < t.capacity then t.stored <- t.stored + 1;
+  t.exported_total <- t.exported_total + 1
+
+(** The newest [n] exported traces, newest first. *)
+let recent t (n : int) : exported list =
+  let out = ref [] in
+  let i = ref ((t.next - 1 + t.capacity) mod t.capacity) in
+  let remaining = ref (Stdlib.min n t.stored) in
+  while !remaining > 0 do
+    (match t.ring.(!i) with Some r -> out := r :: !out | None -> ());
+    i := (!i - 1 + t.capacity) mod t.capacity;
+    decr remaining
+  done;
+  List.rev !out
+
+let find t (trace_id : string) : exported option =
+  List.find_opt (fun e -> e.x_trace_id = trace_id) (recent t t.capacity)
+
+(* ------------------------------------------------------------------ *)
+(* OTLP/Jaeger-style flat-span serialization                           *)
+(* ------------------------------------------------------------------ *)
+
+(* the span tree flattened depth-first; each span keeps its parent's id
+   so any tracing UI can rebuild the tree *)
+let rec flat_spans (parent : Trace.span option) (sp : Trace.span)
+    (acc : (Trace.span option * Trace.span) list) :
+    (Trace.span option * Trace.span) list =
+  let acc = (parent, sp) :: acc in
+  List.fold_left
+    (fun acc c -> flat_spans (Some sp) c acc)
+    acc (Trace.children sp)
+
+let span_json ~(trace_id : string) ~(root : Trace.span)
+    ((parent, sp) : Trace.span option * Trace.span) : string =
+  let tags =
+    match Trace.attrs sp with
+    | [] -> ""
+    | ls ->
+        Printf.sprintf ",\"tags\":{%s}"
+          (String.concat ","
+             (List.map
+                (fun (k, v) ->
+                  Printf.sprintf "\"%s\":%s" (Trace.json_escape k)
+                    (Trace.attr_json v))
+                ls))
+  in
+  Printf.sprintf
+    "{\"traceID\":\"%s\",\"spanID\":\"%s\",\"parentSpanID\":\"%s\",\
+     \"operationName\":\"%s\",\"startOffsetUs\":%.1f,\"durationUs\":%.1f%s}"
+    trace_id (Trace.span_id sp)
+    (match parent with Some p -> Trace.span_id p | None -> "")
+    (Trace.json_escape (Trace.name sp))
+    (Int64.to_float (Int64.sub (Trace.start_ns sp) (Trace.start_ns root))
+    /. 1e3)
+    (Trace.duration_s sp *. 1e6)
+    tags
+
+(** Number of spans in an exported trace's tree. *)
+let span_count (e : exported) : int = List.length (flat_spans None e.x_root [])
+
+(** One exported trace as a flat-span JSON object (the shape any
+    OTLP/Jaeger ingester expects: trace id, span list, parent
+    pointers). *)
+let trace_json (e : exported) : string =
+  let spans = List.rev (flat_spans None e.x_root []) in
+  Printf.sprintf
+    "{\"traceID\":\"%s\",\"ts\":%.3f,\"durationMs\":%.3f,\"spanCount\":%d,\
+     \"spans\":[%s]}"
+    e.x_trace_id e.x_ts
+    (Trace.duration_s e.x_root *. 1e3)
+    (List.length spans)
+    (String.concat "," (List.map (span_json ~trace_id:e.x_trace_id ~root:e.x_root) spans))
+
+(** The newest [n] (default: all held) traces as one JSON document —
+    what [GET /traces.json] serves. *)
+let to_json ?n t : string =
+  let n = match n with Some n -> n | None -> t.capacity in
+  Printf.sprintf "{\"traces\":[%s]}\n"
+    (String.concat "," (List.map trace_json (recent t n)))

@@ -6,24 +6,41 @@ type request = {
   body : string;
 }
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;  (** extra headers, e.g. [Allow] on 405 *)
+  body : string;
+}
 
-let text status body = { status; content_type = "text/plain; charset=utf-8"; body }
-let json status body = { status; content_type = "application/json"; body }
+let text ?(headers = []) status body =
+  { status; content_type = "text/plain; charset=utf-8"; headers; body }
+
+let json ?(headers = []) status body =
+  { status; content_type = "application/json"; headers; body }
+
+let ndjson ?(headers = []) status body =
+  { status; content_type = "application/x-ndjson"; headers; body }
 
 let reason = function
   | 200 -> "OK"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 414 -> "URI Too Long"
   | 500 -> "Internal Server Error"
   | _ -> "Unknown"
 
+(* every response carries Content-Length so clients never have to read
+   to EOF to find the body's end *)
 let render_response (r : response) : string =
   Printf.sprintf
-    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: \
      close\r\n\r\n%s"
-    r.status (reason r.status) r.content_type (String.length r.body) r.body
+    r.status (reason r.status) r.content_type (String.length r.body)
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.headers))
+    r.body
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)
@@ -101,16 +118,28 @@ let parse_request (raw : string) :
                 Ok { meth; path; query; headers; body }
           | _ -> Error (`Malformed ("bad request line: " ^ request_line))))
 
+let max_request_line = 8192
+
 (** Turn raw request bytes into raw response bytes: parse, dispatch to
-    [handler], render; malformed or truncated input yields a 400 and a
-    raising handler a 500. The whole admin plane is testable through
-    this one pure function — no socket required. *)
+    [handler], render; malformed or truncated input yields a 400, an
+    oversized request line a 414, and a raising handler a 500. The
+    whole admin plane is testable through this one pure function — no
+    socket required. *)
 let handle (handler : request -> response) (raw : string) : string =
+  let request_line_len =
+    match String.index_opt raw '\n' with
+    | Some i -> i
+    | None -> String.length raw
+  in
   let resp =
-    match parse_request raw with
-    | Ok req -> ( try handler req with e -> text 500 (Printexc.to_string e ^ "\n"))
-    | Error `Incomplete -> text 400 "incomplete request\n"
-    | Error (`Malformed m) -> text 400 (m ^ "\n")
+    if request_line_len > max_request_line then
+      text 414 "request line too long\n"
+    else
+      match parse_request raw with
+      | Ok req -> (
+          try handler req with e -> text 500 (Printexc.to_string e ^ "\n"))
+      | Error `Incomplete -> text 400 "incomplete request\n"
+      | Error (`Malformed m) -> text 400 (m ^ "\n")
   in
   render_response resp
 

@@ -15,11 +15,18 @@ type request = {
   body : string;
 }
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;  (** extra headers, e.g. [Allow] on 405 *)
+  body : string;
+}
 
-val text : int -> string -> response
-val json : int -> string -> response
+val text : ?headers:(string * string) list -> int -> string -> response
+val json : ?headers:(string * string) list -> int -> string -> response
+val ndjson : ?headers:(string * string) list -> int -> string -> response
 
+(** Every rendered response carries [Content-Length]. *)
 val render_response : response -> string
 
 (** Parse a complete request. [`Incomplete] means more bytes are needed
@@ -27,8 +34,12 @@ val render_response : response -> string
 val parse_request :
   string -> (request, [ `Incomplete | `Malformed of string ]) result
 
+(** Request lines longer than this are rejected with [414]. *)
+val max_request_line : int
+
 (** Raw request bytes -> raw response bytes. Malformed/truncated input
-    becomes a 400, a raising handler a 500. *)
+    becomes a 400, an oversized request line a 414, a raising handler a
+    500. *)
 val handle : (request -> response) -> string -> string
 
 (** Read one request from the descriptor, respond, close it. *)

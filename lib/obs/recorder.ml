@@ -1,5 +1,6 @@
 type record = {
   r_ts : float;  (** wall-clock capture time (correlation only) *)
+  r_trace_id : string;  (** id of the query's trace, [""] when unknown *)
   r_fingerprint : string;
   r_query : string;
   r_duration_s : float;
@@ -67,9 +68,9 @@ let push t r =
 (** Offer one completed query; captured when it ran at least the
     threshold, or as a tail sample of every [sample_every]-th fast query
     (0 disables sampling). Returns whether it was kept. *)
-let observe t ~(ts : float) ~(fingerprint : string) ~(query : string)
-    ~(duration_s : float) ~(status : string) ~(error : string)
-    ~(sql : string list) (span : Trace.span) : bool =
+let observe t ~(ts : float) ?(trace_id = "") ~(fingerprint : string)
+    ~(query : string) ~(duration_s : float) ~(status : string)
+    ~(error : string) ~(sql : string list) (span : Trace.span) : bool =
   t.seen <- t.seen + 1;
   let kind =
     if duration_s >= t.threshold_s then Some "slow"
@@ -85,6 +86,7 @@ let observe t ~(ts : float) ~(fingerprint : string) ~(query : string)
       push t
         {
           r_ts = ts;
+          r_trace_id = trace_id;
           r_fingerprint = fingerprint;
           r_query = query;
           r_duration_s = duration_s;
@@ -112,10 +114,11 @@ let recent t (n : int) : record list =
 
 let record_json (r : record) : string =
   Printf.sprintf
-    "{\"ts\":%.3f,\"fingerprint\":\"%s\",\"query\":\"%s\",\"ms\":%.3f,\
+    "{\"ts\":%.3f,\"trace_id\":\"%s\",\"fingerprint\":\"%s\",\
+     \"query\":\"%s\",\"ms\":%.3f,\
      \"status\":\"%s\",\"error\":\"%s\",\"kind\":\"%s\",\"sql\":[%s],\
      \"trace\":%s}"
-    r.r_ts r.r_fingerprint
+    r.r_ts r.r_trace_id r.r_fingerprint
     (Trace.json_escape r.r_query)
     (r.r_duration_s *. 1e3) r.r_status
     (Trace.json_escape r.r_error)

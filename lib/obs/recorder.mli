@@ -12,6 +12,7 @@
 
 type record = {
   r_ts : float;  (** wall-clock capture time (correlation only) *)
+  r_trace_id : string;  (** id of the query's trace, [""] when unknown *)
   r_fingerprint : string;
   r_query : string;
   r_duration_s : float;
@@ -37,6 +38,7 @@ val create :
 val observe :
   t ->
   ts:float ->
+  ?trace_id:string ->
   fingerprint:string ->
   query:string ->
   duration_s:float ->

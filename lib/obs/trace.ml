@@ -2,21 +2,85 @@ type attr = Int of int | Float of float | Str of string
 
 type span = {
   sp_name : string;
+  sp_id : string;  (** 8-byte hex span id (W3C trace context) *)
   sp_start : int64;
   mutable sp_end : int64;  (** equals [sp_start] while open *)
   mutable sp_attrs_rev : (string * attr) list;
   mutable sp_children_rev : span list;
 }
 
-type t = { root : span; mutable stack : span list  (** innermost first *) }
+type t = {
+  trace_id : string;  (** 16-byte hex trace id shared by every span *)
+  root : span;
+  mutable stack : span list;  (** innermost first *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* W3C-style identifiers                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* splitmix64: cheap, allocation-free per step, and good enough mixing
+   that concurrently started proxies (seeded by wall clock + pid) do not
+   collide in practice *)
+let rng_state =
+  ref
+    (Int64.logxor
+       (Int64.of_float (Unix.gettimeofday () *. 1e6))
+       (Int64.mul (Int64.of_int (Unix.getpid ())) 0x9E3779B9L))
+
+let next_id64 () =
+  let z = Int64.add !rng_state 0x9E3779B97F4A7C15L in
+  rng_state := z;
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* ids are generated on every traced query, so encode hex by hand
+   rather than through Printf *)
+let hex_digits = "0123456789abcdef"
+
+let blit_hex16 (b : Bytes.t) (off : int) (v : int64) =
+  for i = 0 to 15 do
+    let nib =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v ((15 - i) * 4)) 0xFL)
+    in
+    Bytes.unsafe_set b (off + i) (String.unsafe_get hex_digits nib)
+  done
+
+let gen_span_id () =
+  let b = Bytes.create 16 in
+  blit_hex16 b 0 (next_id64 ());
+  Bytes.unsafe_to_string b
+
+let gen_trace_id () =
+  let b = Bytes.create 32 in
+  blit_hex16 b 0 (next_id64 ());
+  blit_hex16 b 16 (next_id64 ());
+  Bytes.unsafe_to_string b
+
+(** [traceparent] header value (W3C trace context, version 00, sampled). *)
+let traceparent ~trace_id ~span_id = "00-" ^ trace_id ^ "-" ^ span_id ^ "-01"
 
 let mk_span name =
   let now = Clock.now_ns () in
-  { sp_name = name; sp_start = now; sp_end = now; sp_attrs_rev = []; sp_children_rev = [] }
+  {
+    sp_name = name;
+    sp_id = gen_span_id ();
+    sp_start = now;
+    sp_end = now;
+    sp_attrs_rev = [];
+    sp_children_rev = [];
+  }
 
 let start name =
   let root = mk_span name in
-  { root; stack = [ root ] }
+  { trace_id = gen_trace_id (); root; stack = [ root ] }
+
+let trace_id t = t.trace_id
 
 let current t = match t.stack with s :: _ -> s | [] -> t.root
 
@@ -56,6 +120,8 @@ let finish t =
   t.root
 
 let name sp = sp.sp_name
+let span_id sp = sp.sp_id
+let start_ns sp = sp.sp_start
 let children sp = List.rev sp.sp_children_rev
 let attrs sp = List.rev sp.sp_attrs_rev
 let duration_ns sp = Int64.sub sp.sp_end sp.sp_start
@@ -72,25 +138,57 @@ let rec total_s sp n =
   (if sp.sp_name = n then duration_s sp else 0.0)
   +. List.fold_left (fun acc c -> acc +. total_s c n) 0.0 (children sp)
 
+let needs_json_escape c = c = '"' || c = '\\' || Char.code c < 0x20
+
+let add_json_escaped buf s =
+  (* fast path: most payloads (ids, level names, SQL without quotes)
+     need no escaping, so scan once before touching the buffer *)
+  let n = String.length s in
+  let clean = ref true in
+  let i = ref 0 in
+  while !clean && !i < n do
+    if needs_json_escape (String.unsafe_get s !i) then clean := false;
+    incr i
+  done;
+  if !clean then Buffer.add_string buf s
+  else
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
 let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+  if String.exists needs_json_escape s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    add_json_escaped buf s;
+    Buffer.contents buf
+  end
+  else s
+
+(* non-finite floats have no JSON literal: NaN becomes null, the
+   infinities become strings, so every emitted document stays parseable *)
+let float_json f =
+  if Float.is_nan f then "null"
+  else if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
+  else
+    (* string_of_float beats Printf here and keeps 12 significant
+       digits; its "3." form for whole numbers needs the digit JSON
+       requires *)
+    let s = string_of_float f in
+    if s.[String.length s - 1] = '.' then s ^ "0" else s
 
 let attr_json = function
   | Int i -> string_of_int i
-  | Float f -> Printf.sprintf "%g" f
+  | Float f -> float_json f
   | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
 
 let rec to_json sp =

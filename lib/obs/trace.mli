@@ -5,7 +5,13 @@
     engine nests one child per pipeline stage (parse → algebrize →
     optimize → serialize → execute → pivot), and the Gateway attaches
     wire-level byte counts as attributes of whichever span is open while
-    the backend round trip is in flight. *)
+    the backend round trip is in flight.
+
+    Every trace carries a W3C-style 16-byte hex trace id and every span
+    an 8-byte hex span id, so one request can be followed across the
+    QIPC endpoint, the cross compiler, the SQL the backend saw (via the
+    sqlcommenter-style [traceparent] comment the Gateway appends) and
+    the exported span ring ({!Export}). *)
 
 type attr = Int of int | Float of float | Str of string
 
@@ -14,8 +20,24 @@ type span
 type t
 (** An in-flight trace: the root span plus the stack of open spans. *)
 
-(** Start a trace whose root span is open. *)
+(** Fresh 8-byte (16 hex chars) span id. *)
+val gen_span_id : unit -> string
+
+(** Fresh 16-byte (32 hex chars) trace id. *)
+val gen_trace_id : unit -> string
+
+(** [traceparent ~trace_id ~span_id] renders the W3C trace-context
+    header value ["00-<trace_id>-<span_id>-01"]. *)
+val traceparent : trace_id:string -> span_id:string -> string
+
+(** Start a trace whose root span is open, under a fresh trace id. *)
 val start : string -> t
+
+(** The trace's 16-byte hex id. *)
+val trace_id : t -> string
+
+(** The innermost open span (the root when the stack is empty). *)
+val current : t -> span
 
 (** Open a child span of the innermost open span. *)
 val enter : t -> string -> unit
@@ -44,6 +66,13 @@ val finish : t -> span
 
 val name : span -> string
 
+(** The span's 8-byte hex id. *)
+val span_id : span -> string
+
+(** Monotonic start timestamp (ns) — subtract the root's to get the
+    span's offset into the trace. *)
+val start_ns : span -> int64
+
 (** Children in recording order. *)
 val children : span -> span list
 
@@ -65,3 +94,16 @@ val to_json : span -> string
 
 (** JSON string-body escaping, shared with {!Events}. *)
 val json_escape : string -> string
+
+(** Append [s] to [buf] with JSON string-body escaping, without the
+    intermediate string {!json_escape} would allocate — the log
+    hot path renders every line through this. *)
+val add_json_escaped : Buffer.t -> string -> unit
+
+(** Render one attribute value as JSON. Non-finite floats degrade to
+    parseable JSON: NaN becomes [null], the infinities become the
+    strings ["inf"] / ["-inf"]. *)
+val attr_json : attr -> string
+
+(** The non-finite-safe float rendering used by {!attr_json}. *)
+val float_json : float -> string

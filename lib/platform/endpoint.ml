@@ -14,9 +14,10 @@
     into the per-shape statistics store, offers it to the slow-query
     flight recorder, and answers the in-band admin queries directly —
     [.hq.stats] (registry snapshot), [.hq.top[n]] (fingerprint table by
-    total time), [.hq.slow[n]] (flight-recorder captures) and
-    [.hq.stats.reset] — so any QIPC client can introspect the proxy
-    without touching the backend. *)
+    total time), [.hq.slow[n]] (flight-recorder captures),
+    [.hq.activity] (session registry), [.hq.traces[n]] (trace-export
+    ring) and [.hq.stats.reset] — so any QIPC client can introspect the
+    proxy without touching the backend. *)
 
 module QV = Qvalue.Value
 module M = Obs.Metrics
@@ -65,6 +66,7 @@ type t = {
   users : (string * string) list;
   obs : Obs.Ctx.t;
   m : metrics;
+  session : Obs.Sessions.session;  (** this connection's registry entry *)
   mutable phase : phase;
   mutable pending : string;
   mutable client_version : int;
@@ -77,10 +79,24 @@ let create ?(users = [ ("trader", "pwd") ]) ?obs (xc : Xc.t) : t =
     users;
     obs;
     m = make_metrics obs.Obs.Ctx.registry;
+    session = Obs.Sessions.register obs.Obs.Ctx.sessions;
     phase = Handshake;
     pending = "";
     client_version = 3;
   }
+
+(** Tear down the connection's session-registry entry. Idempotent; the
+    platform calls this on disconnect so [.hq.activity] only lists live
+    connections. *)
+let close (t : t) : unit =
+  (match Obs.Sessions.find t.obs.Obs.Ctx.sessions t.session.Obs.Sessions.s_conn with
+  | Some _ ->
+      Obs.Log.info t.obs.Obs.Ctx.log
+        ~conn_id:t.session.Obs.Sessions.s_conn "connection closed"
+        [ ("queries", Obs.Events.Int t.session.Obs.Sessions.s_queries) ];
+      Obs.Sessions.unregister t.obs.Obs.Ctx.sessions t.session
+  | None -> ());
+  t.phase <- Closed
 
 let authenticate t (h : Qipc.Codec.handshake) : bool =
   match List.assoc_opt h.Qipc.Codec.user t.users with
@@ -171,6 +187,7 @@ let slow_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
     (QV.table
        [
          ("ts", QV.floats (arr (fun r -> r.Obs.Recorder.r_ts)));
+         ("trace_id", QV.syms (arr (fun r -> r.Obs.Recorder.r_trace_id)));
          ("fingerprint", QV.syms (arr (fun r -> r.Obs.Recorder.r_fingerprint)));
          ("query", QV.syms (arr (fun r -> r.Obs.Recorder.r_query)));
          ("ms", QV.floats (arr (fun r -> r.Obs.Recorder.r_duration_s *. 1e3)));
@@ -180,6 +197,49 @@ let slow_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
            QV.syms (arr (fun r -> String.concat "; " r.Obs.Recorder.r_sql)) );
          ( "trace",
            QV.syms (arr (fun r -> Obs.Trace.to_json r.Obs.Recorder.r_span)) );
+       ])
+
+(** The session registry as a Q table — the reply to [.hq.activity],
+    the proxy's [pg_stat_activity]. Active sessions show the in-flight
+    query's fingerprint, trace id and elapsed time. *)
+let activity_table (ctx : Obs.Ctx.t) : QV.t =
+  let sessions = Obs.Sessions.list ctx.Obs.Ctx.sessions in
+  let arr f = Array.of_list (List.map f sessions) in
+  QV.Table
+    (QV.table
+       [
+         ("conn", QV.longs (arr (fun s -> s.Obs.Sessions.s_conn)));
+         ("user", QV.syms (arr (fun s -> s.Obs.Sessions.s_user)));
+         ("connected", QV.floats (arr (fun s -> s.Obs.Sessions.s_connected_ts)));
+         ("queries", QV.longs (arr (fun s -> s.Obs.Sessions.s_queries)));
+         ( "state",
+           QV.syms
+             (arr (fun s -> Obs.Sessions.state_name s.Obs.Sessions.s_state)) );
+         ("query", QV.syms (arr (fun s -> s.Obs.Sessions.s_query)));
+         ("fingerprint", QV.syms (arr (fun s -> s.Obs.Sessions.s_fingerprint)));
+         ("trace_id", QV.syms (arr (fun s -> s.Obs.Sessions.s_trace_id)));
+         ( "elapsed_ms",
+           QV.floats
+             (arr (fun s ->
+                  Int64.to_float (Obs.Sessions.elapsed_ns s) /. 1e6)) );
+       ])
+
+(** The newest [n] exported traces as a Q table — the reply to
+    [.hq.traces[n]]. The flat span list rides along as a JSON column. *)
+let traces_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
+  let traces = Obs.Export.recent ctx.Obs.Ctx.export n in
+  let arr f = Array.of_list (List.map f traces) in
+  QV.Table
+    (QV.table
+       [
+         ("ts", QV.floats (arr (fun x -> x.Obs.Export.x_ts)));
+         ("trace_id", QV.syms (arr (fun x -> x.Obs.Export.x_trace_id)));
+         ( "ms",
+           QV.floats
+             (arr (fun x ->
+                  Obs.Trace.duration_s x.Obs.Export.x_root *. 1e3)) );
+         ("spans", QV.longs (arr Obs.Export.span_count));
+         ("trace", QV.syms (arr (fun x -> Obs.Export.trace_json x)));
        ])
 
 (** Zero the metrics registry, the pgdb executor counters it mirrors,
@@ -220,6 +280,7 @@ let admin_reply (t : t) (text : string) : QV.t option =
   let text = String.trim text in
   match text with
   | ".hq.stats" -> answered (fun () -> stats_table t.obs)
+  | ".hq.activity" -> answered (fun () -> activity_table t.obs)
   | ".hq.stats.reset" ->
       reset_stats t.obs;
       answered (fun () -> QV.Atom (Qvalue.Atom.Sym "reset"))
@@ -228,13 +289,21 @@ let admin_reply (t : t) (text : string) : QV.t option =
       | Some n ->
           answered (fun () -> top_table t.obs (Option.value n ~default:10))
       | None -> (
-          match parse_bracket_arg ~prefix:".hq.slow" text with
+          match parse_bracket_arg ~prefix:".hq.traces" text with
           | Some n ->
               answered (fun () ->
-                  slow_table t.obs
+                  traces_table t.obs
                     (Option.value n
-                       ~default:(Obs.Recorder.capacity t.obs.Obs.Ctx.recorder)))
-          | None -> None))
+                       ~default:(Obs.Export.capacity t.obs.Obs.Ctx.export)))
+          | None -> (
+              match parse_bracket_arg ~prefix:".hq.slow" text with
+              | Some n ->
+                  answered (fun () ->
+                      slow_table t.obs
+                        (Option.value n
+                           ~default:
+                             (Obs.Recorder.capacity t.obs.Obs.Ctx.recorder)))
+              | None -> None)))
 
 (* ------------------------------------------------------------------ *)
 (* Per-query observability                                             *)
@@ -261,13 +330,17 @@ let backend (t : t) : Hyperq.Backend.t =
 let sql_statement_count (t : t) : int = Hyperq.Backend.log_mark (backend t)
 
 (** Run one query through the cross compiler under a fresh trace span,
-    record metrics, and emit the JSONL event. Returns the result and the
-    finished trace root. *)
+    record metrics, and emit the JSONL event. Returns the result, the
+    finished trace root, the duration and the trace id. *)
 let traced_process (t : t) (text : string) ~(bytes_in : int) :
-    (QV.t option, string) result * Obs.Trace.span * float =
+    (QV.t option, string) result * Obs.Trace.span * float * string =
   M.inc t.m.queries_total;
   let start = Obs.Clock.now_ns () in
   let tr = Obs.Ctx.start_trace t.obs "query" in
+  let trace_id = Obs.Trace.trace_id tr in
+  (* stamp the session entry so .hq.activity correlates with the trace
+     while the query is still running *)
+  Obs.Sessions.set_trace t.session trace_id;
   Obs.Trace.add_root_attr tr "query_sha"
     (Obs.Trace.Str (Obs.Events.query_sha text));
   let result =
@@ -282,7 +355,7 @@ let traced_process (t : t) (text : string) ~(bytes_in : int) :
   M.observe t.m.query_seconds duration;
   Obs.Trace.add_root_attr tr "qipc_bytes_in" (Obs.Trace.Int bytes_in);
   let root = Obs.Ctx.finish_trace t.obs tr in
-  (result, root, duration)
+  (result, root, duration, trace_id)
 
 let emit_query_event (t : t) ~(text : string) ~(sql_before : int)
     ~(result : (QV.t option, string) result) ~(duration : float)
@@ -318,12 +391,11 @@ let emit_query_event (t : t) ~(text : string) ~(sql_before : int)
 
 (** Fold the completed query into the per-fingerprint statistics store
     and offer it to the slow-query flight recorder (with the SQL it
-    generated and its full span tree). *)
-let record_workload (t : t) ~(text : string) ~(sql_before : int)
+    generated, its full span tree and its trace id). *)
+let record_workload (t : t) ~(norm : string) ~(fp : string)
+    ~(trace_id : string) ~(sql_before : int)
     ~(result : (QV.t option, string) result) ~(duration : float)
     ~(bytes_in : int) ~(bytes_out : int) (root : Obs.Trace.span) : unit =
-  let norm = Qlang.Fingerprint.normalize text in
-  let fp = Qlang.Fingerprint.of_normalized norm in
   let status, error =
     match result with Ok _ -> ("ok", "") | Error e -> ("error", e)
   in
@@ -344,8 +416,8 @@ let record_workload (t : t) ~(text : string) ~(sql_before : int)
   let sql = Hyperq.Backend.sql_since (backend t) sql_before in
   ignore
     (Obs.Recorder.observe t.obs.Obs.Ctx.recorder ~ts:(Unix.gettimeofday ())
-       ~fingerprint:fp ~query:norm ~duration_s:duration ~status ~error ~sql
-       root)
+       ~trace_id ~fingerprint:fp ~query:norm ~duration_s:duration ~status
+       ~error ~sql root)
 
 (* ------------------------------------------------------------------ *)
 (* Byte-level protocol handling                                        *)
@@ -368,10 +440,20 @@ let feed (t : t) (bytes : string) : string =
             if authenticate t h then begin
               t.phase <- Connected;
               t.client_version <- min h.Qipc.Codec.version 3;
+              Obs.Sessions.set_user t.session h.Qipc.Codec.user;
+              Obs.Log.info t.obs.Obs.Ctx.log
+                ~conn_id:t.session.Obs.Sessions.s_conn "connection accepted"
+                [
+                  ("user", Obs.Events.Str h.Qipc.Codec.user);
+                  ("qipc_version", Obs.Events.Int t.client_version);
+                ];
               Qipc.Codec.handshake_accept ~version:t.client_version
             end
             else begin
               M.inc t.m.auth_failures_total;
+              Obs.Log.warn t.obs.Obs.Ctx.log
+                ~conn_id:t.session.Obs.Sessions.s_conn "handshake rejected"
+                [ ("user", Obs.Events.Str h.Qipc.Codec.user) ];
               t.phase <- Closed;
               ""
             end)
@@ -397,8 +479,18 @@ let feed (t : t) (bytes : string) : string =
                           { mt = Qipc.Codec.Response; body = Qipc.Codec.Value v }
                     | None ->
                         let sql_before = sql_statement_count t in
-                        let result, root, duration =
-                          traced_process t text ~bytes_in:consumed
+                        (* fingerprint once; the session registry, the
+                           statistics store and the recorder all key on
+                           the same normalization *)
+                        let norm = Qlang.Fingerprint.normalize text in
+                        let fp = Qlang.Fingerprint.of_normalized norm in
+                        Obs.Sessions.query_started t.session ~query:norm
+                          ~fingerprint:fp;
+                        let result, root, duration, trace_id =
+                          Fun.protect
+                            ~finally:(fun () ->
+                              Obs.Sessions.query_finished t.session)
+                            (fun () -> traced_process t text ~bytes_in:consumed)
                         in
                         let reply =
                           match result with
@@ -429,9 +521,21 @@ let feed (t : t) (bytes : string) : string =
                         emit_query_event t ~text ~sql_before ~result ~duration
                           ~bytes_in:consumed ~bytes_out:(String.length reply)
                           root;
-                        record_workload t ~text ~sql_before ~result ~duration
-                          ~bytes_in:consumed ~bytes_out:(String.length reply)
-                          root;
+                        record_workload t ~norm ~fp ~trace_id ~sql_before
+                          ~result ~duration ~bytes_in:consumed
+                          ~bytes_out:(String.length reply) root;
+                        Obs.Log.info t.obs.Obs.Ctx.log ~trace_id
+                          ~conn_id:t.session.Obs.Sessions.s_conn
+                          "query completed"
+                          [
+                            ("fingerprint", Obs.Events.Str fp);
+                            ( "status",
+                              Obs.Events.Str
+                                (match result with
+                                | Ok _ -> "ok"
+                                | Error _ -> "error") );
+                            ("duration_ms", Obs.Events.Float (duration *. 1e3));
+                          ];
                         reply)
                 | Qipc.Codec.Value _ | Qipc.Codec.Error _ ->
                     Qipc.Codec.encode_message

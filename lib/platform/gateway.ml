@@ -38,6 +38,10 @@ let wire_backend ?(user = "app") ?(password = "secret")
     M.counter reg ~help:"Backend statements that returned an error"
       "hq_backend_errors_total"
   in
+  let exec_seconds =
+    M.histogram reg ~help:"Backend statement round-trip latency (seconds)"
+      "hq_backend_exec_seconds"
+  in
   let server = Pgwire.Server.create ~users:[ (user, password) ] ~auth session in
   (* meter the raw transport so handshake and row-stream bytes all count *)
   let sent = ref 0 and received = ref 0 in
@@ -50,9 +54,14 @@ let wire_backend ?(user = "app") ?(password = "secret")
     reply
   in
   let client = Pgwire.Client.connect ~user ~password transport in
+  let log = obs.Obs.Ctx.log in
   let exec sql =
     M.inc statements;
+    if Obs.Log.enabled log Obs.Log.Debug then
+      Obs.Log.debug log ~trace_id:(Obs.Ctx.trace_id obs) "backend dispatch"
+        [ ("sql_bytes", Obs.Events.Int (String.length sql)) ];
     let sent0 = !sent and received0 = !received in
+    let start = Obs.Clock.now_ns () in
     let result =
       match Pgwire.Client.query client sql with
       | Ok { Pgwire.Client.columns; rows; tag } ->
@@ -62,11 +71,33 @@ let wire_backend ?(user = "app") ?(password = "secret")
             Ok (Hyperq.Backend.Result_set { Hyperq.Backend.cols = columns; rows })
       | Error e ->
           M.inc backend_errors;
+          Obs.Log.warn log ~trace_id:(Obs.Ctx.trace_id obs) "backend error"
+            [ ("error", Obs.Events.Str e) ];
           Error e
     in
+    M.observe exec_seconds (Obs.Clock.seconds_since start);
     (* lands on the engine's execute span when a query trace is open *)
     Obs.Ctx.add_attr obs "pg_bytes_out" (Obs.Trace.Int (!sent - sent0));
     Obs.Ctx.add_attr obs "pg_bytes_in" (Obs.Trace.Int (!received - received0));
     result
   in
-  { Hyperq.Backend.name = "pg-wire"; exec; sql_log = ref []; sql_count = ref 0 }
+  (* sqlcommenter-style correlation: while a query trace is open, every
+     statement the translator dispatches gets the W3C traceparent appended
+     as a trailing comment. Backend.exec applies this before logging, so
+     the decorated text is what sql_log records and what the backend's SQL
+     lexer sees (it skips the comment as whitespace). *)
+  let decorate sql =
+    match Obs.Ctx.trace_ids obs with
+    | Some (trace_id, span_id) ->
+        sql ^ " /* traceparent='"
+        ^ Obs.Trace.traceparent ~trace_id ~span_id
+        ^ "' */"
+    | None -> sql
+  in
+  {
+    Hyperq.Backend.name = "pg-wire";
+    exec;
+    sql_log = ref [];
+    sql_count = ref 0;
+    decorate = ref decorate;
+  }

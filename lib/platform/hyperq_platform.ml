@@ -77,27 +77,50 @@ let stats_json (t : t) : string =
     and [POST /reset]. *)
 let reset_stats (t : t) : unit = Endpoint.reset_stats t.obs
 
+(* the admin plane's route table: every known path with the methods it
+   accepts, so the fallback can answer 405 with a correct Allow header *)
+let admin_routes : (string * string list) list =
+  [
+    ("/metrics", [ "GET" ]);
+    ("/healthz", [ "GET" ]);
+    ("/stats.json", [ "GET" ]);
+    ("/slow.json", [ "GET" ]);
+    ("/traces.json", [ "GET" ]);
+    ("/logs.json", [ "GET" ]);
+    ("/activity.json", [ "GET" ]);
+    ("/reset", [ "POST" ]);
+  ]
+
 (** Route an admin-plane HTTP request: [GET /metrics] (Prometheus text),
     [GET /healthz], [GET /stats.json], [GET /slow.json] (flight-recorder
-    JSONL) and [POST /reset]. Pure — drive it through {!Obs.Http.handle}
-    in tests, or hang it off {!Obs.Http.listen} in the server binary. *)
+    JSONL), [GET /traces.json] (trace-export ring), [GET /logs.json]
+    (structured-log tail), [GET /activity.json] (session registry) and
+    [POST /reset]. A known path with the wrong method gets a 405 with an
+    [Allow] header. Pure — drive it through {!Obs.Http.handle} in tests,
+    or hang it off {!Obs.Http.listen} in the server binary. *)
 let admin_handler (t : t) (req : Obs.Http.request) : Obs.Http.response =
   match (req.Obs.Http.meth, req.Obs.Http.path) with
   | "GET", "/metrics" -> Obs.Http.text 200 (stats_text t)
   | "GET", "/healthz" -> Obs.Http.text 200 "ok\n"
   | "GET", "/stats.json" -> Obs.Http.json 200 (stats_json t)
   | "GET", "/slow.json" ->
-      {
-        Obs.Http.status = 200;
-        content_type = "application/x-ndjson";
-        body = Obs.Recorder.to_jsonl t.obs.Obs.Ctx.recorder;
-      }
+      Obs.Http.ndjson 200 (Obs.Recorder.to_jsonl t.obs.Obs.Ctx.recorder)
+  | "GET", "/traces.json" ->
+      Obs.Http.json 200 (Obs.Export.to_json t.obs.Obs.Ctx.export)
+  | "GET", "/logs.json" ->
+      Obs.Http.ndjson 200 (Obs.Log.to_jsonl t.obs.Obs.Ctx.log)
+  | "GET", "/activity.json" ->
+      Obs.Http.json 200 (Obs.Sessions.to_json t.obs.Obs.Ctx.sessions)
   | "POST", "/reset" ->
       reset_stats t;
       Obs.Http.json 200 "{\"status\":\"reset\"}\n"
-  | _, ("/metrics" | "/healthz" | "/stats.json" | "/slow.json" | "/reset") ->
-      Obs.Http.text 405 "method not allowed\n"
-  | _ -> Obs.Http.text 404 "not found\n"
+  | _, path -> (
+      match List.assoc_opt path admin_routes with
+      | Some allowed ->
+          Obs.Http.text
+            ~headers:[ ("Allow", String.concat ", " allowed) ]
+            405 "method not allowed\n"
+      | None -> Obs.Http.text 404 "not found\n")
 
 (** Open a client connection: a fresh backend session (temp-table scope), a
     fresh engine session sharing the server variable scope, wired through
@@ -112,10 +135,12 @@ let connect (t : t) : connection =
   let xc = Xc.create make_engine backend in
   { endpoint = Endpoint.create ~users:t.users ~obs:t.obs xc; xc; session }
 
-(** Close a connection: promotes session variables to the server scope and
-    releases backend temp tables (paper Sections 3.2.3, 4.3). *)
+(** Close a connection: promotes session variables to the server scope,
+    releases backend temp tables (paper Sections 3.2.3, 4.3) and drops
+    the connection's [.hq.activity] entry. *)
 let disconnect (conn : connection) : unit =
   Hyperq.Engine.close_session (Xc.engine conn.xc);
+  Endpoint.close conn.endpoint;
   Pgdb.Db.close_session conn.session
 
 (* ------------------------------------------------------------------ *)

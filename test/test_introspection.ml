@@ -1,7 +1,9 @@
 (* Workload introspection plane tests: query fingerprint normalization,
-   the LRU fingerprint statistics store, the slow-query flight recorder,
-   the hand-rolled HTTP admin endpoint, and the in-band .hq.top /
-   .hq.slow / .hq.stats.reset admin queries over a scripted workload. *)
+   the LRU fingerprint statistics store, the slow-query flight recorder
+   (trace-id stamped), the hand-rolled HTTP admin endpoint (hardened:
+   414, Allow on 405, Content-Length everywhere), and the in-band
+   .hq.top / .hq.slow / .hq.stats.reset admin queries over a scripted
+   workload. *)
 
 module F = Qlang.Fingerprint
 module M = Obs.Metrics
@@ -227,12 +229,28 @@ let test_recorder_tail_sampling () =
 let test_recorder_jsonl () =
   let r = R.create ~capacity:4 ~threshold_s:0.0 () in
   ignore
-    (R.observe r ~ts:1.5 ~fingerprint:"deadbeef" ~query:"select ? from t"
-       ~duration_s:0.25 ~status:"error" ~error:"[binder] nope"
+    (R.observe r ~ts:1.5 ~trace_id:"0123456789abcdef0123456789abcdef"
+       ~fingerprint:"deadbeef" ~query:"select ? from t" ~duration_s:0.25
+       ~status:"error" ~error:"[binder] nope"
        ~sql:[ "SELECT a FROM t"; "DROP TABLE tmp" ]
        (span_of "query"));
   let jl = R.to_jsonl r in
   check tbool "fingerprint in jsonl" true (contains jl "\"fingerprint\":\"deadbeef\"");
+  (* trace_id round-trips through the record and its JSONL rendering *)
+  (match R.recent r 1 with
+  | [ rec_ ] ->
+      check tstr "trace_id stored" "0123456789abcdef0123456789abcdef"
+        rec_.R.r_trace_id
+  | _ -> Alcotest.fail "expected one record");
+  check tbool "trace_id in jsonl" true
+    (contains jl "\"trace_id\":\"0123456789abcdef0123456789abcdef\"");
+  (* omitted trace_id renders as empty, still valid JSON *)
+  ignore
+    (R.observe r ~ts:2.0 ~fingerprint:"f2" ~query:"q2" ~duration_s:0.1
+       ~status:"ok" ~error:"" ~sql:[] (span_of "query"));
+  (match R.recent r 1 with
+  | [ rec_ ] -> check tstr "default trace_id empty" "" rec_.R.r_trace_id
+  | _ -> Alcotest.fail "expected one record");
   check tbool "sql array" true (contains jl "\"SELECT a FROM t\",\"DROP TABLE tmp\"");
   check tbool "error escaped in" true (contains jl "[binder] nope");
   check tbool "trace tree embedded" true (contains jl "\"trace\":{\"name\":\"query\"");
@@ -286,6 +304,32 @@ let test_http_render_and_handle () =
   check tbool "malformed -> 400" true (contains bad "HTTP/1.1 400");
   let boom = H.handle handler "GET /boom HTTP/1.1\r\n\r\n" in
   check tbool "raising handler -> 500" true (contains boom "HTTP/1.1 500")
+
+let test_http_hardening () =
+  let handler _ = H.text 200 "ok\n" in
+  (* an oversized request line is rejected before parsing *)
+  let long_path = String.make (H.max_request_line + 10) 'a' in
+  let resp =
+    H.handle handler (Printf.sprintf "GET /%s HTTP/1.1\r\n\r\n" long_path)
+  in
+  check tbool "oversized request line -> 414" true
+    (contains resp "HTTP/1.1 414 URI Too Long");
+  check tbool "414 carries content-length" true (contains resp "Content-Length:");
+  (* long-but-legal headers are fine; only the request line is capped *)
+  let ok_resp =
+    H.handle handler
+      (Printf.sprintf "GET /x HTTP/1.1\r\nX-Pad: %s\r\n\r\n"
+         (String.make (H.max_request_line + 10) 'b'))
+  in
+  check tbool "long header still 200" true (contains ok_resp "HTTP/1.1 200");
+  (* extra headers render between the fixed ones *)
+  let rendered =
+    H.render_response
+      (H.text ~headers:[ ("Allow", "GET, POST") ] 405 "no\n")
+  in
+  check tbool "extra header rendered" true (contains rendered "Allow: GET, POST\r\n");
+  check tbool "status rendered" true (contains rendered "HTTP/1.1 405 Method Not Allowed");
+  check tbool "content-length on 405" true (contains rendered "Content-Length: 3")
 
 (* ------------------------------------------------------------------ *)
 (* End to end: scripted workload over QIPC + admin plane               *)
@@ -485,13 +529,25 @@ let test_admin_endpoint_routes () =
   check tbool "counters zeroed over HTTP" true
     (contains after "hq_queries_total 0");
   (* routing edges *)
-  check tbool "404 for unknown path" true (contains (get "/nope") "HTTP/1.1 404");
+  let not_found = get "/nope" in
+  check tbool "404 for unknown path" true (contains not_found "HTTP/1.1 404");
+  check tbool "404 carries content-length" true
+    (contains not_found "Content-Length:");
   let post_metrics =
     H.handle (P.admin_handler p) "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
   in
   check tbool "405 for POST /metrics" true (contains post_metrics "HTTP/1.1 405");
+  check tbool "405 names the allowed method" true
+    (contains post_metrics "Allow: GET");
+  let post_traces =
+    H.handle (P.admin_handler p)
+      "POST /traces.json HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+  in
+  check tbool "405 for POST /traces.json" true (contains post_traces "HTTP/1.1 405");
+  check tbool "traces 405 allows GET" true (contains post_traces "Allow: GET");
   let get_reset = get "/reset" in
-  check tbool "405 for GET /reset" true (contains get_reset "HTTP/1.1 405")
+  check tbool "405 for GET /reset" true (contains get_reset "HTTP/1.1 405");
+  check tbool "reset 405 allows POST" true (contains get_reset "Allow: POST")
 
 let test_default_buckets_log_scale () =
   let b = M.default_buckets in
@@ -546,6 +602,8 @@ let () =
           Alcotest.test_case "request parsing" `Quick test_http_parse;
           Alcotest.test_case "render and handle" `Quick
             test_http_render_and_handle;
+          Alcotest.test_case "hardening (414, Allow, lengths)" `Quick
+            test_http_hardening;
         ] );
       ( "admin-plane",
         [

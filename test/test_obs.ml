@@ -311,12 +311,24 @@ let test_jsonl_events () =
   (match P.Client.query c "select nope from missing_table" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected an error");
-  let lines = read () in
-  check tint "one event per query" 2 (List.length lines);
   let contains line needle =
     let re = Str.regexp_string needle in
     (try ignore (Str.search_forward re line 0); true with Not_found -> false)
   in
+  (* the sink now carries two interleaved record kinds: per-query events
+     (keyed by query_sha) and structured log lines (keyed by level) *)
+  let all = read () in
+  let lines = List.filter (fun l -> contains l "\"query_sha\"") all in
+  let logs = List.filter (fun l -> contains l "\"level\"") all in
+  check tint "one event per query" 2 (List.length lines);
+  check tbool "log lines interleave on the same sink" true (logs <> []);
+  check tbool "a query-completion log line carries a trace id" true
+    (List.exists
+       (fun l ->
+         contains l "\"msg\":\"query completed\""
+         && (not (contains l "\"trace_id\":\"\""))
+         && contains l "\"trace_id\":\"")
+       logs);
   let first = List.nth lines 0 and second = List.nth lines 1 in
   check tbool "ok status" true (contains first "\"status\":\"ok\"");
   check tbool "row count" true (contains first "\"rows_out\":3");
@@ -331,6 +343,95 @@ let test_jsonl_events () =
   check tbool "error status" true (contains second "\"status\":\"error\"");
   check tbool "error class non-empty" true
     (not (contains second "\"error_class\":\"\""))
+
+(* ------------------------------------------------------------------ *)
+(* JSON float rendering (non-finite values must stay parseable)        *)
+(* ------------------------------------------------------------------ *)
+
+let tstr = Alcotest.string
+
+let test_json_floats_events () =
+  let f v = Obs.Events.field_json (Obs.Events.Float v) in
+  check tstr "NaN is null" "null" (f Float.nan);
+  check tstr "+inf is a string" "\"inf\"" (f Float.infinity);
+  check tstr "-inf is a string" "\"-inf\"" (f Float.neg_infinity);
+  check tstr "integral floats keep a decimal point" "3.0" (f 3.0);
+  check tstr "ordinary floats unchanged" "2.5" (f 2.5);
+  (* nested in an object, the line stays valid JSON *)
+  let obj =
+    Obs.Events.field_json
+      (Obs.Events.Obj [ ("a", Obs.Events.Float Float.nan) ])
+  in
+  check tstr "object with NaN field" "{\"a\":null}" obj
+
+let test_json_floats_trace_attrs () =
+  let f v = Tr.attr_json (Tr.Float v) in
+  check tstr "NaN attr is null" "null" (f Float.nan);
+  check tstr "+inf attr" "\"inf\"" (f Float.infinity);
+  check tstr "-inf attr" "\"-inf\"" (f Float.neg_infinity);
+  check tstr "finite attr unchanged" "1.5" (f 1.5);
+  check tstr "int attr" "7" (Tr.attr_json (Tr.Int 7));
+  check tstr "str attr quoted" "\"x\"" (Tr.attr_json (Tr.Str "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Trace and span identifiers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_hex s = String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let test_trace_ids () =
+  let tid = Tr.gen_trace_id () in
+  let sid = Tr.gen_span_id () in
+  check tint "trace id is 32 hex chars" 32 (String.length tid);
+  check tint "span id is 16 hex chars" 16 (String.length sid);
+  check tbool "trace id lowercase hex" true (is_hex tid);
+  check tbool "span id lowercase hex" true (is_hex sid);
+  check tbool "successive trace ids distinct" true (tid <> Tr.gen_trace_id ());
+  check tstr "traceparent format"
+    (Printf.sprintf "00-%s-%s-01" tid sid)
+    (Tr.traceparent ~trace_id:tid ~span_id:sid);
+  (* every trace gets its own id; every span in a trace its own id *)
+  let tr = Tr.start "query" in
+  check tint "started trace carries a 32-hex id" 32
+    (String.length (Tr.trace_id tr));
+  Tr.with_span tr "a" (fun () -> ());
+  Tr.with_span tr "b" (fun () -> ());
+  let root = Tr.finish tr in
+  let ids = List.map Tr.span_id (root :: Tr.children root) in
+  check tint "three spans" 3 (List.length ids);
+  check tint "span ids distinct" 3
+    (List.length (List.sort_uniq compare ids))
+
+let test_trace_export_ring () =
+  let ex = Obs.Export.create ~capacity:2 () in
+  let mk name =
+    let tr = Tr.start name in
+    Tr.with_span tr "execute" (fun () -> ());
+    let root = Tr.finish tr in
+    Obs.Export.offer ex ~ts:1.0 ~trace_id:(Tr.trace_id tr) root;
+    Tr.trace_id tr
+  in
+  let _t1 = mk "q1" in
+  let t2 = mk "q2" in
+  let t3 = mk "q3" in
+  check tint "ring bounded" 2 (Obs.Export.size ex);
+  check tint "offers counted" 3 (Obs.Export.exported_total ex);
+  (match Obs.Export.recent ex 10 with
+  | [ a; b ] ->
+      check tstr "newest first" t3 a.Obs.Export.x_trace_id;
+      check tstr "then previous" t2 b.Obs.Export.x_trace_id
+  | l -> Alcotest.failf "expected 2 traces, got %d" (List.length l));
+  check tbool "oldest evicted" true (Obs.Export.find ex _t1 = None);
+  let json = Obs.Export.to_json ex in
+  let contains needle =
+    let re = Str.regexp_string needle in
+    (try ignore (Str.search_forward re json 0); true with Not_found -> false)
+  in
+  check tbool "flat spans carry traceID" true
+    (contains (Printf.sprintf "\"traceID\":\"%s\"" t3));
+  check tbool "flat spans carry parent pointers" true
+    (contains "\"parentSpanID\":");
+  check tbool "span count present" true (contains "\"spanCount\":2")
 
 (* ------------------------------------------------------------------ *)
 (* Handshake hardening                                                 *)
@@ -399,6 +500,18 @@ let () =
           Alcotest.test_case ".hq.stats over QIPC" `Quick
             test_hq_stats_over_qipc;
           Alcotest.test_case "JSONL events" `Quick test_jsonl_events;
+        ] );
+      ( "json-floats",
+        [
+          Alcotest.test_case "event fields" `Quick test_json_floats_events;
+          Alcotest.test_case "trace attributes" `Quick
+            test_json_floats_trace_attrs;
+        ] );
+      ( "trace-ids",
+        [
+          Alcotest.test_case "id generation and traceparent" `Quick
+            test_trace_ids;
+          Alcotest.test_case "export ring" `Quick test_trace_export_ring;
         ] );
       ( "handshake",
         [
