@@ -3,17 +3,21 @@
 all:
 	dune build @all
 
-# build + full test suite + the correlation-plane overhead smoke gate;
-# the introspection suite exercises the HTTP admin endpoint through its
-# pure handler, so no curl / open port needed
+# build + full test suite + the correlation-plane overhead smoke gate +
+# the plan-cache reuse gate (warm hit ratio >= 0.95, warm mean < cold
+# mean, zero result divergence); the introspection suite exercises the
+# HTTP admin endpoint through its pure handler, so no curl / open port
+# needed
 ci:
 	dune build @all
 	dune runtest
 	dune exec bench/main.exe -- smoke
+	dune exec bench/main.exe -- plan_cache_gate
 
-# quick overhead gate only (exit 1 if the correlation plane regresses)
+# quick overhead gates only (exit 1 on regression)
 bench-smoke:
 	dune exec bench/main.exe -- smoke
+	dune exec bench/main.exe -- plan_cache_gate
 
 check:
 	dune build @dev-check

@@ -38,6 +38,8 @@ let () =
   let log_level = ref "info" in
   let log_file = ref "" in
   let trace_ring = ref Obs.Export.default_capacity in
+  let plan_cache = ref true in
+  let plan_cache_size = ref Hyperq.Plancache.default_capacity in
   let speclist =
     [
       ( "--stats",
@@ -46,8 +48,8 @@ let () =
       ( "--admin-port",
         Arg.Set_int admin_port,
         "PORT serve GET /metrics, /healthz, /stats.json, /slow.json, \
-         /traces.json, /logs.json, /activity.json and POST /reset on \
-         127.0.0.1:PORT" );
+         /traces.json, /logs.json, /activity.json, /plancache.json and \
+         POST /reset on 127.0.0.1:PORT" );
       ( "--slow-threshold-ms",
         Arg.Set_float slow_threshold_ms,
         "MS flight-record queries slower than MS (default 100)" );
@@ -67,6 +69,15 @@ let () =
           "N keep the last N finished traces for /traces.json and \
            .hq.traces (default %d)"
           Obs.Export.default_capacity );
+      ( "--plan-cache",
+        Arg.Bool (fun b -> plan_cache := b),
+        "BOOL enable the fingerprint-keyed translation plan cache \
+         (default true); inspect with .hq.plancache or GET \
+         /plancache.json" );
+      ( "--plan-cache-size",
+        Arg.Set_int plan_cache_size,
+        Printf.sprintf "N LRU capacity of the plan cache (default %d)"
+          Hyperq.Plancache.default_capacity );
     ]
   in
   Arg.parse speclist
@@ -99,7 +110,9 @@ let () =
   let log = Obs.Log.create ~level ~sink:events registry in
   let export = Obs.Export.create ~capacity:(max 1 !trace_ring) () in
   let obs = Obs.Ctx.create ~registry ~events ~log ~export () in
-  let platform = P.create ~obs db in
+  let platform =
+    P.create ~plan_cache:!plan_cache ~plan_cache_size:!plan_cache_size ~obs db
+  in
   let recorder = (P.obs platform).Obs.Ctx.recorder in
   Obs.Recorder.set_threshold recorder (!slow_threshold_ms /. 1000.0);
   Obs.Recorder.set_sample_every recorder !slow_sample;
@@ -126,8 +139,8 @@ let () =
      tables: trades (%d rows), quotes (%d rows), secmaster_w, risk_w, \
      limits_w\n\
      commands: \\sql <q-query> shows generated SQL, .hq.stats / .hq.top[n] \
-     / .hq.slow[n] / .hq.activity / .hq.traces[n] / .hq.stats.reset for \
-     proxy introspection, \\q quits\n\n"
+     / .hq.slow[n] / .hq.activity / .hq.traces[n] / .hq.plancache / \
+     .hq.stats.reset for proxy introspection, \\q quits\n\n"
     (Array.length d.MD.trades)
     (Array.length d.MD.quotes);
   let rec loop () =

@@ -26,12 +26,17 @@ type t = {
           Gateway installs the sqlcommenter [traceparent] comment here
           so the decorated text is what both [sql_log] and the backend
           see *)
+  on_exec : (string -> unit) ref;
+      (** observer called with every statement as it is dispatched —
+          {!Mdi} chains a DDL watcher here so catalog-changing
+          statements bump the catalog generation *)
 }
 
 let exec (b : t) (sql : string) : (reply, string) Stdlib.result =
   let sql = !(b.decorate) sql in
   b.sql_log := sql :: !(b.sql_log);
   incr b.sql_count;
+  !(b.on_exec) sql;
   b.exec sql
 
 let log_mark (b : t) : int = !(b.sql_count)
@@ -87,4 +92,5 @@ let of_pgdb_session (sess : Pgdb.Db.session) : t =
     sql_log = ref [];
     sql_count = ref 0;
     decorate = ref Fun.id;
+    on_exec = ref ignore;
   }

@@ -24,6 +24,10 @@ type t = {
           Gateway installs the sqlcommenter [traceparent] comment here
           so the decorated text is what both [sql_log] and the backend
           see *)
+  on_exec : (string -> unit) ref;
+      (** observer called with every statement as it is dispatched —
+          {!Mdi} chains a DDL watcher here so catalog-changing
+          statements bump the catalog generation *)
 }
 
 (** Execute a statement: apply [decorate], record the decorated text in

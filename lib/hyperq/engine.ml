@@ -25,10 +25,18 @@ let hq_error category fmt =
 type config = {
   xformer : Xformer.config;
   mutable materialization : [ `Logical | `Physical ];
+  mutable plan_cache : bool;
+      (** enable the fingerprint-keyed translation plan cache *)
+  mutable plan_cache_size : int;  (** LRU capacity of the plan cache *)
 }
 
 let default_config () =
-  { xformer = Xformer.default_config (); materialization = `Logical }
+  {
+    xformer = Xformer.default_config ();
+    materialization = `Logical;
+    plan_cache = false;
+    plan_cache_size = Plancache.default_capacity;
+  }
 
 type t = {
   backend : Backend.t;
@@ -38,14 +46,41 @@ type t = {
   obs : Obs.Ctx.t;
   stage_hists : (Stage_timer.stage * Obs.Metrics.histogram) list;
   config : config;
+  plancache : Plancache.t option;
+  pc_hits : Obs.Metrics.counter;
+  pc_misses : Obs.Metrics.counter;
+  pc_bypass : Obs.Metrics.counter;
+  pc_hit_hist : Obs.Metrics.histogram;
   mutable temp_counter : int;
+  mutable last_rel_exec : (I.rel * string * Binder.rshape) option;
+      (* the last relational statement executed by the slow path: its
+         bound rel, undecorated SQL and result shape — the plan cache's
+         install candidate *)
   mutable error_log : (string * string) list;
       (* (query, categorised error), newest first, bounded *)
+  mutable error_count : int;  (* length of [error_log], kept so the
+                                 bound is enforced without List.length *)
 }
 
-let create ?(config = default_config ()) ?mdi_config ?server_scope ?obs backend
-    =
+let create ?(config = default_config ()) ?mdi_config ?server_scope ?plan_cache
+    ?obs backend =
   let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
+  let reg = obs.Obs.Ctx.registry in
+  let pc_evictions =
+    Obs.Metrics.counter reg ~help:"Plan-cache entries evicted (LRU)"
+      "hq_plan_cache_evictions_total"
+  in
+  let plancache =
+    match plan_cache with
+    | Some pc -> Some pc
+    | None ->
+        if config.plan_cache then
+          Some
+            (Plancache.create
+               ~on_evict:(fun () -> Obs.Metrics.inc pc_evictions)
+               ~capacity:config.plan_cache_size ())
+        else None
+  in
   {
     backend;
     mdi = Mdi.create ?config:mdi_config backend;
@@ -56,14 +91,31 @@ let create ?(config = default_config ()) ?mdi_config ?server_scope ?obs backend
       List.map
         (fun s ->
           ( s,
-            Obs.Metrics.histogram obs.Obs.Ctx.registry
+            Obs.Metrics.histogram reg
               ~help:"Query pipeline stage duration (seconds)"
               ~labels:[ ("stage", Stage_timer.stage_name s) ]
               "hq_stage_seconds" ))
         Stage_timer.all_stages;
     config;
+    plancache;
+    pc_hits =
+      Obs.Metrics.counter reg ~help:"Plan-cache hits (template reused)"
+        "hq_plan_cache_hits_total";
+    pc_misses =
+      Obs.Metrics.counter reg ~help:"Plan-cache misses (full translation)"
+        "hq_plan_cache_misses_total";
+    pc_bypass =
+      Obs.Metrics.counter reg
+        ~help:"Queries that bypassed the plan cache (uncacheable)"
+        "hq_plan_cache_bypass_total";
+    pc_hit_hist =
+      Obs.Metrics.histogram reg
+        ~help:"End-to-end latency of plan-cache hits (seconds)"
+        "hq_plan_cache_hit_seconds";
     temp_counter = 0;
+    last_rel_exec = None;
     error_log = [];
+    error_count = 0;
   }
 
 (* every pipeline stage is recorded three ways from one measurement: the
@@ -202,31 +254,39 @@ let make_ctx (t : t) : Binder.ctx =
 (* Result pivot: row-oriented backend results -> Q values              *)
 (* ------------------------------------------------------------------ *)
 
-(* internal helper columns that must not reach the application *)
+(* internal helper columns that must not reach the application: anything
+   with the hq_ prefix (hq_ord, hq_rowid, hq_rn, ...) *)
 let is_internal_col name =
-  name = "hq_ord" || name = "hq_rowid" || name = "hq_rn"
-  ||
-  (String.length name > 3 && String.sub name 0 3 = "hq_")
+  String.length name > 3
+  && String.unsafe_get name 0 = 'h'
+  && String.unsafe_get name 1 = 'q'
+  && String.unsafe_get name 2 = '_'
 
 let table_of_result (res : Backend.result) : QV.table =
-  let nrows = Array.length res.Backend.rows in
-  (* keep application-visible columns, remembering each one's position in
-     the raw row *)
-  let keep =
-    List.filteri (fun _ (name, _) -> not (is_internal_col name))
-      (List.mapi (fun j (name, ty) -> (name, (j, ty))) res.Backend.cols)
-  in
-  let data =
-    List.map
-      (fun (name, (j, ty)) ->
+  let rows = res.Backend.rows in
+  let nrows = Array.length rows in
+  let ncols = List.length res.Backend.cols in
+  (* one up-front width check so the per-cell walk below can use unsafe
+     indexing — this is the pivot hot path, executed per result row *)
+  Array.iter
+    (fun row ->
+      if Array.length row <> ncols then
+        hq_error "pivot" "backend row has %d cells, expected %d"
+          (Array.length row) ncols)
+    rows;
+  let data = ref [] in
+  List.iteri
+    (fun j (name, ty) ->
+      if not (is_internal_col name) then begin
+        let conv = Typemap.atom_of_value ty in
         let atoms =
           Array.init nrows (fun i ->
-              Typemap.atom_of_value ty res.Backend.rows.(i).(j))
+              conv (Array.unsafe_get (Array.unsafe_get rows i) j))
         in
-        (name, QV.vector_of_atoms atoms))
-      keep
-  in
-  QV.table data
+        data := (name, QV.vector_of_atoms atoms) :: !data
+      end)
+    res.Backend.cols;
+  QV.table (List.rev !data)
 
 let pivot (res : Backend.result) (shape : Binder.rshape) : QV.t =
   let tbl = table_of_result res in
@@ -281,6 +341,7 @@ let execute_rel (t : t) (brel : Binder.bound_rel) : QV.t * string list =
   let value =
     stage t Stage_timer.Pivot (fun () -> pivot res brel.Binder.shape)
   in
+  t.last_rel_exec <- Some (brel.Binder.rel, sql, brel.Binder.shape);
   (value, sent)
 
 (* a context-free scalar evaluates via a FROM-less SELECT *)
@@ -383,8 +444,8 @@ let run_statement (t : t) (stmt : Ast.expr) : run_result =
       let sqls = Backend.sql_since t.backend sql_mark in
       { value = Some value; sqls }
 
-(** Parse and execute a Q program; returns the last statement's result. *)
-let run_program (t : t) (src : string) : run_result =
+(* the full pipeline: parse and execute every statement *)
+let run_program_uncached (t : t) (src : string) : run_result =
   let stmts =
     stage t Stage_timer.Parse (fun () -> Qlang.Parser.parse_program src)
   in
@@ -395,6 +456,170 @@ let run_program (t : t) (src : string) : run_result =
         (fun _ stmt -> run_statement t stmt)
         { value = None; sqls = [] }
         stmts
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache fast path                                                *)
+(* ------------------------------------------------------------------ *)
+
+module F = Qlang.Fingerprint
+
+(* A cacheable statement must be self-contained: a rel that reads a
+   session temp table (or still carries a literal table) depends on
+   state the generation counters do not version. *)
+let rec rel_mentions_temp (r : I.rel) : bool =
+  match r with
+  | I.Get { table; _ } ->
+      String.length table >= 8
+      && String.lowercase_ascii (String.sub table 0 8) = "hq_temp_"
+  | I.ConstRel _ -> true
+  | I.Project p -> rel_mentions_temp p.input
+  | I.Filter f -> rel_mentions_temp f.input
+  | I.Join j -> rel_mentions_temp j.left || rel_mentions_temp j.right
+  | I.AsofJoin a -> rel_mentions_temp a.left || rel_mentions_temp a.right
+  | I.Aggregate a -> rel_mentions_temp a.input
+  | I.WindowOp w -> rel_mentions_temp w.input
+  | I.Sort s -> rel_mentions_temp s.input
+  | I.Limit l -> rel_mentions_temp l.input
+  | I.Union rels -> List.exists rel_mentions_temp rels
+
+let cache_key (t : t) (fp : string) (sg : string) : Plancache.key =
+  let session_gen, server_gen = Scopes.generations t.scopes in
+  {
+    Plancache.k_fingerprint = fp;
+    k_signature = sg;
+    k_session = Scopes.session_id t.scopes;
+    k_session_gen = session_gen;
+    k_server_gen = server_gen;
+    k_catalog_gen = Mdi.generation t.mdi;
+  }
+
+(* Install a template for a statement the slow path just ran: re-translate
+   the query with sentinel literals (no stage timers, no backend traffic),
+   locate each sentinel's rendering in the generated SQL, and accept the
+   template only if splicing the original literals back reproduces the
+   original SQL byte for byte. Deterministic failures are negatively
+   cached so the same shape does not retry on every miss. *)
+let install_template (t : t) (pc : Plancache.t) (an : F.analysis)
+    ~(params : Plancache.param array) ~(sql : string) ~(shape : Binder.rshape)
+    ~(key : Plancache.key) ~(src : string) : unit =
+  let start = Obs.Clock.now_ns () in
+  let negative reason =
+    Plancache.store pc key ~norm:an.F.a_norm (Plancache.Uncacheable reason)
+  in
+  match Plancache.sentinel_rewrite ~src an.F.a_literals with
+  | None -> ()
+  | Some (sentinel_src, sentinels) -> (
+      let mark = Backend.log_mark t.backend in
+      let translate () =
+        match Qlang.Parser.parse_program sentinel_src with
+        | [ stmt ] -> (
+            match Binder.bind (make_ctx t) stmt with
+            | Binder.BRel brel when brel.Binder.shape = shape ->
+                let optimized =
+                  Xformer.optimize ~config:t.config.xformer brel.Binder.rel
+                in
+                Some
+                  (Serializer.serialize_to_sql
+                     ~tolerate_eq2:(not t.config.xformer.Xformer.enable_2vl)
+                     optimized)
+            | _ -> None)
+        | _ -> None
+      in
+      match translate () with
+      | exception _ -> negative "sentinel translation failed"
+      | None -> negative "sentinel translation changed shape"
+      | Some sentinel_sql ->
+          if Backend.log_mark t.backend <> mark then
+            (* the sentinel bind touched the backend (an MDI refetch) —
+               possibly transient, so skip without a negative entry *)
+            ()
+          else begin
+            let translate_s = Obs.Clock.seconds_since start in
+            let renderings = Array.map Plancache.render sentinels in
+            match
+              Plancache.split ~sentinel_sql ~shape ~translate_s renderings
+            with
+            | None -> negative "literal lost in translation"
+            | Some tpl ->
+                if Plancache.splice tpl params = sql then
+                  Plancache.store pc key ~norm:an.F.a_norm
+                    (Plancache.Template tpl)
+                else negative "template validation failed"
+          end)
+
+(* Execute a template hit: splice the literals, jump straight to
+   Execute→Pivot. Returns None if the backend rejects the spliced SQL —
+   the entry is stale in a way the generations did not capture, so the
+   caller drops it and recovers through the full pipeline. *)
+let run_cached_hit (t : t) (tpl : Plancache.template)
+    (params : Plancache.param array) : run_result option =
+  let start = Obs.Clock.now_ns () in
+  let sql = Plancache.splice tpl params in
+  let mark = Backend.log_mark t.backend in
+  match stage t Stage_timer.Execute (fun () -> Backend.exec t.backend sql) with
+  | Ok (Backend.Result_set res) ->
+      let value =
+        stage t Stage_timer.Pivot (fun () -> pivot res tpl.Plancache.tp_shape)
+      in
+      Obs.Metrics.observe t.pc_hit_hist (Obs.Clock.seconds_since start);
+      Some { value = Some value; sqls = Backend.sql_since t.backend mark }
+  | Ok (Backend.Command_ok _) | Error _ -> None
+
+let run_program_cached (t : t) (pc : Plancache.t) (src : string) : run_result =
+  let an = F.analyze src in
+  let bypass () =
+    Obs.Metrics.inc t.pc_bypass;
+    run_program_uncached t src
+  in
+  if (not an.F.a_ok) || an.F.a_statements <> 1 then bypass ()
+  else
+    match Plancache.signature an.F.a_literals with
+    | None -> bypass ()
+    | Some (sg, params) -> (
+        let key = cache_key t an.F.a_fingerprint sg in
+        let miss () =
+          Obs.Metrics.inc t.pc_misses;
+          let gens0 = Scopes.generations t.scopes in
+          let catalog0 = Mdi.generation t.mdi in
+          let mark0 = Backend.log_mark t.backend in
+          let temps0 = t.temp_counter in
+          t.last_rel_exec <- None;
+          let r = run_program_uncached t src in
+          (match t.last_rel_exec with
+          | Some (rel, sql, shape)
+            when Backend.log_mark t.backend - mark0 = 1
+                 && t.temp_counter = temps0
+                 && Scopes.generations t.scopes = gens0
+                 && Mdi.generation t.mdi = catalog0
+                 && not (rel_mentions_temp rel) ->
+              (* single read-only relational statement, no assignment, no
+                 materialization, no catalog movement: install a template *)
+              install_template t pc an ~params ~sql ~shape ~key ~src
+          | _ -> ());
+          r
+        in
+        match Plancache.find pc key with
+        | Some { Plancache.e_kind = Plancache.Uncacheable _; _ } ->
+            Obs.Metrics.inc t.pc_bypass;
+            run_program_uncached t src
+        | Some ({ Plancache.e_kind = Plancache.Template tpl; _ } as e) -> (
+            match run_cached_hit t tpl params with
+            | Some r ->
+                Obs.Metrics.inc t.pc_hits;
+                Plancache.note_hit e;
+                r
+            | None ->
+                Plancache.remove pc key;
+                miss ())
+        | None -> miss ())
+
+(** Parse and execute a Q program; returns the last statement's result.
+    With the plan cache enabled, single-statement queries whose shape is
+    cached skip the translation pipeline entirely. *)
+let run_program (t : t) (src : string) : run_result =
+  match t.plancache with
+  | None -> run_program_uncached t src
+  | Some pc -> run_program_cached t pc src
 
 (** Translate without executing: returns the serialized SQL for a single
     Q query (used by tests, examples and the translation benchmarks). *)
@@ -422,16 +647,28 @@ let obs (t : t) = t.obs
 (** The session's metadata interface (cache statistics, invalidation). *)
 let mdi (t : t) = t.mdi
 
+(** The session's plan cache, when enabled. *)
+let plan_cache (t : t) = t.plancache
+
+let error_log_limit = 100
+
 (** Convenience wrapper turning all Hyper-Q failure modes into a
     result. *)
 let try_run (t : t) (src : string) : (run_result, string) result =
   let fail msg =
     (* keep a bounded log of failures with their query text: verbose,
        attributable errors are one of the ways Hyper-Q improves on kdb+'s
-       terse signals (paper Section 5) *)
+       terse signals (paper Section 5). The bound is enforced with an
+       explicit length counter and amortized truncation — recomputing
+       List.length and rebuilding the list on every failure made this
+       O(n²) across a failure burst (the sql_log bug class from PR 2) *)
     t.error_log <- (src, msg) :: t.error_log;
-    if List.length t.error_log > 100 then
-      t.error_log <- List.filteri (fun i _ -> i < 100) t.error_log;
+    t.error_count <- t.error_count + 1;
+    if t.error_count > 2 * error_log_limit then begin
+      t.error_log <-
+        List.filteri (fun i _ -> i < error_log_limit) t.error_log;
+      t.error_count <- error_log_limit
+    end;
     Obs.Log.error t.obs.Obs.Ctx.log ~trace_id:(Obs.Ctx.trace_id t.obs)
       "query failed"
       [ ("error", Obs.Events.Str msg); ("query", Obs.Events.Str src) ];
@@ -449,5 +686,8 @@ let try_run (t : t) (src : string) : (run_result, string) result =
   | exception Qlang.Parser.Error m -> fail (Printf.sprintf "[parse] %s" m)
 
 (** The most recent failures, [(query, categorised error)], newest first —
-    the improved error logging of Section 5. *)
-let recent_errors (t : t) : (string * string) list = t.error_log
+    the improved error logging of Section 5. At most {!error_log_limit}
+    entries. *)
+let recent_errors (t : t) : (string * string) list =
+  if t.error_count <= error_log_limit then t.error_log
+  else List.filteri (fun i _ -> i < error_log_limit) t.error_log

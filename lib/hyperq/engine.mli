@@ -12,6 +12,10 @@ exception Hq_error of { category : string; message : string }
 type config = {
   xformer : Xformer.config;
   mutable materialization : [ `Logical | `Physical ];
+  mutable plan_cache : bool;
+      (** enable the fingerprint-keyed translation plan cache (off by
+          default for standalone engines; the platform turns it on) *)
+  mutable plan_cache_size : int;  (** LRU capacity of the plan cache *)
 }
 
 val default_config : unit -> config
@@ -20,14 +24,18 @@ type t
 
 (** Create a session over a backend. [server_scope] shares global
     variables across sessions (as on one kdb+ server); [mdi_config]
-    controls the metadata cache; [obs] is the observability context the
-    pipeline stages are recorded into (per-stage latency histograms, and
-    trace spans when a query trace is open) — defaults to a private
-    context so standalone engines stay fully instrumented. *)
+    controls the metadata cache; [plan_cache] shares one translation
+    plan cache across sessions (a private one is created when
+    [config.plan_cache] is set and none is passed); [obs] is the
+    observability context the pipeline stages are recorded into
+    (per-stage latency histograms, and trace spans when a query trace is
+    open) — defaults to a private context so standalone engines stay
+    fully instrumented. *)
 val create :
   ?config:config ->
   ?mdi_config:Mdi.config ->
-  ?server_scope:Scopes.frame ->
+  ?server_scope:Scopes.server ->
+  ?plan_cache:Plancache.t ->
   ?obs:Obs.Ctx.t ->
   Backend.t ->
   t
@@ -64,6 +72,9 @@ val obs : t -> Obs.Ctx.t
 
 (** The session's metadata interface (cache statistics, invalidation). *)
 val mdi : t -> Mdi.t
+
+(** The session's plan cache, when enabled (possibly shared). *)
+val plan_cache : t -> Plancache.t option
 
 (** The most recent failures as [(query, categorised error)] pairs, newest
     first (bounded) — the paper's Section 5 notes that verbose,

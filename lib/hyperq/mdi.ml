@@ -25,15 +25,72 @@ type t = {
   cache : (string, entry) Hashtbl.t;
   mutable lookups : int;  (** total lookup calls *)
   mutable misses : int;  (** lookups that hit the backend *)
+  mutable generation : int;
+      (** catalog generation: bumped whenever this interface learns the
+          catalog may have changed — explicit invalidation, DDL observed
+          through {!Backend.exec}, or a refetch that returns a different
+          definition. Cached translations embed the generation they were
+          bound under; a bump makes them unreachable. *)
 }
 
 let default_config () = { cache_enabled = true; max_age_lookups = 10_000 }
 
-let create ?(config = default_config ()) backend =
-  { backend; config; cache = Hashtbl.create 32; lookups = 0; misses = 0 }
+(* Catalog-changing statement? First keyword CREATE/DROP/ALTER — except
+   CREATE TEMPORARY/TEMP, which the translator itself issues for
+   materializations; temp tables are never resolved through the MDI, so
+   they must not invalidate cached translations. *)
+let is_ddl (sql : string) : bool =
+  let n = String.length sql in
+  let rec skip_ws i = if i < n && sql.[i] <= ' ' then skip_ws (i + 1) else i in
+  let is_al c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  let word_at i =
+    let rec stop j =
+      if j < n && (is_al sql.[j] || sql.[j] = '_') then stop (j + 1) else j
+    in
+    let j = stop i in
+    (String.uppercase_ascii (String.sub sql i (j - i)), j)
+  in
+  let i = skip_ws 0 in
+  if i >= n then false
+  else
+    let w, j = word_at i in
+    match w with
+    | "DROP" | "ALTER" -> true
+    | "CREATE" ->
+        let k = skip_ws j in
+        let w2, _ = if k < n then word_at k else ("", k) in
+        w2 <> "TEMPORARY" && w2 <> "TEMP"
+    | _ -> false
 
-let invalidate t name = Hashtbl.remove t.cache (String.lowercase_ascii name)
-let invalidate_all t = Hashtbl.reset t.cache
+let create ?(config = default_config ()) backend =
+  let t =
+    {
+      backend;
+      config;
+      cache = Hashtbl.create 32;
+      lookups = 0;
+      misses = 0;
+      generation = 0;
+    }
+  in
+  (* observe every dispatched statement so DDL issued through this
+     session's backend bumps the catalog generation *)
+  let prev = !(backend.Backend.on_exec) in
+  (backend.Backend.on_exec :=
+     fun sql ->
+       prev sql;
+       if is_ddl sql then t.generation <- t.generation + 1);
+  t
+
+let generation t = t.generation
+
+let invalidate t name =
+  t.generation <- t.generation + 1;
+  Hashtbl.remove t.cache (String.lowercase_ascii name)
+
+let invalidate_all t =
+  t.generation <- t.generation + 1;
+  Hashtbl.reset t.cache
 
 (* catalog round trip: fetch column metadata through SQL *)
 let fetch (t : t) (lname : string) : S.table_def option =
@@ -81,12 +138,20 @@ let lookup_table (t : t) (name : string) : S.table_def option =
     match Hashtbl.find_opt t.cache lname with
     | Some entry when t.lookups - entry.age <= t.config.max_age_lookups ->
         Some entry.def
-    | _ -> (
+    | prior -> (
         match fetch t lname with
         | Some def ->
+            (* an expired entry whose refetch comes back different means
+               the catalog changed behind our back — bump so cached
+               translations bound against the old definition die *)
+            (match prior with
+            | Some entry when entry.def <> def ->
+                t.generation <- t.generation + 1
+            | _ -> ());
             Hashtbl.replace t.cache lname { def; age = t.lookups };
             Some def
         | None ->
+            if prior <> None then t.generation <- t.generation + 1;
             Hashtbl.remove t.cache lname;
             None)
 

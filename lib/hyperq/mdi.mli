@@ -15,14 +15,27 @@ type t = {
   cache : (string, entry) Hashtbl.t;
   mutable lookups : int;
   mutable misses : int;  (** lookups that performed a backend round trip *)
+  mutable generation : int;
+      (** catalog generation — see {!generation} *)
 }
 
 and entry = { def : Catalog.Schema.table_def; mutable age : int }
 
 val default_config : unit -> config
+
+(** Build an MDI over a backend. Installs an observer on the backend's
+    [on_exec] hook so DDL dispatched through it (CREATE/DROP/ALTER, but
+    not CREATE TEMPORARY) bumps the catalog generation. *)
 val create : ?config:config -> Backend.t -> t
 
-(** Drop one cached table (e.g. after DDL), or everything. *)
+(** Catalog generation: bumped on {!invalidate}/{!invalidate_all}, on DDL
+    observed through [Backend.exec], and on a cache refetch that returns
+    a changed (or vanished) definition. Cached translations embed the
+    generation they were bound under; a bump makes them unreachable. *)
+val generation : t -> int
+
+(** Drop one cached table (e.g. after DDL), or everything. Either way the
+    catalog generation advances. *)
 val invalidate : t -> string -> unit
 
 val invalidate_all : t -> unit

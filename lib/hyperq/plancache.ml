@@ -1,0 +1,414 @@
+(** The translation plan cache (level 1): fingerprint-keyed reuse of the
+    full Q→SQL cross-compilation with literal substitution.
+
+    Real Q application workloads repeat a small set of query shapes with
+    different literals — exactly what the fingerprinter normalizes. After
+    a successful slow-path translation of a cacheable statement, the
+    engine re-translates the query with unique {e sentinel} literals
+    spliced into the literal spans, locates each sentinel's SQL rendering
+    in the generated text, and stores the SQL as a template
+    ([parts]/[slots]) plus the bound result shape. A later query with the
+    same fingerprint and literal type-signature skips
+    Parse/Algebrize/Optimize/Serialize entirely: its literals are
+    rendered through the same serializer quoting and spliced into the
+    template.
+
+    Correctness rests on three legs:
+
+    - {b Versioned keys.} Entries are keyed by [(fingerprint, literal
+      type-signature, session, session/server scope generations, MDI
+      catalog generation)]. Any scope or catalog mutation bumps a
+      generation, making stale entries unreachable; they age out of the
+      LRU rather than being swept eagerly.
+    - {b Sign-classed signatures.} The binder's output can depend on
+      literal {e values}, not just types (negative [take] reads from the
+      end, zero is special-cased, glob characters in [like] patterns are
+      rewritten). The signature therefore splits numerics by sign,
+      separates strings containing glob metacharacters, and refuses to
+      cache value classes with bespoke behaviour (zero, booleans, nulls,
+      single-character strings, empty symbols).
+    - {b Install-time validation.} A template is accepted only if
+      splicing the {e original} literals back into it reproduces the
+      original generated SQL byte for byte. Any shape whose translation
+      is value-dependent beyond the signature's classes fails this check
+      and is negatively cached as uncacheable. *)
+
+module A = Sqlast.Ast
+module F = Qlang.Fingerprint
+module Atom = Qvalue.Atom
+
+(* ------------------------------------------------------------------ *)
+(* Parameters: the spliceable literal values of one query              *)
+(* ------------------------------------------------------------------ *)
+
+(** One spliceable literal value. Strings are separate from atoms
+    because the Q parser maps multi-character string literals to a
+    distinct AST node, not an atom. *)
+type param = PAtom of Atom.t | PString of string
+
+(** The SQL rendering of a parameter — exactly the composition the slow
+    path uses ({!Typemap.lit_of_atom} for atoms, [A.Str] for strings,
+    both through {!A.lit_str}'s quoting), so spliced text matches what
+    the serializer would have produced. *)
+let render (p : param) : string =
+  match p with
+  | PAtom a -> A.lit_str (fst (Typemap.lit_of_atom a))
+  | PString s -> A.lit_str (A.Str s)
+
+(* ------------------------------------------------------------------ *)
+(* Type signatures                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Class of one atom, or None when its value class has bespoke binder
+   behaviour and must bypass the cache. Numerics split by sign (negative
+   [take]/[sublist] read from the end); zero, booleans and nulls are
+   special-cased all over the binder; single-character strings become
+   Char atoms in the parser; non-positive temporals are excluded so
+   sentinel values can stay in a known-safe range. *)
+let class_of_atom (a : Atom.t) : string option =
+  match a with
+  | Atom.Long i -> if i > 0L then Some "j+" else if i < 0L then Some "j-" else None
+  | Atom.Float f ->
+      if Float.is_integer f then None (* integral floats fold like ints *)
+      else if f > 0. then Some "f+"
+      else if f < 0. then Some "f-"
+      else None
+  | Atom.Sym s -> if s = "" then None else Some "s"
+  | Atom.Date d -> if d > 0 then Some "d" else None
+  | Atom.Time t -> if t > 0 then Some "t" else None
+  | Atom.Timestamp n -> if n > 0L then Some "p" else None
+  | Atom.Bool _ | Atom.Char _ | Atom.Null _ -> None
+
+(* Strings containing glob metacharacters get their own class: the
+   binder rewrites them inside [like] patterns, so a template installed
+   from a metacharacter-free exemplar must never serve them. Both
+   classes are cacheable — install-time validation decides which
+   survives for a given shape. *)
+let class_of_string (s : string) : string option =
+  if String.length s <= 1 then None
+  else if
+    String.exists (fun c -> c = '*' || c = '?' || c = '%' || c = '\\') s
+  then Some "S!"
+  else Some "S"
+
+(** Flatten a query's extracted literals into spliceable parameters and
+    compute the literal type-signature. [None] when any literal's value
+    class must bypass the cache. Vector literals record their arity in
+    the signature ([in 1 2 3] and [in 1 2] are different shapes). *)
+let signature (lits : F.lit_span list) : (string * param array) option =
+  let buf = Buffer.create 32 in
+  let params = ref [] in
+  let ok = ref true in
+  let atom cls a =
+    match cls with
+    | Some c ->
+        Buffer.add_string buf c;
+        params := PAtom a :: !params
+    | None -> ok := false
+  in
+  List.iter
+    (fun (ls : F.lit_span) ->
+      if !ok then begin
+        if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        match ls.F.l_value with
+        | F.LNum [ a ] -> atom (class_of_atom a) a
+        | F.LNum atoms ->
+            Buffer.add_char buf '(';
+            List.iter (fun a -> atom (class_of_atom a) a) atoms;
+            Buffer.add_char buf ')'
+        | F.LStr s -> (
+            match class_of_string s with
+            | Some c ->
+                Buffer.add_string buf c;
+                params := PString s :: !params
+            | None -> ok := false)
+        | F.LSym [ s ] -> atom (class_of_atom (Atom.Sym s)) (Atom.Sym s)
+        | F.LSym syms ->
+            Buffer.add_char buf '(';
+            List.iter
+              (fun s -> atom (class_of_atom (Atom.Sym s)) (Atom.Sym s))
+              syms;
+            Buffer.add_char buf ')'
+      end)
+    lits;
+  if !ok then Some (Buffer.contents buf, Array.of_list (List.rev !params))
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Sentinels                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Sentinel parameter for flattened position [k], same class as [p].
+   Value ranges are chosen so no sentinel's SQL rendering is a substring
+   of another's: longs live in 8624xxxx, floats in 7351xxxx.5, strings
+   and symbols in distinct [hqs<k>...] namespaces, temporals in ranges
+   whose rendered text carries date/time separators. *)
+let sentinel_param (k : int) (p : param) : param option =
+  match p with
+  | PString _ -> Some (PString (Printf.sprintf "hqs%dstr" k))
+  | PAtom a -> (
+      match a with
+      | Atom.Long i when i > 0L -> Some (PAtom (Atom.Long (Int64.of_int (86240001 + k))))
+      | Atom.Long i when i < 0L ->
+          Some (PAtom (Atom.Long (Int64.of_int (-(86240001 + k)))))
+      | Atom.Float f when f > 0. ->
+          Some (PAtom (Atom.Float (float_of_int (73510001 + k) +. 0.5)))
+      | Atom.Float f when f < 0. ->
+          Some (PAtom (Atom.Float (-.(float_of_int (73510001 + k) +. 0.5))))
+      | Atom.Sym _ -> Some (PAtom (Atom.Sym (Printf.sprintf "hqs%dsym" k)))
+      | Atom.Date _ -> Some (PAtom (Atom.Date (40001 + k)))
+      | Atom.Time _ -> Some (PAtom (Atom.Time (40000001 + k)))
+      | Atom.Timestamp _ ->
+          Some
+            (PAtom
+               (Atom.Timestamp
+                  (Int64.add 500_000_000_000_000_000L
+                     (Int64.mul (Int64.of_int (k + 1)) 1_000_000_000L))))
+      | _ -> None)
+
+(* Q source text that lexes back to exactly this sentinel parameter. *)
+let sentinel_source (p : param) : string =
+  match p with
+  | PString s -> Printf.sprintf "\"%s\"" s
+  | PAtom (Atom.Long i) -> Int64.to_string i
+  | PAtom (Atom.Float f) -> Printf.sprintf "%.1f" f
+  | PAtom (Atom.Sym s) -> "`" ^ s
+  | PAtom (Atom.Date d) -> Printf.sprintf "%dd" d
+  | PAtom (Atom.Time t) -> Printf.sprintf "%dt" t
+  | PAtom (Atom.Timestamp n) -> Printf.sprintf "%Ldp" n
+  | PAtom _ -> invalid_arg "sentinel_source"
+
+(** Rewrite [src], replacing every literal span with sentinel literals of
+    the same classes. Returns the rewritten source and the sentinel
+    parameters in flatten order, or [None] if any literal has no
+    sentinel form (callers reject such queries via {!signature} first). *)
+let sentinel_rewrite ~(src : string) (lits : F.lit_span list) :
+    (string * param array) option =
+  let buf = Buffer.create (String.length src + 64) in
+  let sentinels = ref [] in
+  let k = ref 0 in
+  let ok = ref true in
+  let pos = ref 0 in
+  let one (p : param) : string =
+    match sentinel_param !k p with
+    | Some sp ->
+        incr k;
+        sentinels := sp :: !sentinels;
+        sentinel_source sp
+    | None ->
+        ok := false;
+        ""
+  in
+  List.iter
+    (fun (ls : F.lit_span) ->
+      if !ok then begin
+        Buffer.add_substring buf src !pos (ls.F.l_start - !pos);
+        (match ls.F.l_value with
+        | F.LNum atoms ->
+            Buffer.add_string buf
+              (String.concat " "
+                 (List.map (fun a -> one (PAtom a)) atoms))
+        | F.LStr s -> Buffer.add_string buf (one (PString s))
+        | F.LSym syms ->
+            List.iter
+              (fun s -> Buffer.add_string buf (one (PAtom (Atom.Sym s))))
+              syms);
+        pos := ls.F.l_stop
+      end)
+    lits;
+  if not !ok then None
+  else begin
+    Buffer.add_substring buf src !pos (String.length src - !pos);
+    Some (Buffer.contents buf, Array.of_list (List.rev !sentinels))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Templates                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type template = {
+  tp_parts : string array;  (** n+1 fixed SQL fragments *)
+  tp_slots : int array;  (** n parameter indices, one per gap *)
+  tp_shape : Binder.rshape;  (** result shape for the pivot *)
+  tp_translate_s : float;
+      (** measured cost of one full translation of this shape — the
+          estimated time saved per hit *)
+}
+
+let naive_find (hay : string) (needle : string) (from : int) : int option =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else go (i + 1)
+  in
+  if nl = 0 then None else go from
+
+(** Cut [sentinel_sql] into a template: find every (non-overlapping)
+    occurrence of each sentinel's rendering, require each sentinel to
+    appear at least once, and split the text around them. [None] when a
+    sentinel vanished (constant-folded) or renderings overlap. *)
+let split ~(sentinel_sql : string) ~(shape : Binder.rshape)
+    ~(translate_s : float) (renderings : string array) : template option =
+  let occs = ref [] in
+  Array.iteri
+    (fun k r ->
+      let rl = String.length r in
+      let rec go from =
+        match naive_find sentinel_sql r from with
+        | Some p ->
+            occs := (p, rl, k) :: !occs;
+            go (p + rl)
+        | None -> ()
+      in
+      go 0)
+    renderings;
+  let occs = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !occs in
+  let n = Array.length renderings in
+  let seen = Array.make n false in
+  let parts = ref [] and slots = ref [] in
+  let pos = ref 0 and ok = ref true in
+  List.iter
+    (fun (p, l, k) ->
+      if p < !pos then ok := false
+      else begin
+        seen.(k) <- true;
+        parts := String.sub sentinel_sql !pos (p - !pos) :: !parts;
+        slots := k :: !slots;
+        pos := p + l
+      end)
+    occs;
+  if (not !ok) || not (Array.for_all Fun.id seen) then None
+  else begin
+    parts :=
+      String.sub sentinel_sql !pos (String.length sentinel_sql - !pos)
+      :: !parts;
+    Some
+      {
+        tp_parts = Array.of_list (List.rev !parts);
+        tp_slots = Array.of_list (List.rev !slots);
+        tp_shape = shape;
+        tp_translate_s = translate_s;
+      }
+  end
+
+(** Splice parameters into a template: the cached SQL with this query's
+    literals rendered through the serializer's quoting. *)
+let splice (tpl : template) (params : param array) : string =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i part ->
+      Buffer.add_string buf part;
+      if i < Array.length tpl.tp_slots then
+        Buffer.add_string buf (render params.(tpl.tp_slots.(i))))
+    tpl.tp_parts;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* The cache proper                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type key = {
+  k_fingerprint : string;
+  k_signature : string;
+  k_session : int;  (** {!Scopes.session_id} — templates can embed
+                        inlined session-variable values *)
+  k_session_gen : int;
+  k_server_gen : int;
+  k_catalog_gen : int;
+}
+
+type kind =
+  | Template of template
+  | Uncacheable of string
+      (** negative entry: this (shape, signature) failed template
+          construction or validation — skip install attempts *)
+
+type entry = {
+  e_key : key;
+  e_norm : string;  (** normalized query shape, for introspection *)
+  e_kind : kind;
+  mutable e_hits : int;
+  mutable e_saved_s : float;  (** estimated translation time saved *)
+  mutable e_last_use : int;
+}
+
+type t = {
+  capacity : int;
+  tbl : (key, entry) Hashtbl.t;
+  on_evict : unit -> unit;
+  mutable tick : int;
+  mutable evictions : int;
+}
+
+let default_capacity = 512
+
+let create ?(on_evict = fun () -> ()) ?(capacity = default_capacity) () : t =
+  {
+    capacity = max 1 capacity;
+    tbl = Hashtbl.create 64;
+    on_evict;
+    tick = 0;
+    evictions = 0;
+  }
+
+let size t = Hashtbl.length t.tbl
+let evictions t = t.evictions
+
+let find (t : t) (key : key) : entry option =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      t.tick <- t.tick + 1;
+      e.e_last_use <- t.tick;
+      Some e
+  | None -> None
+
+let remove (t : t) (key : key) : unit = Hashtbl.remove t.tbl key
+
+(* O(capacity) scan for the least-recently-used entry — same idiom as
+   the qstats store; capacities are small enough that a scan per
+   eviction is cheaper than maintaining an intrusive list. *)
+let evict_lru (t : t) : unit =
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | Some b when b.e_last_use <= e.e_last_use -> acc
+        | _ -> Some e)
+      t.tbl None
+  in
+  match victim with
+  | Some e ->
+      Hashtbl.remove t.tbl e.e_key;
+      t.evictions <- t.evictions + 1;
+      t.on_evict ()
+  | None -> ()
+
+let store (t : t) (key : key) ~(norm : string) (kind : kind) : unit =
+  if (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.capacity then
+    evict_lru t;
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.tbl key
+    {
+      e_key = key;
+      e_norm = norm;
+      e_kind = kind;
+      e_hits = 0;
+      e_saved_s = 0.;
+      e_last_use = t.tick;
+    }
+
+(** Record a hit on [e]: bumps the hit count and credits the entry's
+    measured translation cost as saved time. *)
+let note_hit (e : entry) : unit =
+  e.e_hits <- e.e_hits + 1;
+  match e.e_kind with
+  | Template tpl -> e.e_saved_s <- e.e_saved_s +. tpl.tp_translate_s
+  | Uncacheable _ -> ()
+
+(** All entries, most-hit first — the admin surfaces' view. *)
+let entries (t : t) : entry list =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+  |> List.sort (fun a b -> compare b.e_hits a.e_hits)
+
+let clear (t : t) : unit = Hashtbl.reset t.tbl

@@ -25,18 +25,35 @@ type vardef =
 
 type frame = (string, vardef) Hashtbl.t
 
+(** A server scope shared by all sessions of one Hyper-Q instance, plus a
+    generation counter bumped on every mutation — cached translations
+    embed the generation they were built under, so a bump invalidates
+    them without eager sweeps. *)
+type server = { s_frame : frame; mutable s_gen : int }
+
 type t = {
-  server : frame;
+  server : server;
   mutable session : frame;
   mutable locals : frame list;
+  mutable session_gen : int;
+      (** bumped on every session-frame mutation (not on local-frame
+          upserts: locals cannot outlive the statement that binds them) *)
+  session_id : int;  (** unique per session, distinguishes cache keys *)
 }
 
 (** A session scope stack; pass [server] to share one server scope across
     sessions. *)
-val create : ?server:frame -> unit -> t
+val create : ?server:server -> unit -> t
 
-(** A fresh server frame to share between sessions of one platform. *)
-val create_server_frame : unit -> frame
+(** A fresh server scope to share between sessions of one platform. *)
+val create_server_frame : unit -> server
+
+(** Unique id of this session's scope stack. *)
+val session_id : t -> int
+
+(** [(session generation, server generation)] — the pair a cached
+    translation must match to stay valid. *)
+val generations : t -> int * int
 
 val push_local : t -> unit
 val pop_local : t -> unit

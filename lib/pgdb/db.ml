@@ -9,10 +9,16 @@
 module A = Sqlast.Ast
 module S = Catalog.Schema
 
+type stmt_entry = { se_stmt : A.stmt; mutable se_last_use : int }
+
 type t = {
   tables : (string, Storage.table) Hashtbl.t;
   views : (string, S.view_def) Hashtbl.t;
   mutable catalog_dirty : bool;
+  stmts : (string, stmt_entry) Hashtbl.t;
+      (** bounded SQL-text → parsed-statement cache (PG prepared-statement
+          emulation): repeated statements skip [Sql_parser.parse] *)
+  mutable stmt_tick : int;  (** LRU clock for [stmts] *)
 }
 
 type session = {
@@ -28,7 +34,13 @@ type outcome =
 let catalog_table_name = "pg_catalog_columns"
 
 let create () =
-  { tables = Hashtbl.create 32; views = Hashtbl.create 8; catalog_dirty = true }
+  {
+    tables = Hashtbl.create 32;
+    views = Hashtbl.create 8;
+    catalog_dirty = true;
+    stmts = Hashtbl.create 64;
+    stmt_tick = 0;
+  }
 
 let session_counter = ref 0
 
@@ -252,17 +264,125 @@ let exec_stmt (sess : session) (stmt : A.stmt) : outcome =
       else if if_exists then Complete "DROP VIEW"
       else Errors.undefined_table "view %s does not exist" name
 
+(* ------------------------------------------------------------------ *)
+(* Statement cache (PG prepared-statement emulation)                    *)
+(* ------------------------------------------------------------------ *)
+
+let stmt_cache_capacity = 256
+
+(* process-wide, mirrored into the metrics registry by the endpoint *)
+let stmt_cache_hits = ref 0
+let stmt_cache_misses = ref 0
+let stmt_cache_evictions = ref 0
+
+(** (hits, misses, evictions) of the statement cache, process-wide. *)
+let stmt_cache_stats () =
+  (!stmt_cache_hits, !stmt_cache_misses, !stmt_cache_evictions)
+
+(* Statements arrive decorated with a trailing [/* traceparent... */]
+   comment that changes per query; key the cache on the text with that
+   trailing comment stripped so decoration doesn't defeat reuse. A tiny
+   scan tracks string literals and comment bodies, so a [/*] inside a
+   string never counts as a comment open and quotes inside the comment
+   (the traceparent is quoted) never count as string opens. Only a
+   comment that runs unbroken to the end of the text is stripped. *)
+let strip_trailing_comment (sql : string) : string =
+  let rec rstrip i = if i > 0 && sql.[i - 1] <= ' ' then rstrip (i - 1) else i in
+  let e = rstrip (String.length sql) in
+  if e < 4 || sql.[e - 1] <> '/' || sql.[e - 2] <> '*' then sql
+  else begin
+    let trailing = ref (-1) in
+    let in_string = ref false in
+    let i = ref 0 in
+    while !i < e do
+      let c = sql.[!i] in
+      if !in_string then begin
+        if c = '\'' then in_string := false;
+        incr i
+      end
+      else if c = '\'' then begin
+        in_string := true;
+        incr i
+      end
+      else if c = '/' && !i + 1 < e && sql.[!i + 1] = '*' then begin
+        let p = !i in
+        i := !i + 2;
+        let closed = ref false in
+        while (not !closed) && !i < e do
+          if sql.[!i] = '*' && !i + 1 < e && sql.[!i + 1] = '/' then begin
+            i := !i + 2;
+            closed := true
+          end
+          else incr i
+        done;
+        if !i >= e then trailing := p
+      end
+      else incr i
+    done;
+    if !in_string || !trailing < 0 then sql
+    else String.sub sql 0 (rstrip !trailing)
+  end
+
+let evict_lru (db : t) =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key (en : stmt_entry) ->
+      match !victim with
+      | Some (_, age) when age <= en.se_last_use -> ()
+      | _ -> victim := Some (key, en.se_last_use))
+    db.stmts;
+  match !victim with
+  | Some (key, _) ->
+      Hashtbl.remove db.stmts key;
+      incr stmt_cache_evictions
+  | None -> ()
+
+(** Parse one SQL statement through the bounded statement cache: repeats
+    of the same text (modulo the trailing trace comment) reuse the
+    already-parsed AST. Parse errors propagate and are never cached. *)
+let parse_cached (db : t) (sql : string) : A.stmt =
+  let key = strip_trailing_comment sql in
+  db.stmt_tick <- db.stmt_tick + 1;
+  match Hashtbl.find_opt db.stmts key with
+  | Some en ->
+      incr stmt_cache_hits;
+      en.se_last_use <- db.stmt_tick;
+      en.se_stmt
+  | None ->
+      incr stmt_cache_misses;
+      let stmt = Sql_parser.parse key in
+      if Hashtbl.length db.stmts >= stmt_cache_capacity then evict_lru db;
+      Hashtbl.replace db.stmts key { se_stmt = stmt; se_last_use = db.stmt_tick };
+      stmt
+
 (** Parse and execute one SQL statement. *)
 let exec (sess : session) (sql : string) : outcome =
-  exec_stmt sess (Sql_parser.parse sql)
+  exec_stmt sess (parse_cached sess.db sql)
 
-(** Execute a script of statements, returning the last outcome. *)
+(** Execute a script of statements, returning the last outcome. The
+    single-statement case — every statement the proxy dispatches over
+    the PG v3 wire — goes through the statement cache; genuinely
+    multi-statement scripts are parsed afresh. *)
 let exec_script (sess : session) (sql : string) : outcome =
-  let stmts = Sql_parser.parse_many sql in
-  match stmts with
-  | [] -> Complete "EMPTY"
-  | stmts ->
-      List.fold_left (fun _ s -> exec_stmt sess s) (Complete "EMPTY") stmts
+  let db = sess.db in
+  let key = strip_trailing_comment sql in
+  db.stmt_tick <- db.stmt_tick + 1;
+  match Hashtbl.find_opt db.stmts key with
+  | Some en ->
+      incr stmt_cache_hits;
+      en.se_last_use <- db.stmt_tick;
+      exec_stmt sess en.se_stmt
+  | None -> (
+      match Sql_parser.parse_many sql with
+      | [] -> Complete "EMPTY"
+      | [ stmt ] ->
+          incr stmt_cache_misses;
+          if Hashtbl.length db.stmts >= stmt_cache_capacity then evict_lru db;
+          Hashtbl.replace db.stmts key
+            { se_stmt = stmt; se_last_use = db.stmt_tick };
+          exec_stmt sess stmt
+      | stmts ->
+          List.fold_left (fun _ s -> exec_stmt sess s) (Complete "EMPTY") stmts)
 
 (* ------------------------------------------------------------------ *)
 (* Bulk loading and direct catalog access (used by tests, the workload

@@ -16,8 +16,9 @@
     [.hq.stats] (registry snapshot), [.hq.top[n]] (fingerprint table by
     total time), [.hq.slow[n]] (flight-recorder captures),
     [.hq.activity] (session registry), [.hq.traces[n]] (trace-export
-    ring) and [.hq.stats.reset] — so any QIPC client can introspect the
-    proxy without touching the backend. *)
+    ring), [.hq.plancache] (plan-cache contents) and [.hq.stats.reset] —
+    so any QIPC client can introspect the proxy without touching the
+    backend. *)
 
 module QV = Qvalue.Value
 module M = Obs.Metrics
@@ -137,7 +138,20 @@ let refresh_external_gauges (ctx : Obs.Ctx.t) : unit =
     (M.gauge reg
        ~help:"Queries captured by the flight recorder as over-threshold"
        "hq_slow_captured_total")
-    (float_of_int (Obs.Recorder.captured_slow ctx.Obs.Ctx.recorder))
+    (float_of_int (Obs.Recorder.captured_slow ctx.Obs.Ctx.recorder));
+  let sc_hits, sc_misses, sc_evictions = Pgdb.Db.stmt_cache_stats () in
+  M.set
+    (M.gauge reg ~help:"Backend statement-cache hits (parse skipped)"
+       "hq_backend_stmt_cache_hits")
+    (float_of_int sc_hits);
+  M.set
+    (M.gauge reg ~help:"Backend statement-cache misses (SQL parsed)"
+       "hq_backend_stmt_cache_misses")
+    (float_of_int sc_misses);
+  M.set
+    (M.gauge reg ~help:"Backend statement-cache entries evicted (LRU)"
+       "hq_backend_stmt_cache_evictions")
+    (float_of_int sc_evictions)
 
 (** The registry as a Q table [(metric; kind; value)] — the reply to the
     in-band [.hq.stats] query, so any QIPC client can introspect the
@@ -242,6 +256,31 @@ let traces_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
          ("trace", QV.syms (arr (fun x -> Obs.Export.trace_json x)));
        ])
 
+(** The plan cache's entries as a Q table (most-hit first) — the reply
+    to [.hq.plancache]. Empty when the cache is disabled. *)
+let plancache_table (pc : Hyperq.Plancache.t option) : QV.t =
+  let module PC = Hyperq.Plancache in
+  let entries = match pc with None -> [] | Some pc -> PC.entries pc in
+  let arr f = Array.of_list (List.map f entries) in
+  let kind (e : PC.entry) =
+    match e.PC.e_kind with
+    | PC.Template _ -> "template"
+    | PC.Uncacheable reason -> "uncacheable: " ^ reason
+  in
+  QV.Table
+    (QV.table
+       [
+         ( "fingerprint",
+           QV.syms (arr (fun (e : PC.entry) -> e.PC.e_key.PC.k_fingerprint)) );
+         ( "signature",
+           QV.syms (arr (fun (e : PC.entry) -> e.PC.e_key.PC.k_signature)) );
+         ("query", QV.syms (arr (fun (e : PC.entry) -> e.PC.e_norm)));
+         ("kind", QV.syms (arr kind));
+         ("hits", QV.longs (arr (fun (e : PC.entry) -> e.PC.e_hits)));
+         ( "saved_ms",
+           QV.floats (arr (fun (e : PC.entry) -> e.PC.e_saved_s *. 1e3)) );
+       ])
+
 (** Zero the metrics registry, the pgdb executor counters it mirrors,
     and the fingerprint store, so benchmark runs can be bracketed
     without restarting the proxy. The flight recorder keeps its
@@ -281,6 +320,9 @@ let admin_reply (t : t) (text : string) : QV.t option =
   match text with
   | ".hq.stats" -> answered (fun () -> stats_table t.obs)
   | ".hq.activity" -> answered (fun () -> activity_table t.obs)
+  | ".hq.plancache" ->
+      answered (fun () ->
+          plancache_table (Hyperq.Engine.plan_cache (Xc.engine t.xc)))
   | ".hq.stats.reset" ->
       reset_stats t.obs;
       answered (fun () -> QV.Atom (Qvalue.Atom.Sym "reset"))

@@ -100,4 +100,5 @@ let wire_backend ?(user = "app") ?(password = "secret")
     sql_log = ref [];
     sql_count = ref 0;
     decorate = ref decorate;
+    on_exec = ref ignore;
   }

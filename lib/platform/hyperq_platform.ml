@@ -13,11 +13,15 @@
 
 type t = {
   db : Pgdb.Db.t;
-  server_scope : Hyperq.Scopes.frame;
+  server_scope : Hyperq.Scopes.server;
       (** shared server variable scope: globals are visible across client
           connections, as on a kdb+ server *)
   users : (string * string) list;
   engine_config : unit -> Hyperq.Engine.config;
+  plancache : Hyperq.Plancache.t option;
+      (** shared translation plan cache — one template store serves every
+          connection (entries are still per-session keyed, because
+          templates can embed inlined session-variable values) *)
   obs : Obs.Ctx.t;
 }
 
@@ -28,16 +32,34 @@ type connection = {
 }
 
 let create ?(users = [ ("trader", "pwd") ])
-    ?(engine_config = Hyperq.Engine.default_config) ?obs (db : Pgdb.Db.t) : t
-    =
+    ?(engine_config = Hyperq.Engine.default_config) ?(plan_cache = true)
+    ?(plan_cache_size = Hyperq.Plancache.default_capacity) ?obs
+    (db : Pgdb.Db.t) : t =
   let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
+  let plancache =
+    if plan_cache then
+      let evictions =
+        Obs.Metrics.counter obs.Obs.Ctx.registry
+          ~help:"Plan-cache entries evicted (LRU)"
+          "hq_plan_cache_evictions_total"
+      in
+      Some
+        (Hyperq.Plancache.create
+           ~on_evict:(fun () -> Obs.Metrics.inc evictions)
+           ~capacity:plan_cache_size ())
+    else None
+  in
   {
     db;
     server_scope = Hyperq.Scopes.create_server_frame ();
     users;
     engine_config = (fun () -> engine_config ());
+    plancache;
     obs;
   }
+
+(** The platform's shared plan cache, when enabled. *)
+let plan_cache (t : t) = t.plancache
 
 (** The platform's observability context (registry, event sink,
     in-flight trace). *)
@@ -77,6 +99,35 @@ let stats_json (t : t) : string =
     and [POST /reset]. *)
 let reset_stats (t : t) : unit = Endpoint.reset_stats t.obs
 
+(** The plan cache's contents as JSON — what [GET /plancache.json]
+    serves: top entries (most-hit first) with hit counts and estimated
+    translation time saved. *)
+let plancache_json (t : t) : string =
+  match t.plancache with
+  | None -> "{\"enabled\":false,\"size\":0,\"evictions\":0,\"entries\":[]}\n"
+  | Some pc ->
+      let module PC = Hyperq.Plancache in
+      let entries =
+        PC.entries pc
+        |> List.filteri (fun i _ -> i < 50)
+        |> List.map (fun (e : PC.entry) ->
+               let kind =
+                 match e.PC.e_kind with
+                 | PC.Template _ -> "template"
+                 | PC.Uncacheable reason -> "uncacheable: " ^ reason
+               in
+               Printf.sprintf
+                 "{\"fingerprint\":\"%s\",\"signature\":\"%s\",\"norm\":\"%s\",\"kind\":\"%s\",\"hits\":%d,\"saved_seconds\":%g}"
+                 (Obs.Trace.json_escape e.PC.e_key.PC.k_fingerprint)
+                 (Obs.Trace.json_escape e.PC.e_key.PC.k_signature)
+                 (Obs.Trace.json_escape e.PC.e_norm)
+                 (Obs.Trace.json_escape kind) e.PC.e_hits e.PC.e_saved_s)
+      in
+      Printf.sprintf
+        "{\"enabled\":true,\"size\":%d,\"evictions\":%d,\"entries\":[%s]}\n"
+        (PC.size pc) (PC.evictions pc)
+        (String.concat "," entries)
+
 (* the admin plane's route table: every known path with the methods it
    accepts, so the fallback can answer 405 with a correct Allow header *)
 let admin_routes : (string * string list) list =
@@ -88,6 +139,7 @@ let admin_routes : (string * string list) list =
     ("/traces.json", [ "GET" ]);
     ("/logs.json", [ "GET" ]);
     ("/activity.json", [ "GET" ]);
+    ("/plancache.json", [ "GET" ]);
     ("/reset", [ "POST" ]);
   ]
 
@@ -111,6 +163,7 @@ let admin_handler (t : t) (req : Obs.Http.request) : Obs.Http.response =
       Obs.Http.ndjson 200 (Obs.Log.to_jsonl t.obs.Obs.Ctx.log)
   | "GET", "/activity.json" ->
       Obs.Http.json 200 (Obs.Sessions.to_json t.obs.Obs.Ctx.sessions)
+  | "GET", "/plancache.json" -> Obs.Http.json 200 (plancache_json t)
   | "POST", "/reset" ->
       reset_stats t;
       Obs.Http.json 200 "{\"status\":\"reset\"}\n"
@@ -130,7 +183,7 @@ let connect (t : t) : connection =
   let backend = Gateway.wire_backend ~obs:t.obs session in
   let make_engine be =
     Hyperq.Engine.create ~config:(t.engine_config ())
-      ~server_scope:t.server_scope ~obs:t.obs be
+      ~server_scope:t.server_scope ?plan_cache:t.plancache ~obs:t.obs be
   in
   let xc = Xc.create make_engine backend in
   { endpoint = Endpoint.create ~users:t.users ~obs:t.obs xc; xc; session }

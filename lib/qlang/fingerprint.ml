@@ -25,6 +25,26 @@ let collapse_ws (s : string) : string =
   |> List.filter (fun w -> w <> "")
   |> String.concat " "
 
+(** A literal occurrence extracted during normalization, carrying both the
+    lexed value and the half-open source span it came from — enough for a
+    caller to splice replacement literals back into the original text. *)
+type literal =
+  | LNum of Qvalue.Atom.t list
+      (** numeric/temporal/boolean literal; several atoms for a juxtaposed
+          vector like [1 2 3] *)
+  | LStr of string  (** string literal (unescaped contents) *)
+  | LSym of string list  (** symbol literal or symbol vector *)
+
+type lit_span = { l_start : int; l_stop : int; l_value : literal }
+
+type analysis = {
+  a_norm : string;  (** canonical shape text, literals collapsed *)
+  a_fingerprint : string;  (** [of_normalized a_norm] *)
+  a_literals : lit_span list;  (** literal occurrences in source order *)
+  a_statements : int;  (** top-level (depth-0) statement count *)
+  a_ok : bool;  (** false when the lexer rejected the text *)
+}
+
 let token_text : Token.t -> string option = function
   | Token.Num _ | Token.NumVec _ | Token.Str _ -> Some "?"
   | Token.SymLit _ -> Some "`?"
@@ -40,21 +60,80 @@ let token_text : Token.t -> string option = function
   | Token.Semi -> Some ";"
   | Token.Eof -> None
 
-(** The canonical shape text of a query. Never raises. *)
-let normalize (text : string) : string =
-  match Lexer.tokenize text with
-  | toks ->
-      let parts = List.filter_map token_text toks in
-      let rec drop_trailing_semi = function
-        | ";" :: rest -> drop_trailing_semi rest
-        | rest -> rest
-      in
-      List.rev parts |> drop_trailing_semi |> List.rev |> String.concat " "
-  | exception Lexer.Error _ -> collapse_ws text
-
 (** Stable 16-hex-char fingerprint hash of an already-normalized text. *)
 let of_normalized (norm : string) : string =
   String.sub (Digest.to_hex (Digest.string norm)) 0 16
 
+(** One lexer pass over [text] producing the normalized shape, its
+    fingerprint, the extracted literals with source spans, and the
+    top-level statement count. The plan cache and the workload-stats
+    plane both consume this, so a query is lexed exactly once per
+    normalization walk. Never raises. *)
+let analyze (text : string) : analysis =
+  match Lexer.tokenize_spans text with
+  | spans ->
+      let parts = List.filter_map (fun (t, _, _) -> token_text t) spans in
+      let rec drop_trailing_semi = function
+        | ";" :: rest -> drop_trailing_semi rest
+        | rest -> rest
+      in
+      let norm =
+        List.rev parts |> drop_trailing_semi |> List.rev |> String.concat " "
+      in
+      let literals =
+        List.filter_map
+          (fun (t, start, stop) ->
+            match t with
+            | Token.Num a ->
+                Some { l_start = start; l_stop = stop; l_value = LNum [ a ] }
+            | Token.NumVec atoms ->
+                Some { l_start = start; l_stop = stop; l_value = LNum atoms }
+            | Token.Str s ->
+                Some { l_start = start; l_stop = stop; l_value = LStr s }
+            | Token.SymLit syms ->
+                Some { l_start = start; l_stop = stop; l_value = LSym syms }
+            | _ -> None)
+          spans
+      in
+      (* [;] emits Semi at any bracket depth ([aj[`s;t;q]]), so recompute
+         depth from the token stream: only depth-0 separators split
+         statements. *)
+      let depth = ref 0 and stmts = ref 0 and in_stmt = ref false in
+      List.iter
+        (fun (t, _, _) ->
+          match t with
+          | Token.LParen | Token.LBracket | Token.LBrace ->
+              incr depth;
+              in_stmt := true
+          | Token.RParen | Token.RBracket | Token.RBrace -> decr depth
+          | Token.Semi ->
+              if !depth = 0 then begin
+                if !in_stmt then incr stmts;
+                in_stmt := false
+              end
+          | Token.Eof -> ()
+          | _ -> in_stmt := true)
+        spans;
+      if !in_stmt then incr stmts;
+      {
+        a_norm = norm;
+        a_fingerprint = of_normalized norm;
+        a_literals = literals;
+        a_statements = !stmts;
+        a_ok = true;
+      }
+  | exception Lexer.Error _ ->
+      let norm = collapse_ws text in
+      {
+        a_norm = norm;
+        a_fingerprint = of_normalized norm;
+        a_literals = [];
+        a_statements = 0;
+        a_ok = false;
+      }
+
+(** The canonical shape text of a query. Never raises. *)
+let normalize (text : string) : string = (analyze text).a_norm
+
 (** [fingerprint text = of_normalized (normalize text)]. *)
-let fingerprint (text : string) : string = of_normalized (normalize text)
+let fingerprint (text : string) : string = (analyze text).a_fingerprint

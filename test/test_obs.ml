@@ -234,8 +234,11 @@ let test_round_trip_metrics () =
   check tbool "qipc out" true (sample_value reg "hq_qipc_bytes_out" > 0.0);
   check tbool "pg wire in" true (sample_value reg "hq_pgwire_bytes_in" > 0.0);
   check tbool "pg wire out" true (sample_value reg "hq_pgwire_bytes_out" > 0.0);
+  (* with the plan cache on (the platform default), the repeats are
+     template hits that skip Parse entirely — only the first query
+     walks the full pipeline, but Execute/Pivot still run per query *)
   check tbool "per-stage histogram counted" true
-    (sample_value reg "hq_stage_seconds_count{stage=\"parse\"}" >= 3.0);
+    (sample_value reg "hq_stage_seconds_count{stage=\"parse\"}" >= 1.0);
   check tbool "execute histogram counted" true
     (sample_value reg "hq_stage_seconds_count{stage=\"execute\"}" >= 3.0);
   check tbool "pivot histogram counted" true

@@ -1,0 +1,402 @@
+(* Plan cache tests: collision regression (same fingerprint, different
+   literal classes), versioned invalidation (DDL / variable reassignment
+   / session promotion), a randomized differential check against a
+   cache-disabled engine, the pgdb statement cache, and the bounded
+   engine error log. *)
+
+module V = Pgdb.Value
+module Db = Pgdb.Db
+module S = Catalog.Schema
+module Ty = Catalog.Sqltype
+module QV = Qvalue.Value
+module E = Hyperq.Engine
+module PC = Hyperq.Plancache
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+
+let make_db () =
+  let db = Db.create () in
+  Db.load_table db
+    (S.table ~order_col:"hq_ord" "trades"
+       [
+         S.column "hq_ord" Ty.TBigint;
+         S.column "Symbol" Ty.TVarchar;
+         S.column "Price" Ty.TDouble;
+         S.column "Size" Ty.TBigint;
+       ])
+    (List.mapi
+       (fun i (sym, px, sz) ->
+         [| V.Int (Int64.of_int i); V.Str sym; V.Float px; V.Int (Int64.of_int sz) |])
+       [
+         ("A", 10.0, 100);
+         ("B", 20.0, 200);
+         ("A", 11.0, 150);
+         ("B", 21.0, 250);
+         ("A", 12.0, 300);
+       ]);
+  db
+
+let make_engine ?server_scope ~plan_cache () =
+  let cfg = E.default_config () in
+  cfg.E.plan_cache <- plan_cache;
+  let backend = Hyperq.Backend.of_pgdb_session (Db.open_session (make_db ())) in
+  (E.create ~config:cfg ?server_scope backend, backend)
+
+let counter eng name =
+  Obs.Metrics.counter_value
+    (Obs.Metrics.counter (E.obs eng).Obs.Ctx.registry name)
+
+let hits eng = counter eng "hq_plan_cache_hits_total"
+let misses eng = counter eng "hq_plan_cache_misses_total"
+let bypass eng = counter eng "hq_plan_cache_bypass_total"
+
+let run eng q =
+  match E.try_run eng q with
+  | Ok r -> r.E.value
+  | Error e -> Alcotest.failf "query %S failed: %s" q e
+
+let same_value a b = Stdlib.compare a b = 0
+
+(* run [q] on the cached engine and an identically-loaded uncached
+   engine; the values must agree *)
+let check_vs_uncached ~cached ~uncached q =
+  let cv = run cached q and uv = run uncached q in
+  if not (same_value cv uv) then
+    Alcotest.failf "cache changed the answer of %S" q
+
+(* ------------------------------------------------------------------ *)
+(* Reuse and collisions                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* the very first query of a shape pays the MDI catalog fetch, which
+   defers template installation — warm with two runs *)
+let warm eng q =
+  ignore (run eng q);
+  ignore (run eng q)
+
+let test_basic_reuse () =
+  let eng, _ = make_engine ~plan_cache:true () in
+  let uncached, _ = make_engine ~plan_cache:false () in
+  warm eng "select Price from trades where Size>100";
+  let h0 = hits eng in
+  check_vs_uncached ~cached:eng ~uncached "select Price from trades where Size>100";
+  check_vs_uncached ~cached:eng ~uncached "select Price from trades where Size>249";
+  check tint "two hits with different literals" (h0 + 2) (hits eng);
+  match E.plan_cache eng with
+  | None -> Alcotest.fail "plan cache should be enabled"
+  | Some pc -> check tint "one shared template entry" 1 (PC.size pc)
+
+(* queries that differ only in literal type classes share a fingerprint
+   but must not share an entry *)
+let test_collision_literal_classes () =
+  let eng, _ = make_engine ~plan_cache:true () in
+  let uncached, _ = make_engine ~plan_cache:false () in
+  let long_q = "select Price from trades where Size>100" in
+  let float_q = "select Price from trades where Size>100.5" in
+  let neg_q = "select Price from trades where Size>-100" in
+  warm eng long_q;
+  warm eng float_q;
+  warm eng neg_q;
+  let pc = Option.get (E.plan_cache eng) in
+  check tint "three entries, one per literal class" 3 (PC.size pc);
+  (* every shape is now a hit — and each must keep its own answer *)
+  let h0 = hits eng in
+  check_vs_uncached ~cached:eng ~uncached long_q;
+  check_vs_uncached ~cached:eng ~uncached float_q;
+  check_vs_uncached ~cached:eng ~uncached neg_q;
+  check tint "all three hit their own entry" (h0 + 3) (hits eng)
+
+(* literal value classes with bespoke binder behaviour must bypass *)
+let test_bypass_classes () =
+  let eng, _ = make_engine ~plan_cache:true () in
+  let b0 = bypass eng in
+  ignore (run eng "select Price from trades where Size>0");
+  check tbool "zero literal bypasses" true (bypass eng > b0);
+  let b1 = bypass eng in
+  ignore (run eng "x:1; select Price from trades where Size>100");
+  check tbool "multi-statement program bypasses" true (bypass eng > b1)
+
+(* ------------------------------------------------------------------ *)
+(* Versioned invalidation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_invalidate_ddl () =
+  let eng, backend = make_engine ~plan_cache:true () in
+  let uncached, _ = make_engine ~plan_cache:false () in
+  let q = "select Price from trades where Size>100" in
+  warm eng q;
+  let h0 = hits eng in
+  check_vs_uncached ~cached:eng ~uncached q;
+  check tint "hit before DDL" (h0 + 1) (hits eng);
+  (* DDL observed through Backend.exec bumps the catalog generation *)
+  (match
+     Hyperq.Backend.exec backend
+       "CREATE TEMP TABLE IF NOT EXISTS t_gen (x BIGINT)"
+   with
+  | _ -> ());
+  (match Hyperq.Backend.exec backend "DROP TABLE t_gen" with _ -> ());
+  let h1 = hits eng and m1 = misses eng in
+  check_vs_uncached ~cached:eng ~uncached q;
+  check tint "miss after DDL" (m1 + 1) (misses eng);
+  check tint "no hit after DDL" h1 (hits eng)
+
+let test_invalidate_variable () =
+  let eng, _ = make_engine ~plan_cache:true () in
+  let uncached, _ = make_engine ~plan_cache:false () in
+  ignore (run eng "threshold:100");
+  ignore (run uncached "threshold:100");
+  let q = "select Price from trades where Size>threshold" in
+  warm eng q;
+  let h0 = hits eng in
+  check_vs_uncached ~cached:eng ~uncached q;
+  check tint "hit with stable variable" (h0 + 1) (hits eng);
+  (* reassigning bumps the session scope generation: the cached template
+     embeds the old inlined value and must become unreachable *)
+  ignore (run eng "threshold:249");
+  ignore (run uncached "threshold:249");
+  let h1 = hits eng and m1 = misses eng in
+  check_vs_uncached ~cached:eng ~uncached q;
+  check tint "miss after reassignment" (m1 + 1) (misses eng);
+  check tint "no hit after reassignment" h1 (hits eng)
+
+let test_invalidate_session_promotion () =
+  let server = Hyperq.Scopes.create_server_frame () in
+  let eng1, _ = make_engine ~server_scope:server ~plan_cache:true () in
+  ignore (run eng1 "lvl:100");
+  let q = "select Price from trades where Size>lvl" in
+  warm eng1 q;
+  (* closing the session promotes [lvl] to the server scope and bumps
+     the server generation; a new session sharing the scope must
+     re-translate, not reuse any surviving entry *)
+  E.close_session eng1;
+  let eng2, _ = make_engine ~server_scope:server ~plan_cache:true () in
+  let uncached_server = Hyperq.Scopes.create_server_frame () in
+  let uncached, _ =
+    make_engine ~server_scope:uncached_server ~plan_cache:false ()
+  in
+  ignore (run uncached "lvl:100");
+  let h0 = hits eng2 in
+  check_vs_uncached ~cached:eng2 ~uncached q;
+  check tint "promoted-variable query missed" h0 (hits eng2);
+  check tbool "promoted-variable query translated" true (misses eng2 > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized differential: cached vs uncached engines, with scope and
+   catalog churn interleaved                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_randomized_differential () =
+  let rng = Random.State.make [| 20160626 |] in
+  let eng, backend = make_engine ~plan_cache:true () in
+  let uncached, ubackend = make_engine ~plan_cache:false () in
+  let syms = [| "A"; "B"; "C" |] in
+  let gen_query i =
+    match Random.State.int rng 6 with
+    | 0 ->
+        Printf.sprintf "select Price from trades where Size>%d"
+          (1 + Random.State.int rng 400)
+    | 1 ->
+        Printf.sprintf "select sum Size by Symbol from trades where Price>%f"
+          (float_of_int (Random.State.int rng 20) +. 0.5)
+    | 2 ->
+        Printf.sprintf
+          "select hi:max Price,lo:min Price from trades where Symbol=`%s"
+          syms.(Random.State.int rng (Array.length syms))
+    | 3 ->
+        Printf.sprintf
+          "select n:count Price by Symbol from trades where Size>%d,Price>%f"
+          (1 + Random.State.int rng 300)
+          (float_of_int (Random.State.int rng 15) +. 0.5)
+    | 4 -> Printf.sprintf "select Price,Size from trades where Size>-%d"
+             (1 + Random.State.int rng 50)
+    | _ ->
+        Printf.sprintf "select avg Price from trades where Size>%d"
+          (1 + (i mod 7))
+  in
+  for i = 0 to 199 do
+    (* occasionally churn state the generations must version *)
+    (match Random.State.int rng 20 with
+    | 0 ->
+        let v = Random.State.int rng 500 in
+        ignore (run eng (Printf.sprintf "lim:%d" v));
+        ignore (run uncached (Printf.sprintf "lim:%d" v))
+    | 1 ->
+        List.iter
+          (fun be ->
+            (match
+               Hyperq.Backend.exec be
+                 "CREATE TEMP TABLE IF NOT EXISTS t_churn (x BIGINT)"
+             with
+            | _ -> ());
+            match Hyperq.Backend.exec be "DROP TABLE t_churn" with _ -> ())
+          [ backend; ubackend ]
+    | _ -> ());
+    let q = gen_query i in
+    let cv = run eng q and uv = run uncached q in
+    if not (same_value cv uv) then
+      Alcotest.failf "divergence at query %d: %S" i q
+  done;
+  check tbool "workload produced cache hits" true (hits eng > 50)
+
+(* ------------------------------------------------------------------ *)
+(* pgdb statement cache (level 2)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_stmt_cache_reuse () =
+  let db = make_db () in
+  let sess = Db.open_session db in
+  let sql = "SELECT \"Price\" FROM trades" in
+  let _, m0, _ = Db.stmt_cache_stats () in
+  ignore (Db.exec sess sql);
+  let h1, m1, _ = Db.stmt_cache_stats () in
+  check tint "first exec parses" (m0 + 1) m1;
+  ignore (Db.exec sess sql);
+  let h2, m2, _ = Db.stmt_cache_stats () in
+  check tint "repeat is a cache hit" (h1 + 1) h2;
+  check tint "repeat does not parse" m1 m2
+
+let test_stmt_cache_comment_keying () =
+  let db = make_db () in
+  let sess = Db.open_session db in
+  let sql = "SELECT \"Size\" FROM trades" in
+  ignore (Db.exec sess sql);
+  let h0, m0, _ = Db.stmt_cache_stats () in
+  (* per-query trace decoration must not defeat reuse *)
+  ignore
+    (Db.exec sess
+       (sql ^ " /* traceparent='00-aaaa-bbbb-01' */"));
+  ignore (Db.exec sess (sql ^ " /* traceparent='00-cccc-dddd-01' */"));
+  let h1, m1, _ = Db.stmt_cache_stats () in
+  check tint "decorated repeats hit" (h0 + 2) h1;
+  check tint "decorated repeats do not parse" m0 m1;
+  (* quotes inside the trailing comment (the traceparent is quoted) do
+     not disable stripping *)
+  (match Db.exec sess (sql ^ " /* it's quoted */") with
+  | Db.Rows _ -> ()
+  | Db.Complete _ -> Alcotest.fail "expected rows");
+  let h2, m2, _ = Db.stmt_cache_stats () in
+  check tint "quoted trailing comment still hits" (h1 + 1) h2;
+  check tint "quoted trailing comment does not parse" m1 m2;
+  (* a comment in the middle of the statement is part of the key *)
+  ignore (Db.exec sess "SELECT /* mid */ \"Size\" FROM trades");
+  let _, m3, _ = Db.stmt_cache_stats () in
+  check tint "mid-statement comment is a distinct key" (m2 + 1) m3
+
+(* ------------------------------------------------------------------ *)
+(* Engine error log stays bounded (satellite: O(1) truncation)         *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_log_bounded () =
+  let eng, _ = make_engine ~plan_cache:false () in
+  for i = 0 to 249 do
+    match E.try_run eng (Printf.sprintf "select Nope%d from trades" i) with
+    | Ok _ -> Alcotest.fail "expected failure"
+    | Error _ -> ()
+  done;
+  let errors = E.recent_errors eng in
+  check tbool "bounded to the documented limit" true
+    (List.length errors <= 100);
+  match errors with
+  | (q, _) :: _ ->
+      check tbool "newest first" true
+        (q = "select Nope249 from trades")
+  | [] -> Alcotest.fail "expected recorded errors"
+
+(* ------------------------------------------------------------------ *)
+(* Plancache module units                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_signature_classes () =
+  let sig_of q =
+    let an = Qlang.Fingerprint.analyze q in
+    PC.signature an.Qlang.Fingerprint.a_literals
+  in
+  (match sig_of "select Price from trades where Size>0" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "zero must not be cacheable");
+  (match
+     ( sig_of "select Price from trades where Size>5",
+       sig_of "select Price from trades where Size>5.5" )
+   with
+  | Some (a, _), Some (b, _) ->
+      check tbool "long and float literals get distinct signatures" true
+        (a <> b)
+  | _ -> Alcotest.fail "both shapes should be cacheable");
+  match
+    ( sig_of "select from trades where Symbol like \"A*\"",
+      sig_of "select from trades where Symbol like \"AB\"" )
+  with
+  | Some (a, _), Some (b, _) ->
+      check tbool "glob and plain strings get distinct signatures" true
+        (a <> b)
+  | _ -> Alcotest.fail "both string shapes should be cacheable"
+
+let test_lru_eviction () =
+  let evicted = ref 0 in
+  let pc = PC.create ~on_evict:(fun () -> incr evicted) ~capacity:2 () in
+  let key fp =
+    {
+      PC.k_fingerprint = fp;
+      k_signature = "j+";
+      k_session = 1;
+      k_session_gen = 0;
+      k_server_gen = 0;
+      k_catalog_gen = 0;
+    }
+  in
+  PC.store pc (key "a") ~norm:"a" (PC.Uncacheable "test");
+  PC.store pc (key "b") ~norm:"b" (PC.Uncacheable "test");
+  ignore (PC.find pc (key "a"));
+  (* touch a so b is the LRU victim *)
+  PC.store pc (key "c") ~norm:"c" (PC.Uncacheable "test");
+  check tint "capacity respected" 2 (PC.size pc);
+  check tint "one eviction" 1 !evicted;
+  check tbool "a survived (recently used)" true (PC.find pc (key "a") <> None);
+  check tbool "b evicted" true (PC.find pc (key "b") = None)
+
+let () =
+  Alcotest.run "plancache"
+    [
+      ( "reuse",
+        [
+          Alcotest.test_case "basic reuse across literals" `Quick
+            test_basic_reuse;
+          Alcotest.test_case "literal-class collisions" `Quick
+            test_collision_literal_classes;
+          Alcotest.test_case "bespoke value classes bypass" `Quick
+            test_bypass_classes;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "DDL bumps catalog generation" `Quick
+            test_invalidate_ddl;
+          Alcotest.test_case "variable reassignment" `Quick
+            test_invalidate_variable;
+          Alcotest.test_case "session promotion" `Quick
+            test_invalidate_session_promotion;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "200-query randomized vs uncached" `Quick
+            test_randomized_differential;
+        ] );
+      ( "stmt-cache",
+        [
+          Alcotest.test_case "repeat statements skip the parser" `Quick
+            test_stmt_cache_reuse;
+          Alcotest.test_case "trailing comment keying" `Quick
+            test_stmt_cache_comment_keying;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "error log stays bounded" `Quick
+            test_error_log_bounded;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "signature classes" `Quick test_signature_classes;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+        ] );
+    ]
