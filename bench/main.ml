@@ -18,6 +18,8 @@
      smoke           Quick trace_export gate for `make ci` (exit 1 on fail)
      plan_cache      Plan-cache cold vs warm translation reuse
      plan_cache_gate Quick plan_cache gate for `make ci` (exit 1 on fail)
+     shard           Scatter/gather scaling over 1/2/4/8 shards
+     shard_gate      Quick shard gate for `make ci` (exit 1 on fail)
      micro           Bechamel micro-benchmarks of the translation pipeline *)
 
 module E = Hyperq.Engine
@@ -863,6 +865,276 @@ let bench_plan_cache ?(smoke = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Sharded execution: scatter/gather scaling over the shard count      *)
+(* ------------------------------------------------------------------ *)
+
+module QV = Qvalue.Value
+module QA = Qvalue.Atom
+
+(* remote-backend latency model for the shard experiment. Every
+   statement a shard (or the coordinator fallback) executes costs a
+   fixed dispatch floor plus a per-resident-row charge: a warehouse
+   segment's scan latency tracks the size of its partition, so a shard
+   holding 1/N of the distributed tables answers in ~1/N the time. The
+   sleep happens inside the dispatching worker domain, so on an N-shard
+   fan-out the N simulated remote executions overlap — exactly the
+   latency-hiding a scatter/gather deployment buys, and what this
+   experiment measures. (Deliberately NOT a multiple of measured
+   in-process execution time: on a small host concurrent worker domains
+   time-share the cores, which would inflate each shard's measured
+   duration by contention and feed that inflation back into its
+   simulated latency.) *)
+let shard_dispatch_floor = 0.003
+let shard_row_cost = 1.0e-5
+
+let remote_backend (sess : Pgdb.Db.session) : Hyperq.Backend.t =
+  let b = Hyperq.Backend.of_pgdb_session sess in
+  let db = sess.Pgdb.Db.db in
+  let resident () =
+    Hashtbl.fold
+      (fun name (tbl : Pgdb.Storage.table) acc ->
+        if name = Pgdb.Db.catalog_table_name then acc
+        else acc + Array.length tbl.Pgdb.Storage.rows)
+      db.Pgdb.Db.tables 0
+  in
+  {
+    b with
+    name = b.name ^ "+remote";
+    exec =
+      (fun sql ->
+        let r = b.exec sql in
+        Unix.sleepf
+          (shard_dispatch_floor
+          +. (shard_row_cost *. float_of_int (resident ())));
+        r);
+  }
+
+(* scatter-heavy workload over the distributed tables: partial-aggregate
+   decompositions (grouped by the distribution key, by another column,
+   and scalar), an ordered filter scan (merge-on-ordcol gather), and
+   distribution-key point lookups (single-shard routes) *)
+let shard_workload (d : MD.dataset) : string list =
+  let sym i = d.MD.syms.(i mod Array.length d.MD.syms) in
+  [
+    "select s:sum Size, a:avg Price by Symbol from trades";
+    "select mn:min Bid, mx:max Ask by Symbol from quotes";
+    "select a:avg Price, s:sum Size by Exch from trades";
+    "select t:sum Size, c:count Size from trades";
+    "select Price,Size from trades where Price>104.0";
+    Printf.sprintf "select from trades where Symbol=`%s" (sym 0);
+    Printf.sprintf "select mx:max Ask by Symbol from quotes where Symbol=`%s"
+      (sym 3);
+  ]
+
+(* float-tolerant deep equality: partial-aggregate recombination sums
+   floats in a different association order than the single-backend pass *)
+let shard_feq a b =
+  a = b
+  || abs_float (a -. b)
+     <= 1e-9 *. Float.max 1.0 (Float.max (abs_float a) (abs_float b))
+
+let shard_atom_eq (a : QA.t) (b : QA.t) =
+  match (a, b) with
+  | QA.Float x, QA.Float y -> shard_feq x y
+  | a, b -> QA.equal a b
+
+let rec shard_val_eq (a : QV.t) (b : QV.t) =
+  match (a, b) with
+  | QV.Atom x, QV.Atom y -> shard_atom_eq x y
+  | QV.Vector (tx, xs), QV.Vector (ty, ys) ->
+      tx = ty
+      && Array.length xs = Array.length ys
+      && Array.for_all2 shard_atom_eq xs ys
+  | QV.List xs, QV.List ys ->
+      Array.length xs = Array.length ys && Array.for_all2 shard_val_eq xs ys
+  | QV.Dict (ka, va), QV.Dict (kb, vb) ->
+      shard_val_eq ka kb && shard_val_eq va vb
+  | QV.Table ta, QV.Table tb -> shard_table_eq ta tb
+  | QV.KTable (ka, va), QV.KTable (kb, vb) ->
+      shard_table_eq ka kb && shard_table_eq va vb
+  | a, b -> QV.equal a b
+
+and shard_table_eq (ta : QV.table) (tb : QV.table) =
+  ta.QV.cols = tb.QV.cols
+  && Array.length ta.QV.data = Array.length tb.QV.data
+  && Array.for_all2 shard_val_eq ta.QV.data tb.QV.data
+
+type shard_point = {
+  sp_shards : int;
+  sp_mean_ms : float;
+  sp_speedup : float;
+  sp_routed : int;
+  sp_scattered : int;
+  sp_coordinated : int;
+  sp_divergences : int;
+}
+
+(* one cluster size: build an N-shard cluster whose shard backends carry
+   the remote-latency model, run the workload through an engine whose
+   sharder claims what it can prove shard-safe, and capture both the
+   mean latency and the results (for the divergence check) *)
+let shard_measure (d : MD.dataset) ~shards ~reps : float * QV.t option list * (int * int * int) =
+  let db = Pgdb.Db.create () in
+  MD.load_pg db d;
+  let obs = Obs.Ctx.create () in
+  let cluster =
+    Shard.Cluster.create ~shards
+      ~make_backend:(fun ~shard_id:_ ~obs:_ sess -> remote_backend sess)
+      ~obs db
+  in
+  Fun.protect
+    ~finally:(fun () -> Shard.Cluster.shutdown cluster)
+    (fun () ->
+      let eng =
+        E.create
+          ~sharder:(Shard.Cluster.sharder cluster)
+          ~obs
+          (remote_backend (Pgdb.Db.open_session db))
+      in
+      let workload = shard_workload d in
+      let run q =
+        match E.try_run eng q with
+        | Ok r -> r.E.value
+        | Error e ->
+            failwith (Printf.sprintf "shard bench (%d shards): %S: %s"
+                        shards q e)
+      in
+      (* warmup pass pays the MDI fetches and captures the results *)
+      let results = List.map run workload in
+      let t0 = now () in
+      for _ = 1 to reps do
+        List.iter (fun q -> ignore (run q)) workload
+      done;
+      let total = now () -. t0 in
+      let queries = reps * List.length workload in
+      let mean_ms = total *. 1e3 /. float_of_int queries in
+      let route name =
+        Obs.Metrics.counter_value
+          (Obs.Metrics.counter obs.Obs.Ctx.registry
+             ~labels:[ ("route", name) ]
+             "hq_shard_queries_total")
+      in
+      (mean_ms, results, (route "router", route "scatter", route "coordinator")))
+
+(* the curve of the paper's scale-out argument: the same workload over
+   1/2/4/8 shards, identical latency model per backend statement, the
+   1-shard cluster as baseline (same code path, no fan-out win). A
+   latency-free unsharded engine over the same data supplies the ground
+   truth every size is compared against. Full run writes
+   BENCH_shard.json; [~gate:true] is the quick `make ci` gate: >= 1.5x
+   at 4 shards and zero divergence, exit 1 on fail. *)
+let bench_shard ?(gate = false) () =
+  header
+    (if gate then "Sharded execution - scaling smoke gate"
+     else "Sharded execution - scatter/gather scaling (writes BENCH_shard.json)");
+  (* modest in-process tables: the simulated per-row remote charge is
+     what scales with the shard count, and keeping the real scan cost
+     small keeps the (serial, single-host) in-process portion from
+     masking the overlap the fan-out buys *)
+  let d =
+    MD.generate
+      {
+        MD.symbols = 16;
+        trades_per_symbol = 300;
+        quotes_per_symbol = 300;
+        wide_columns = 8;
+      }
+  in
+  let reps = if gate then 5 else 10 in
+  let sizes = if gate then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  (* ground truth: unsharded, latency-free engine over the same data *)
+  let truth =
+    let db = Pgdb.Db.create () in
+    MD.load_pg db d;
+    let eng =
+      E.create (Hyperq.Backend.of_pgdb_session (Pgdb.Db.open_session db))
+    in
+    List.map
+      (fun q ->
+        match E.try_run eng q with
+        | Ok r -> r.E.value
+        | Error e -> failwith (Printf.sprintf "shard bench truth: %S: %s" q e))
+      (shard_workload d)
+  in
+  let diverges results =
+    List.fold_left2
+      (fun n t r ->
+        match (t, r) with
+        | Some tv, Some rv when shard_val_eq tv rv -> n
+        | None, None -> n
+        | _ -> n + 1)
+      0 truth results
+  in
+  let baseline = ref nan in
+  let points =
+    List.map
+      (fun n ->
+        let mean_ms, results, (routed, scattered, coordinated) =
+          shard_measure d ~shards:n ~reps
+        in
+        if Float.is_nan !baseline then baseline := mean_ms;
+        {
+          sp_shards = n;
+          sp_mean_ms = mean_ms;
+          sp_speedup = !baseline /. mean_ms;
+          sp_routed = routed;
+          sp_scattered = scattered;
+          sp_coordinated = coordinated;
+          sp_divergences = diverges results;
+        })
+      sizes
+  in
+  Printf.printf "%8s %14s %10s %8s %9s %7s %11s\n" "shards" "mean (ms)"
+    "speedup" "routed" "scattered" "coord" "divergences";
+  List.iter
+    (fun p ->
+      Printf.printf "%8d %14.2f %9.2fx %8d %9d %7d %11d\n" p.sp_shards
+        p.sp_mean_ms p.sp_speedup p.sp_routed p.sp_scattered p.sp_coordinated
+        p.sp_divergences)
+    points;
+  let total_div = List.fold_left (fun a p -> a + p.sp_divergences) 0 points in
+  let at4 =
+    match List.find_opt (fun p -> p.sp_shards = 4) points with
+    | Some p -> p.sp_speedup
+    | None -> 0.0
+  in
+  if gate then begin
+    if at4 < 1.5 || total_div > 0 then begin
+      Printf.printf
+        "--\nSHARD GATE FAIL: speedup at 4 shards %.2fx (>= 1.5x?), \
+         divergences %d (= 0?)\n"
+        at4 total_div;
+      exit 1
+    end;
+    Printf.printf "--\nshard gate ok (%.2fx at 4 shards, 0 divergences)\n" at4
+  end
+  else begin
+    let oc = open_out "BENCH_shard.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"workload_queries\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"dispatch_floor_s\": %.3f,\n\
+      \  \"row_cost_us\": %.2f,\n\
+      \  \"divergences\": %d,\n\
+      \  \"curve\": [\n"
+      (List.length (shard_workload d))
+      reps shard_dispatch_floor (shard_row_cost *. 1e6) total_div;
+    List.iteri
+      (fun i p ->
+        Printf.fprintf oc
+          "    {\"shards\": %d, \"mean_ms\": %.3f, \"speedup\": %.3f, \
+           \"routed\": %d, \"scattered\": %d, \"coordinated\": %d}%s\n"
+          p.sp_shards p.sp_mean_ms p.sp_speedup p.sp_routed p.sp_scattered
+          p.sp_coordinated
+          (if i = List.length points - 1 then "" else ","))
+      points;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "--\nwrote BENCH_shard.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -931,6 +1203,8 @@ let all_experiments =
     ("smoke", (fun () -> bench_trace_export ~smoke:true ()));
     ("plan_cache", (fun () -> bench_plan_cache ()));
     ("plan_cache_gate", (fun () -> bench_plan_cache ~smoke:true ()));
+    ("shard", (fun () -> bench_shard ()));
+    ("shard_gate", (fun () -> bench_shard ~gate:true ()));
     ("micro", micro);
   ]
 
@@ -946,7 +1220,9 @@ let () =
          not distinct ones — skip them when running everything *)
       List.iter
         (fun (name, f) ->
-          if name <> "smoke" && name <> "plan_cache_gate" then f ())
+          if name <> "smoke" && name <> "plan_cache_gate"
+             && name <> "shard_gate"
+          then f ())
         all_experiments
   | names ->
       List.iter

@@ -40,6 +40,8 @@ let () =
   let trace_ring = ref Obs.Export.default_capacity in
   let plan_cache = ref true in
   let plan_cache_size = ref Hyperq.Plancache.default_capacity in
+  let shards = ref 1 in
+  let workers = ref 0 in
   let speclist =
     [
       ( "--stats",
@@ -78,6 +80,15 @@ let () =
         Arg.Set_int plan_cache_size,
         Printf.sprintf "N LRU capacity of the plan cache (default %d)"
           Hyperq.Plancache.default_capacity );
+      ( "--shards",
+        Arg.Set_int shards,
+        "N hash-partition trades/quotes on Symbol across N shard \
+         backends; shard-safe queries fan out, the rest run on the \
+         coordinator (default 1 = unsharded); inspect with .hq.shards \
+         or GET /shards.json" );
+      ( "--workers",
+        Arg.Set_int workers,
+        "N size of the shard dispatch domain pool (default = --shards)" );
     ]
   in
   Arg.parse speclist
@@ -111,8 +122,12 @@ let () =
   let export = Obs.Export.create ~capacity:(max 1 !trace_ring) () in
   let obs = Obs.Ctx.create ~registry ~events ~log ~export () in
   let platform =
-    P.create ~plan_cache:!plan_cache ~plan_cache_size:!plan_cache_size ~obs db
+    P.create ~plan_cache:!plan_cache ~plan_cache_size:!plan_cache_size ~obs
+      ~shards:!shards
+      ?workers:(if !workers > 0 then Some !workers else None)
+      db
   in
+  at_exit (fun () -> P.shutdown platform);
   let recorder = (P.obs platform).Obs.Ctx.recorder in
   Obs.Recorder.set_threshold recorder (!slow_threshold_ms /. 1000.0);
   Obs.Recorder.set_sample_every recorder !slow_sample;

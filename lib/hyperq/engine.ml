@@ -38,8 +38,20 @@ let default_config () =
     plan_cache_size = Plancache.default_capacity;
   }
 
+(** Hook a sharded executor into the engine: after the Xformer runs,
+    [sh_route] inspects the optimized XTRA tree and either claims the
+    statement (returning a thunk that fans it out and gathers) or
+    declines ([None] → the statement serializes and executes on the
+    coordinator backend as before). [sh_generation] versions the shard
+    map for plan-cache keying. *)
+type sharder = {
+  sh_route : I.rel -> (unit -> (Backend.result, string) result) option;
+  sh_generation : unit -> int;
+}
+
 type t = {
   backend : Backend.t;
+  sharder : sharder option;
   mdi : Mdi.t;
   scopes : Scopes.t;
   timer : Stage_timer.t;
@@ -63,7 +75,7 @@ type t = {
 }
 
 let create ?(config = default_config ()) ?mdi_config ?server_scope ?plan_cache
-    ?obs backend =
+    ?sharder ?obs backend =
   let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   let reg = obs.Obs.Ctx.registry in
   let pc_evictions =
@@ -83,6 +95,7 @@ let create ?(config = default_config ()) ?mdi_config ?server_scope ?plan_cache
   in
   {
     backend;
+    sharder;
     mdi = Mdi.create ?config:mdi_config backend;
     scopes = Scopes.create ?server:server_scope ();
     timer = Stage_timer.create ();
@@ -324,25 +337,59 @@ type run_result = {
 
 let execute_rel (t : t) (brel : Binder.bound_rel) : QV.t * string list =
   let sql_before = Backend.log_mark t.backend in
-  let sql = lower t brel.Binder.rel in
-  if Obs.Log.enabled t.obs.Obs.Ctx.log Obs.Log.Debug then
-    Obs.Log.debug t.obs.Obs.Ctx.log ~trace_id:(Obs.Ctx.trace_id t.obs)
-      "generated sql"
-      [ ("sql", Obs.Events.Str sql) ];
-  let res =
-    stage t Stage_timer.Execute (fun () ->
-        match Backend.exec t.backend sql with
-        | Ok (Backend.Result_set r) -> r
-        | Ok (Backend.Command_ok tag) ->
-            hq_error "backend" "expected rows, got %s" tag
-        | Error e -> hq_error "backend" "%s" e)
+  let rel = materialize_const_rels t brel.Binder.rel in
+  let optimized =
+    stage t Stage_timer.Optimize (fun () ->
+        Xformer.optimize ~config:t.config.xformer rel)
   in
-  let sent = Backend.sql_since t.backend sql_before in
-  let value =
-    stage t Stage_timer.Pivot (fun () -> pivot res brel.Binder.shape)
+  let sharded_run =
+    match t.sharder with
+    | Some sh -> sh.sh_route optimized
+    | None -> None
   in
-  t.last_rel_exec <- Some (brel.Binder.rel, sql, brel.Binder.shape);
-  (value, sent)
+  match sharded_run with
+  | Some run ->
+      (* the sharder claimed this statement: fan out + gather instead of
+         serializing for the coordinator backend. Not an install
+         candidate for the plan cache — a template would replay the
+         statement on the coordinator alone. *)
+      let res =
+        stage t Stage_timer.Execute (fun () ->
+            match run () with
+            | Ok r -> r
+            | Error e -> hq_error "backend" "%s" e)
+      in
+      let sent = Backend.sql_since t.backend sql_before in
+      let value =
+        stage t Stage_timer.Pivot (fun () -> pivot res brel.Binder.shape)
+      in
+      t.last_rel_exec <- None;
+      (value, sent)
+  | None ->
+      let sql =
+        stage t Stage_timer.Serialize (fun () ->
+            Serializer.serialize_to_sql
+              ~tolerate_eq2:(not t.config.xformer.Xformer.enable_2vl)
+              optimized)
+      in
+      if Obs.Log.enabled t.obs.Obs.Ctx.log Obs.Log.Debug then
+        Obs.Log.debug t.obs.Obs.Ctx.log ~trace_id:(Obs.Ctx.trace_id t.obs)
+          "generated sql"
+          [ ("sql", Obs.Events.Str sql) ];
+      let res =
+        stage t Stage_timer.Execute (fun () ->
+            match Backend.exec t.backend sql with
+            | Ok (Backend.Result_set r) -> r
+            | Ok (Backend.Command_ok tag) ->
+                hq_error "backend" "expected rows, got %s" tag
+            | Error e -> hq_error "backend" "%s" e)
+      in
+      let sent = Backend.sql_since t.backend sql_before in
+      let value =
+        stage t Stage_timer.Pivot (fun () -> pivot res brel.Binder.shape)
+      in
+      t.last_rel_exec <- Some (brel.Binder.rel, sql, brel.Binder.shape);
+      (value, sent)
 
 (* a context-free scalar evaluates via a FROM-less SELECT *)
 let execute_scalar (t : t) (s : I.scalar) : QV.t =
@@ -491,6 +538,10 @@ let cache_key (t : t) (fp : string) (sg : string) : Plancache.key =
     k_session_gen = session_gen;
     k_server_gen = server_gen;
     k_catalog_gen = Mdi.generation t.mdi;
+    k_shard_gen =
+      (match t.sharder with
+      | None -> 0
+      | Some sh -> sh.sh_generation ());
   }
 
 (* Install a template for a statement the slow path just ran: re-translate

@@ -22,11 +22,26 @@ val default_config : unit -> config
 
 type t
 
+(** Hook for a sharded executor (see [Shard.Cluster]): after the Xformer
+    runs, [sh_route] inspects the optimized XTRA tree and either claims
+    the statement — returning a thunk that fans out to the shard
+    backends and gathers — or declines with [None], in which case the
+    statement serializes and executes on the coordinator backend.
+    [sh_generation] returns the shard-map generation, mixed into
+    plan-cache keys so cached single-backend templates can never serve a
+    statement whose route changed. *)
+type sharder = {
+  sh_route :
+    Xtra.Ir.rel -> (unit -> (Backend.result, string) result) option;
+  sh_generation : unit -> int;
+}
+
 (** Create a session over a backend. [server_scope] shares global
     variables across sessions (as on one kdb+ server); [mdi_config]
     controls the metadata cache; [plan_cache] shares one translation
     plan cache across sessions (a private one is created when
-    [config.plan_cache] is set and none is passed); [obs] is the
+    [config.plan_cache] is set and none is passed); [sharder] routes
+    statements to a shard cluster when present; [obs] is the
     observability context the pipeline stages are recorded into
     (per-stage latency histograms, and trace spans when a query trace is
     open) — defaults to a private context so standalone engines stay
@@ -36,6 +51,7 @@ val create :
   ?mdi_config:Mdi.config ->
   ?server_scope:Scopes.server ->
   ?plan_cache:Plancache.t ->
+  ?sharder:sharder ->
   ?obs:Obs.Ctx.t ->
   Backend.t ->
   t

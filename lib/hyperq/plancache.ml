@@ -316,6 +316,11 @@ type key = {
   k_session_gen : int;
   k_server_gen : int;
   k_catalog_gen : int;
+  k_shard_gen : int;
+      (** shard-map generation (0 = unsharded): bumped whenever the
+          shard set or a table's distribution changes, so a template
+          installed for a single-backend route can never serve a
+          statement that now fans out *)
 }
 
 type kind =
@@ -334,6 +339,9 @@ type entry = {
 }
 
 type t = {
+  mu : Mutex.t;
+      (** the cache is shared across connections and, under sharding,
+          across worker domains *)
   capacity : int;
   tbl : (key, entry) Hashtbl.t;
   on_evict : unit -> unit;
@@ -341,10 +349,15 @@ type t = {
   mutable evictions : int;
 }
 
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
 let default_capacity = 512
 
 let create ?(on_evict = fun () -> ()) ?(capacity = default_capacity) () : t =
   {
+    mu = Mutex.create ();
     capacity = max 1 capacity;
     tbl = Hashtbl.create 64;
     on_evict;
@@ -352,18 +365,20 @@ let create ?(on_evict = fun () -> ()) ?(capacity = default_capacity) () : t =
     evictions = 0;
   }
 
-let size t = Hashtbl.length t.tbl
-let evictions t = t.evictions
+let size t = with_mu t (fun () -> Hashtbl.length t.tbl)
+let evictions t = with_mu t (fun () -> t.evictions)
 
 let find (t : t) (key : key) : entry option =
-  match Hashtbl.find_opt t.tbl key with
-  | Some e ->
-      t.tick <- t.tick + 1;
-      e.e_last_use <- t.tick;
-      Some e
-  | None -> None
+  with_mu t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.e_last_use <- t.tick;
+          Some e
+      | None -> None)
 
-let remove (t : t) (key : key) : unit = Hashtbl.remove t.tbl key
+let remove (t : t) (key : key) : unit =
+  with_mu t (fun () -> Hashtbl.remove t.tbl key)
 
 (* O(capacity) scan for the least-recently-used entry — same idiom as
    the qstats store; capacities are small enough that a scan per
@@ -385,18 +400,20 @@ let evict_lru (t : t) : unit =
   | None -> ()
 
 let store (t : t) (key : key) ~(norm : string) (kind : kind) : unit =
-  if (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.capacity then
-    evict_lru t;
-  t.tick <- t.tick + 1;
-  Hashtbl.replace t.tbl key
-    {
-      e_key = key;
-      e_norm = norm;
-      e_kind = kind;
-      e_hits = 0;
-      e_saved_s = 0.;
-      e_last_use = t.tick;
-    }
+  with_mu t (fun () ->
+      if
+        (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.capacity
+      then evict_lru t;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.tbl key
+        {
+          e_key = key;
+          e_norm = norm;
+          e_kind = kind;
+          e_hits = 0;
+          e_saved_s = 0.;
+          e_last_use = t.tick;
+        })
 
 (** Record a hit on [e]: bumps the hit count and credits the entry's
     measured translation cost as saved time. *)
@@ -408,7 +425,7 @@ let note_hit (e : entry) : unit =
 
 (** All entries, most-hit first — the admin surfaces' view. *)
 let entries (t : t) : entry list =
-  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+  with_mu t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [])
   |> List.sort (fun a b -> compare b.e_hits a.e_hits)
 
-let clear (t : t) : unit = Hashtbl.reset t.tbl
+let clear (t : t) : unit = with_mu t (fun () -> Hashtbl.reset t.tbl)

@@ -5,14 +5,26 @@ type field =
   | Obj of (string * field) list
   | Raw of string
 
-type sink = { mutable write : string -> unit }
+(* the sink is shared by the coordinator and shard worker domains; the
+   mutex serializes whole lines so concurrent emits never interleave *)
+type sink = { mutable write : string -> unit; s_mu : Mutex.t }
 
-let create ?(write = fun _ -> ()) () = { write }
+let create ?(write = fun _ -> ()) () = { write; s_mu = Mutex.create () }
 
 let memory () =
   let captured = ref [] in
-  let sink = { write = (fun line -> captured := line :: !captured) } in
-  (sink, fun () -> List.rev !captured)
+  let sink =
+    {
+      write = (fun line -> captured := line :: !captured);
+      s_mu = Mutex.create ();
+    }
+  in
+  ( sink,
+    fun () ->
+      Mutex.lock sink.s_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock sink.s_mu)
+        (fun () -> List.rev !captured) )
 
 let to_channel oc =
   {
@@ -21,9 +33,13 @@ let to_channel oc =
         output_string oc line;
         output_char oc '\n';
         flush oc);
+    s_mu = Mutex.create ();
   }
 
-let set_writer sink w = sink.write <- w
+let set_writer sink w =
+  Mutex.lock sink.s_mu;
+  sink.write <- w;
+  Mutex.unlock sink.s_mu
 
 (* rendered straight into one buffer: a log line fires per query, so
    avoid the per-field sprintf/concat garbage a naive renderer makes *)
@@ -62,8 +78,13 @@ let obj_json fields =
   add_obj buf fields;
   Buffer.contents buf
 
-let emit sink fields = sink.write (obj_json fields)
-let write sink line = sink.write line
+let write sink line =
+  Mutex.lock sink.s_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.s_mu)
+    (fun () -> sink.write line)
+
+let emit sink fields = write sink (obj_json fields)
 
 let query_sha (text : string) : string =
   String.sub (Digest.to_hex (Digest.string text)) 0 16

@@ -1,8 +1,13 @@
-type counter = { mutable c_value : int }
+(* instruments are shared across OCaml domains once the shard worker
+   pool fans a query out, so the hot-path mutables are atomics and every
+   multi-word structure (histograms, the registry itself) carries its
+   own mutex *)
+type counter = { c_value : int Atomic.t }
 
-type gauge = { mutable g_value : float }
+type gauge = { g_value : float Atomic.t }
 
 type histogram = {
+  h_mu : Mutex.t;
   h_bounds : float array;  (** ascending upper bounds, +Inf excluded *)
   h_counts : int array;  (** length = Array.length h_bounds + 1 *)
   mutable h_count : int;
@@ -10,6 +15,10 @@ type histogram = {
   mutable h_min : float;
   mutable h_max : float;
 }
+
+let with_mu mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 type instrument =
   | Counter of counter
@@ -24,11 +33,13 @@ type metric = {
 }
 
 type t = {
+  mu : Mutex.t;
   mutable metrics : metric list;  (** newest first; snapshot reverses *)
   index : (string, metric) Hashtbl.t;
 }
 
-let create () = { metrics = []; index = Hashtbl.create 32 }
+let create () =
+  { mu = Mutex.create (); metrics = []; index = Hashtbl.create 32 }
 
 let label_str labels =
   match labels with
@@ -49,32 +60,34 @@ let kind_name = function
 let register reg ?(help = "") ?(labels = []) name (make : unit -> instrument)
     (extract : instrument -> 'a option) : 'a =
   let k = key name labels in
-  match Hashtbl.find_opt reg.index k with
-  | Some m -> (
-      match extract m.m_inst with
-      | Some inst -> inst
-      | None ->
-          invalid_arg
-            (Printf.sprintf "metric %s already registered as a %s" k
-               (kind_name m.m_inst)))
-  | None ->
-      let inst = make () in
-      let m = { m_name = name; m_labels = labels; m_help = help; m_inst = inst }
-      in
-      Hashtbl.replace reg.index k m;
-      reg.metrics <- m :: reg.metrics;
-      match extract inst with
-      | Some i -> i
-      | None -> assert false
+  with_mu reg.mu (fun () ->
+      match Hashtbl.find_opt reg.index k with
+      | Some m -> (
+          match extract m.m_inst with
+          | Some inst -> inst
+          | None ->
+              invalid_arg
+                (Printf.sprintf "metric %s already registered as a %s" k
+                   (kind_name m.m_inst)))
+      | None -> (
+          let inst = make () in
+          let m =
+            { m_name = name; m_labels = labels; m_help = help; m_inst = inst }
+          in
+          Hashtbl.replace reg.index k m;
+          reg.metrics <- m :: reg.metrics;
+          match extract inst with
+          | Some i -> i
+          | None -> assert false))
 
 let counter reg ?help ?labels name =
   register reg ?help ?labels name
-    (fun () -> Counter { c_value = 0 })
+    (fun () -> Counter { c_value = Atomic.make 0 })
     (function Counter c -> Some c | _ -> None)
 
 let gauge reg ?help ?labels name =
   register reg ?help ?labels name
-    (fun () -> Gauge { g_value = 0.0 })
+    (fun () -> Gauge { g_value = Atomic.make 0.0 })
     (function Gauge g -> Some g | _ -> None)
 
 let log_buckets ?(mantissas = [| 1.0; 2.5; 5.0 |]) ~lo ~hi () =
@@ -104,6 +117,7 @@ let histogram reg ?help ?labels ?(buckets = default_buckets) name =
     (fun () ->
       Histogram
         {
+          h_mu = Mutex.create ();
           h_bounds = Array.copy buckets;
           h_counts = Array.make (Array.length buckets + 1) 0;
           h_count = 0;
@@ -117,13 +131,17 @@ let histogram reg ?help ?labels ?(buckets = default_buckets) name =
 (* Instrument operations                                               *)
 (* ------------------------------------------------------------------ *)
 
-let inc c = c.c_value <- c.c_value + 1
-let add c n = c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let inc c = Atomic.incr c.c_value
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c = Atomic.get c.c_value
 
-let set g v = g.g_value <- v
-let gauge_add g v = g.g_value <- g.g_value +. v
-let gauge_value g = g.g_value
+let set g v = Atomic.set g.g_value v
+
+let rec gauge_add g v =
+  let cur = Atomic.get g.g_value in
+  if not (Atomic.compare_and_set g.g_value cur (cur +. v)) then gauge_add g v
+
+let gauge_value g = Atomic.get g.g_value
 
 let bucket_index (h : histogram) (v : float) : int =
   let n = Array.length h.h_bounds in
@@ -132,32 +150,35 @@ let bucket_index (h : histogram) (v : float) : int =
 
 let observe h v =
   let i = bucket_index h v in
-  h.h_counts.(i) <- h.h_counts.(i) + 1;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v
+  with_mu h.h_mu (fun () ->
+      h.h_counts.(i) <- h.h_counts.(i) + 1;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v)
 
-let hist_count h = h.h_count
-let hist_sum h = h.h_sum
+let hist_count h = with_mu h.h_mu (fun () -> h.h_count)
+let hist_sum h = with_mu h.h_mu (fun () -> h.h_sum)
 
-let hist_reset h =
+let hist_reset_unlocked h =
   Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
   h.h_count <- 0;
   h.h_sum <- 0.0;
   h.h_min <- infinity;
   h.h_max <- neg_infinity
 
+let hist_reset h = with_mu h.h_mu (fun () -> hist_reset_unlocked h)
+
 let reset_all reg =
   List.iter
     (fun m ->
       match m.m_inst with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
+      | Counter c -> Atomic.set c.c_value 0
+      | Gauge g -> Atomic.set g.g_value 0.0
       | Histogram h -> hist_reset h)
-    reg.metrics
+    (with_mu reg.mu (fun () -> reg.metrics))
 
-let percentile (h : histogram) (p : float) : float =
+let percentile_unlocked (h : histogram) (p : float) : float =
   if h.h_count = 0 then 0.0
   else begin
     let p = Float.max 0.0 (Float.min 100.0 p) in
@@ -182,6 +203,8 @@ let percentile (h : histogram) (p : float) : float =
     Float.max h.h_min (Float.min h.h_max estimate)
   end
 
+let percentile h p = with_mu h.h_mu (fun () -> percentile_unlocked h p)
+
 (* ------------------------------------------------------------------ *)
 (* Exposition                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -189,13 +212,20 @@ let percentile (h : histogram) (p : float) : float =
 type sample = { s_name : string; s_kind : string; s_value : float }
 
 let snapshot reg : sample list =
-  List.rev reg.metrics
+  List.rev (with_mu reg.mu (fun () -> reg.metrics))
   |> List.concat_map (fun m ->
          let full = key m.m_name m.m_labels in
          match m.m_inst with
          | Counter c ->
-             [ { s_name = full; s_kind = "counter"; s_value = float_of_int c.c_value } ]
-         | Gauge g -> [ { s_name = full; s_kind = "gauge"; s_value = g.g_value } ]
+             [
+               {
+                 s_name = full;
+                 s_kind = "counter";
+                 s_value = float_of_int (Atomic.get c.c_value);
+               };
+             ]
+         | Gauge g ->
+             [ { s_name = full; s_kind = "gauge"; s_value = Atomic.get g.g_value } ]
          | Histogram h ->
              let facet suffix v =
                {
@@ -204,13 +234,14 @@ let snapshot reg : sample list =
                  s_value = v;
                }
              in
-             [
-               facet "_count" (float_of_int h.h_count);
-               facet "_sum" h.h_sum;
-               facet "_p50" (percentile h 50.0);
-               facet "_p95" (percentile h 95.0);
-               facet "_p99" (percentile h 99.0);
-             ])
+             with_mu h.h_mu (fun () ->
+                 [
+                   facet "_count" (float_of_int h.h_count);
+                   facet "_sum" h.h_sum;
+                   facet "_p50" (percentile_unlocked h 50.0);
+                   facet "_p95" (percentile_unlocked h 95.0);
+                   facet "_p99" (percentile_unlocked h 99.0);
+                 ]))
 
 let float_str v =
   if Float.is_integer v && Float.abs v < 1e15 then
@@ -234,29 +265,30 @@ let to_prometheus reg : string =
       | Counter c ->
           Buffer.add_string buf
             (Printf.sprintf "%s%s %d\n" m.m_name (label_str m.m_labels)
-               c.c_value)
+               (Atomic.get c.c_value))
       | Gauge g ->
           Buffer.add_string buf
             (Printf.sprintf "%s%s %s\n" m.m_name (label_str m.m_labels)
-               (float_str g.g_value))
+               (float_str (Atomic.get g.g_value)))
       | Histogram h ->
-          let n = Array.length h.h_bounds in
-          let cum = ref 0 in
-          for i = 0 to n do
-            cum := !cum + h.h_counts.(i);
-            let le =
-              if i = n then "+Inf" else float_str h.h_bounds.(i)
-            in
-            let labels = m.m_labels @ [ ("le", le) ] in
-            Buffer.add_string buf
-              (Printf.sprintf "%s_bucket%s %d\n" m.m_name (label_str labels)
-                 !cum)
-          done;
-          Buffer.add_string buf
-            (Printf.sprintf "%s_sum%s %g\n" m.m_name (label_str m.m_labels)
-               h.h_sum);
-          Buffer.add_string buf
-            (Printf.sprintf "%s_count%s %d\n" m.m_name (label_str m.m_labels)
-               h.h_count))
-    (List.rev reg.metrics);
+          with_mu h.h_mu (fun () ->
+              let n = Array.length h.h_bounds in
+              let cum = ref 0 in
+              for i = 0 to n do
+                cum := !cum + h.h_counts.(i);
+                let le =
+                  if i = n then "+Inf" else float_str h.h_bounds.(i)
+                in
+                let labels = m.m_labels @ [ ("le", le) ] in
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" m.m_name
+                     (label_str labels) !cum)
+              done;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum%s %g\n" m.m_name
+                   (label_str m.m_labels) h.h_sum);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_count%s %d\n" m.m_name
+                   (label_str m.m_labels) h.h_count)))
+    (List.rev (with_mu reg.mu (fun () -> reg.metrics)));
   Buffer.contents buf

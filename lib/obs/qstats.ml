@@ -28,31 +28,38 @@ type entry = {
 }
 
 type t = {
+  q_mu : Mutex.t;  (** store is shared with shard worker domains *)
   q_capacity : int;
   q_table : (string, entry) Hashtbl.t;
   mutable q_tick : int;
   mutable q_evictions : int;
 }
 
+let with_mu t f =
+  Mutex.lock t.q_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.q_mu) f
+
 let default_capacity = 512
 
 let create ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Qstats.create: capacity must be >= 1";
   {
+    q_mu = Mutex.create ();
     q_capacity = capacity;
     q_table = Hashtbl.create 64;
     q_tick = 0;
     q_evictions = 0;
   }
 
-let size t = Hashtbl.length t.q_table
+let size t = with_mu t (fun () -> Hashtbl.length t.q_table)
 let capacity t = t.q_capacity
-let evictions t = t.q_evictions
+let evictions t = with_mu t (fun () -> t.q_evictions)
 
 let reset t =
-  Hashtbl.reset t.q_table;
-  t.q_tick <- 0;
-  t.q_evictions <- 0
+  with_mu t (fun () ->
+      Hashtbl.reset t.q_table;
+      t.q_tick <- 0;
+      t.q_evictions <- 0)
 
 let evict_lru t =
   let victim =
@@ -90,6 +97,7 @@ let add_stages (sums : (string * float) list)
 let record t ~(fingerprint : string) ~(query : string) ~(duration_s : float)
     ~(error_class : string option) ~(rows_out : int) ~(bytes_in : int)
     ~(bytes_out : int) ~(stages : (string * float) list) : unit =
+  with_mu t (fun () ->
   t.q_tick <- t.q_tick + 1;
   let e =
     match Hashtbl.find_opt t.q_table fingerprint with
@@ -130,12 +138,13 @@ let record t ~(fingerprint : string) ~(query : string) ~(duration_s : float)
   e.e_stages <- add_stages e.e_stages stages;
   let b = bucket_of_seconds duration_s in
   e.e_hist.(b) <- e.e_hist.(b) + 1;
-  e.e_last_use <- t.q_tick
+  e.e_last_use <- t.q_tick)
 
-let find t fingerprint = Hashtbl.find_opt t.q_table fingerprint
+let find t fingerprint =
+  with_mu t (fun () -> Hashtbl.find_opt t.q_table fingerprint)
 
 let top t (n : int) : entry list =
-  Hashtbl.fold (fun _ e acc -> e :: acc) t.q_table []
+  with_mu t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.q_table [])
   |> List.sort (fun a b -> Float.compare b.e_total_s a.e_total_s)
   |> List.filteri (fun i _ -> i < n)
 

@@ -21,16 +21,21 @@ type t = {
 
 (* splitmix64: cheap, allocation-free per step, and good enough mixing
    that concurrently started proxies (seeded by wall clock + pid) do not
-   collide in practice *)
+   collide in practice. The state is an Atomic because shard worker
+   domains generate ids concurrently with the coordinator. *)
 let rng_state =
-  ref
+  Atomic.make
     (Int64.logxor
        (Int64.of_float (Unix.gettimeofday () *. 1e6))
        (Int64.mul (Int64.of_int (Unix.getpid ())) 0x9E3779B9L))
 
+let rec next_state () =
+  let cur = Atomic.get rng_state in
+  let z = Int64.add cur 0x9E3779B97F4A7C15L in
+  if Atomic.compare_and_set rng_state cur z then z else next_state ()
+
 let next_id64 () =
-  let z = Int64.add !rng_state 0x9E3779B97F4A7C15L in
-  rng_state := z;
+  let z = next_state () in
   let z =
     Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
   in

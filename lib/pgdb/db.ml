@@ -42,11 +42,12 @@ let create () =
     stmt_tick = 0;
   }
 
-let session_counter = ref 0
+(* Atomic: shard worker domains open their own sessions concurrently *)
+let session_counter = Atomic.make 0
 
 let open_session db =
-  incr session_counter;
-  { db; temps = Hashtbl.create 8; session_id = !session_counter }
+  let id = Atomic.fetch_and_add session_counter 1 + 1 in
+  { db; temps = Hashtbl.create 8; session_id = id }
 
 let close_session (s : session) = Hashtbl.reset s.temps
 
@@ -270,14 +271,18 @@ let exec_stmt (sess : session) (stmt : A.stmt) : outcome =
 
 let stmt_cache_capacity = 256
 
-(* process-wide, mirrored into the metrics registry by the endpoint *)
-let stmt_cache_hits = ref 0
-let stmt_cache_misses = ref 0
-let stmt_cache_evictions = ref 0
+(* process-wide (hence Atomic: every shard backend parses through its
+   own Db but bumps these shared counters), mirrored into the metrics
+   registry by the endpoint *)
+let stmt_cache_hits = Atomic.make 0
+let stmt_cache_misses = Atomic.make 0
+let stmt_cache_evictions = Atomic.make 0
 
 (** (hits, misses, evictions) of the statement cache, process-wide. *)
 let stmt_cache_stats () =
-  (!stmt_cache_hits, !stmt_cache_misses, !stmt_cache_evictions)
+  ( Atomic.get stmt_cache_hits,
+    Atomic.get stmt_cache_misses,
+    Atomic.get stmt_cache_evictions )
 
 (* Statements arrive decorated with a trailing [/* traceparent... */]
    comment that changes per query; key the cache on the text with that
@@ -334,7 +339,7 @@ let evict_lru (db : t) =
   match !victim with
   | Some (key, _) ->
       Hashtbl.remove db.stmts key;
-      incr stmt_cache_evictions
+      Atomic.incr stmt_cache_evictions
   | None -> ()
 
 (** Parse one SQL statement through the bounded statement cache: repeats
@@ -345,11 +350,11 @@ let parse_cached (db : t) (sql : string) : A.stmt =
   db.stmt_tick <- db.stmt_tick + 1;
   match Hashtbl.find_opt db.stmts key with
   | Some en ->
-      incr stmt_cache_hits;
+      Atomic.incr stmt_cache_hits;
       en.se_last_use <- db.stmt_tick;
       en.se_stmt
   | None ->
-      incr stmt_cache_misses;
+      Atomic.incr stmt_cache_misses;
       let stmt = Sql_parser.parse key in
       if Hashtbl.length db.stmts >= stmt_cache_capacity then evict_lru db;
       Hashtbl.replace db.stmts key { se_stmt = stmt; se_last_use = db.stmt_tick };
@@ -369,14 +374,14 @@ let exec_script (sess : session) (sql : string) : outcome =
   db.stmt_tick <- db.stmt_tick + 1;
   match Hashtbl.find_opt db.stmts key with
   | Some en ->
-      incr stmt_cache_hits;
+      Atomic.incr stmt_cache_hits;
       en.se_last_use <- db.stmt_tick;
       exec_stmt sess en.se_stmt
   | None -> (
       match Sql_parser.parse_many sql with
       | [] -> Complete "EMPTY"
       | [ stmt ] ->
-          incr stmt_cache_misses;
+          Atomic.incr stmt_cache_misses;
           if Hashtbl.length db.stmts >= stmt_cache_capacity then evict_lru db;
           Hashtbl.replace db.stmts key
             { se_stmt = stmt; se_last_use = db.stmt_tick };

@@ -1116,20 +1116,21 @@ and run_select (env : env) (s : A.select) : result =
     observability layer mirrors them into its metrics registry when a
     stats snapshot is taken. *)
 type stats = {
-  mutable selects_run : int;  (** top-level SELECTs executed *)
-  mutable rows_out : int;  (** rows returned by those SELECTs *)
+  selects_run : int Atomic.t;  (** top-level SELECTs executed *)
+  rows_out : int Atomic.t;  (** rows returned by those SELECTs *)
 }
 
-let stats = { selects_run = 0; rows_out = 0 }
+(* Atomics: shard backends execute on worker domains concurrently *)
+let stats = { selects_run = Atomic.make 0; rows_out = Atomic.make 0 }
 
 let reset_stats () =
-  stats.selects_run <- 0;
-  stats.rows_out <- 0
+  Atomic.set stats.selects_run 0;
+  Atomic.set stats.rows_out 0
 
 (* shadow the recursive entry point: count top-level SELECT executions
    and their result cardinality, not nested subquery evaluations *)
 let run_select (env : env) (s : A.select) : result =
   let r = run_select env s in
-  stats.selects_run <- stats.selects_run + 1;
-  stats.rows_out <- stats.rows_out + Array.length r.res_rows;
+  Atomic.incr stats.selects_run;
+  ignore (Atomic.fetch_and_add stats.rows_out (Array.length r.res_rows));
   r

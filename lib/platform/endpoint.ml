@@ -16,7 +16,8 @@
     [.hq.stats] (registry snapshot), [.hq.top[n]] (fingerprint table by
     total time), [.hq.slow[n]] (flight-recorder captures),
     [.hq.activity] (session registry), [.hq.traces[n]] (trace-export
-    ring), [.hq.plancache] (plan-cache contents) and [.hq.stats.reset] —
+    ring), [.hq.plancache] (plan-cache contents), [.hq.shards] (shard
+    cluster layout and traffic) and [.hq.stats.reset] —
     so any QIPC client can introspect the proxy without touching the
     backend. *)
 
@@ -68,12 +69,15 @@ type t = {
   obs : Obs.Ctx.t;
   m : metrics;
   session : Obs.Sessions.session;  (** this connection's registry entry *)
+  shards_info : (unit -> Shard.Cluster.shard_info list) option;
+      (** supplied by a sharded platform; answers [.hq.shards] *)
   mutable phase : phase;
   mutable pending : string;
   mutable client_version : int;
 }
 
-let create ?(users = [ ("trader", "pwd") ]) ?obs (xc : Xc.t) : t =
+let create ?(users = [ ("trader", "pwd") ]) ?obs ?shards_info (xc : Xc.t) : t
+    =
   let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   {
     xc;
@@ -81,6 +85,7 @@ let create ?(users = [ ("trader", "pwd") ]) ?obs (xc : Xc.t) : t =
     obs;
     m = make_metrics obs.Obs.Ctx.registry;
     session = Obs.Sessions.register obs.Obs.Ctx.sessions;
+    shards_info;
     phase = Handshake;
     pending = "";
     client_version = 3;
@@ -117,11 +122,11 @@ let refresh_external_gauges (ctx : Obs.Ctx.t) : unit =
   M.set
     (M.gauge reg ~help:"Top-level SELECTs executed by the pgdb backend"
        "hq_backend_selects_run")
-    (float_of_int Pgdb.Exec.stats.Pgdb.Exec.selects_run);
+    (float_of_int (Atomic.get Pgdb.Exec.stats.Pgdb.Exec.selects_run));
   M.set
     (M.gauge reg ~help:"Rows produced by the pgdb backend"
        "hq_backend_rows_out")
-    (float_of_int Pgdb.Exec.stats.Pgdb.Exec.rows_out);
+    (float_of_int (Atomic.get Pgdb.Exec.stats.Pgdb.Exec.rows_out));
   M.set
     (M.gauge reg ~help:"Distinct query fingerprints currently tracked"
        "hq_fingerprints_tracked")
@@ -309,6 +314,23 @@ let parse_bracket_arg ~(prefix : string) (text : string) : int option option =
       | _ -> None
     else None
 
+(** The shard cluster's layout and traffic as a Q table — the reply to
+    [.hq.shards]. Empty when the platform runs unsharded. *)
+let shards_table (infos : Shard.Cluster.shard_info list) : QV.t =
+  let arr f = Array.of_list (List.map f infos) in
+  QV.Table
+    (QV.table
+       [
+         ("shard", QV.longs (arr (fun s -> s.Shard.Cluster.si_id)));
+         ( "tables",
+           QV.syms
+             (arr (fun s -> String.concat "," s.Shard.Cluster.si_tables)) );
+         ("rows", QV.longs (arr (fun s -> s.Shard.Cluster.si_rows)));
+         ( "statements",
+           QV.longs (arr (fun s -> s.Shard.Cluster.si_statements)) );
+         ("bytes", QV.longs (arr (fun s -> s.Shard.Cluster.si_bytes)));
+       ])
+
 let admin_reply (t : t) (text : string) : QV.t option =
   (* count the admin query before building the reply so a .hq.stats
      snapshot includes itself *)
@@ -323,6 +345,10 @@ let admin_reply (t : t) (text : string) : QV.t option =
   | ".hq.plancache" ->
       answered (fun () ->
           plancache_table (Hyperq.Engine.plan_cache (Xc.engine t.xc)))
+  | ".hq.shards" ->
+      answered (fun () ->
+          shards_table
+            (match t.shards_info with Some f -> f () | None -> []))
   | ".hq.stats.reset" ->
       reset_stats t.obs;
       answered (fun () -> QV.Atom (Qvalue.Atom.Sym "reset"))

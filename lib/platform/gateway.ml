@@ -17,30 +17,34 @@
 module M = Obs.Metrics
 
 (** Build a wire-level backend over a pgdb session. Every statement is
-    round-tripped through encoded PG v3 messages. *)
+    round-tripped through encoded PG v3 messages. [extra_labels] go on
+    every metric series (the shard cluster tags each shard's gateway
+    with [("shard", i)] so per-shard traffic stays separable). *)
 let wire_backend ?(user = "app") ?(password = "secret")
-    ?(auth = Pgwire.Server.Trust) ?obs (session : Pgdb.Db.session) :
-    Hyperq.Backend.t =
+    ?(auth = Pgwire.Server.Trust) ?(extra_labels = []) ?obs
+    (session : Pgdb.Db.session) : Hyperq.Backend.t =
   let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   let reg = obs.Obs.Ctx.registry in
+  let labels = extra_labels in
   let pg_out =
-    M.counter reg ~help:"PG v3 bytes sent to the backend" "hq_pgwire_bytes_out"
+    M.counter reg ~help:"PG v3 bytes sent to the backend" ~labels
+      "hq_pgwire_bytes_out"
   in
   let pg_in =
-    M.counter reg ~help:"PG v3 bytes received from the backend"
+    M.counter reg ~help:"PG v3 bytes received from the backend" ~labels
       "hq_pgwire_bytes_in"
   in
   let statements =
-    M.counter reg ~help:"SQL statements dispatched to the backend"
+    M.counter reg ~help:"SQL statements dispatched to the backend" ~labels
       "hq_backend_statements_total"
   in
   let backend_errors =
-    M.counter reg ~help:"Backend statements that returned an error"
+    M.counter reg ~help:"Backend statements that returned an error" ~labels
       "hq_backend_errors_total"
   in
   let exec_seconds =
     M.histogram reg ~help:"Backend statement round-trip latency (seconds)"
-      "hq_backend_exec_seconds"
+      ~labels "hq_backend_exec_seconds"
   in
   let server = Pgwire.Server.create ~users:[ (user, password) ] ~auth session in
   (* meter the raw transport so handshake and row-stream bytes all count *)

@@ -23,6 +23,11 @@ type t = {
           connection (entries are still per-session keyed, because
           templates can embed inlined session-variable values) *)
   obs : Obs.Ctx.t;
+  cluster : Shard.Cluster.t option;
+      (** 1-coordinator/N-shard deployment: distributed tables are
+          hash-partitioned across N independent pgdb backends, each
+          behind its own wire gateway on its own domain; shard-safe
+          statements fan out, everything else runs on [db] as before *)
 }
 
 type connection = {
@@ -31,11 +36,30 @@ type connection = {
   session : Pgdb.Db.session;
 }
 
+(** Build a platform over a loaded database. [shards > 1] turns on
+    sharded execution: the distributed tables ([distributions], default
+    [trades]/[quotes] on [Symbol]) are hash-partitioned across that many
+    independent pgdb backends — each behind its own PG wire gateway,
+    pinned to one of [workers] domains — and every other table is
+    replicated to all of them. The coordinator [db] keeps the full data
+    set, so statements the router cannot prove shard-safe fall back
+    unchanged. *)
 let create ?(users = [ ("trader", "pwd") ])
     ?(engine_config = Hyperq.Engine.default_config) ?(plan_cache = true)
     ?(plan_cache_size = Hyperq.Plancache.default_capacity) ?obs
-    (db : Pgdb.Db.t) : t =
+    ?(shards = 1) ?workers ?distributions (db : Pgdb.Db.t) : t =
   let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
+  let cluster =
+    if shards > 1 then
+      Some
+        (Shard.Cluster.create ?distributions ?workers ~shards
+           ~make_backend:(fun ~shard_id ~obs session ->
+             Gateway.wire_backend
+               ~extra_labels:[ ("shard", string_of_int shard_id) ]
+               ~obs session)
+           ~obs db)
+    else None
+  in
   let plancache =
     if plan_cache then
       let evictions =
@@ -56,10 +80,20 @@ let create ?(users = [ ("trader", "pwd") ])
     engine_config = (fun () -> engine_config ());
     plancache;
     obs;
+    cluster;
   }
 
 (** The platform's shared plan cache, when enabled. *)
 let plan_cache (t : t) = t.plancache
+
+(** The shard cluster, when running sharded. *)
+let cluster (t : t) = t.cluster
+
+(** Stop the cluster's worker domains (no-op when unsharded). Call once
+    when the platform is done; open connections keep working through
+    the coordinator afterwards but sharded fan-out would hang. *)
+let shutdown (t : t) : unit =
+  match t.cluster with Some c -> Shard.Cluster.shutdown c | None -> ()
 
 (** The platform's observability context (registry, event sink,
     in-flight trace). *)
@@ -140,8 +174,35 @@ let admin_routes : (string * string list) list =
     ("/logs.json", [ "GET" ]);
     ("/activity.json", [ "GET" ]);
     ("/plancache.json", [ "GET" ]);
+    ("/shards.json", [ "GET" ]);
     ("/reset", [ "POST" ]);
   ]
+
+(** The shard cluster's layout and traffic as JSON — what
+    [GET /shards.json] serves. *)
+let shards_json (t : t) : string =
+  match t.cluster with
+  | None -> "{\"sharded\":false,\"shards\":[]}\n"
+  | Some c ->
+      let infos = Shard.Cluster.shards_info c in
+      let entries =
+        List.map
+          (fun (i : Shard.Cluster.shard_info) ->
+            Printf.sprintf
+              "{\"shard\":%d,\"tables\":[%s],\"rows\":%d,\"statements\":%d,\"bytes\":%d}"
+              i.Shard.Cluster.si_id
+              (String.concat ","
+                 (List.map
+                    (fun n -> "\"" ^ Obs.Trace.json_escape n ^ "\"")
+                    i.Shard.Cluster.si_tables))
+              i.Shard.Cluster.si_rows i.Shard.Cluster.si_statements
+              i.Shard.Cluster.si_bytes)
+          infos
+      in
+      Printf.sprintf
+        "{\"sharded\":true,\"generation\":%d,\"shards\":[%s]}\n"
+        (Shard.Cluster.generation c)
+        (String.concat "," entries)
 
 (** Route an admin-plane HTTP request: [GET /metrics] (Prometheus text),
     [GET /healthz], [GET /stats.json], [GET /slow.json] (flight-recorder
@@ -164,6 +225,7 @@ let admin_handler (t : t) (req : Obs.Http.request) : Obs.Http.response =
   | "GET", "/activity.json" ->
       Obs.Http.json 200 (Obs.Sessions.to_json t.obs.Obs.Ctx.sessions)
   | "GET", "/plancache.json" -> Obs.Http.json 200 (plancache_json t)
+  | "GET", "/shards.json" -> Obs.Http.json 200 (shards_json t)
   | "POST", "/reset" ->
       reset_stats t;
       Obs.Http.json 200 "{\"status\":\"reset\"}\n"
@@ -181,12 +243,24 @@ let admin_handler (t : t) (req : Obs.Http.request) : Obs.Http.response =
 let connect (t : t) : connection =
   let session = Pgdb.Db.open_session t.db in
   let backend = Gateway.wire_backend ~obs:t.obs session in
+  (* mirror this connection's DDL/DML onto the shards so their
+     partitions stay consistent with the coordinator *)
+  Option.iter (fun c -> Shard.Cluster.watch_backend c backend) t.cluster;
+  let sharder = Option.map Shard.Cluster.sharder t.cluster in
   let make_engine be =
     Hyperq.Engine.create ~config:(t.engine_config ())
-      ~server_scope:t.server_scope ?plan_cache:t.plancache ~obs:t.obs be
+      ~server_scope:t.server_scope ?plan_cache:t.plancache ~obs:t.obs
+      ?sharder be
   in
   let xc = Xc.create make_engine backend in
-  { endpoint = Endpoint.create ~users:t.users ~obs:t.obs xc; xc; session }
+  let shards_info =
+    Option.map (fun c () -> Shard.Cluster.shards_info c) t.cluster
+  in
+  {
+    endpoint = Endpoint.create ~users:t.users ~obs:t.obs ?shards_info xc;
+    xc;
+    session;
+  }
 
 (** Close a connection: promotes session variables to the server scope,
     releases backend temp tables (paper Sections 3.2.3, 4.3) and drops

@@ -1,0 +1,452 @@
+(** The shard cluster: a coordinator plus N independent pgdb backends,
+    each owning a hash partition of the distributed tables and a full
+    copy of every replicated table.
+
+    The cluster plugs into the translation engine through
+    {!Hyperq.Engine.sharder}: after the Xformer has optimized a
+    statement, {!Router.route} classifies it, and shard-safe plans fan
+    out over a fixed {!Pool} of OCaml domains — one wire gateway and
+    pgdb session per shard, each pinned to one domain so no session is
+    ever touched concurrently. {!Gather} reassembles the partial
+    results. Everything the router cannot prove safe silently falls
+    back to the coordinator's own backend, which holds all the data.
+
+    DDL and DML flowing through the coordinator are mirrored:
+    [CREATE TABLE] broadcasts and registers the table as replicated,
+    [INSERT] broadcasts (replicated) or re-partitions rows (distributed),
+    [DROP TABLE] broadcasts and forgets. Any mutation the watcher cannot
+    mirror evicts the table from the shard map — a safety valve that
+    degrades that table to coordinator-only execution instead of serving
+    stale shards. Every eviction and layout change bumps the map
+    generation, which is mixed into plan-cache keys. *)
+
+module B = Hyperq.Backend
+module M = Obs.Metrics
+module I = Xtra.Ir
+
+(** Default market-data layout: the two high-volume streams are
+    hash-distributed on the symbol; everything else replicates. *)
+let default_distributions = [ ("trades", "Symbol"); ("quotes", "Symbol") ]
+
+type shard = {
+  s_id : int;
+  s_db : Pgdb.Db.t;
+  s_session : Pgdb.Db.session;
+  s_backend : B.t;
+  s_statements : int Atomic.t;  (** statements dispatched by the cluster *)
+  s_sql_bytes : int Atomic.t;  (** SQL text bytes dispatched *)
+  s_hist : M.histogram;  (** per-shard dispatch latency *)
+  s_pg_in : M.counter;  (** the shard gateway's wire meters (0 when the *)
+  s_pg_out : M.counter;  (** shard backend is not wire-metered) *)
+}
+
+type t = {
+  c_map : Shardmap.t;
+  c_shards : shard array;
+  c_pool : Pool.t;
+  c_obs : Obs.Ctx.t;
+  c_routed : M.counter;  (** hq_shard_queries_total{route="router"} *)
+  c_scattered : M.counter;  (** hq_shard_queries_total{route="scatter"} *)
+  c_coordinated : M.counter;  (** hq_shard_queries_total{route="coordinator"} *)
+  mutable c_closed : bool;
+}
+
+let shard_count t = Array.length t.c_shards
+let map t = t.c_map
+let generation t = Shardmap.generation t.c_map
+
+(* ------------------------------------------------------------------ *)
+(* Construction: partition the coordinator's tables onto fresh shards  *)
+(* ------------------------------------------------------------------ *)
+
+(* a trace-less observability context for one shard: shares every
+   underlying store with the coordinator's context (so shard metrics and
+   logs land in the same registry/sinks), but never attaches to the
+   coordinator's mutable query trace from a worker domain *)
+let shard_obs (obs : Obs.Ctx.t) : Obs.Ctx.t =
+  Obs.Ctx.create ~registry:obs.Obs.Ctx.registry ~events:obs.Obs.Ctx.events
+    ~qstats:obs.Obs.Ctx.qstats ~recorder:obs.Obs.Ctx.recorder
+    ~sessions:obs.Obs.Ctx.sessions ~log:obs.Obs.Ctx.log
+    ~export:obs.Obs.Ctx.export ()
+
+let create ?(distributions = default_distributions) ?workers ~shards
+    ?(make_backend =
+      fun ~shard_id:_ ~obs:_ session -> B.of_pgdb_session session)
+    ?(obs = Obs.Ctx.create ()) (db : Pgdb.Db.t) : t =
+  if shards < 1 then invalid_arg "Cluster.create: shards must be >= 1";
+  let map = Shardmap.create ~shards ~distributions in
+  let shard_dbs = Array.init shards (fun _ -> Pgdb.Db.create ()) in
+  (* hash-partition distributed tables, replicate the rest *)
+  let tables =
+    Hashtbl.fold
+      (fun name tbl acc ->
+        if name = "pg_catalog_columns" then acc else (name, tbl) :: acc)
+      db.Pgdb.Db.tables []
+  in
+  List.iter
+    (fun (name, (tbl : Pgdb.Storage.table)) ->
+      let def = tbl.Pgdb.Storage.def in
+      let rows = tbl.Pgdb.Storage.rows in
+      let dist_idx =
+        match Shardmap.distribution_of map name with
+        | None -> None
+        | Some col -> (
+            match Pgdb.Storage.column_index tbl col with
+            | Some i -> Some i
+            | None ->
+                (* declared distribution column does not exist: degrade
+                   to a replicated table rather than mis-partitioning *)
+                Shardmap.remove_table map name;
+                None)
+      in
+      match dist_idx with
+      | Some ci ->
+          let buckets = Array.make shards [] in
+          (* iterate backwards so each bucket comes out in row order *)
+          for r = Array.length rows - 1 downto 0 do
+            let s = Shardmap.shard_of_value map rows.(r).(ci) in
+            buckets.(s) <- rows.(r) :: buckets.(s)
+          done;
+          Array.iteri
+            (fun s sdb -> Pgdb.Db.load_table sdb def buckets.(s))
+            shard_dbs
+      | None ->
+          Shardmap.add_replicated map name;
+          let all = Array.to_list rows in
+          Array.iter (fun sdb -> Pgdb.Db.load_table sdb def all) shard_dbs)
+    tables;
+  let reg = obs.Obs.Ctx.registry in
+  let mk_shard i sdb =
+    let labels = [ ("shard", string_of_int i) ] in
+    let session = Pgdb.Db.open_session sdb in
+    {
+      s_id = i;
+      s_db = sdb;
+      s_session = session;
+      s_backend = make_backend ~shard_id:i ~obs:(shard_obs obs) session;
+      s_statements = Atomic.make 0;
+      s_sql_bytes = Atomic.make 0;
+      s_hist =
+        M.histogram reg ~help:"Per-shard dispatch latency (seconds)" ~labels
+          "hq_shard_dispatch_seconds";
+      s_pg_in = M.counter reg ~labels "hq_pgwire_bytes_in";
+      s_pg_out = M.counter reg ~labels "hq_pgwire_bytes_out";
+    }
+  in
+  let route_counter r =
+    M.counter reg ~help:"Statements by shard route class"
+      ~labels:[ ("route", r) ]
+      "hq_shard_queries_total"
+  in
+  {
+    c_map = map;
+    c_shards = Array.mapi mk_shard shard_dbs;
+    c_pool = Pool.create ~workers:(Option.value ~default:shards workers);
+    c_obs = obs;
+    c_routed = route_counter "router";
+    c_scattered = route_counter "scatter";
+    c_coordinated = route_counter "coordinator";
+    c_closed = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* run [sql] on the given shards through the domain pool (shard i is
+   pinned to worker i mod workers) and collect row results in shard
+   order *)
+let fan_out (t : t) ~(targets : int list) (sql : string) :
+    (B.result list, string) result =
+  let slots = Array.make (Array.length t.c_shards) None in
+  let jobs =
+    List.map
+      (fun i ->
+        let sh = t.c_shards.(i) in
+        ( i,
+          fun () ->
+            Atomic.incr sh.s_statements;
+            ignore
+              (Atomic.fetch_and_add sh.s_sql_bytes (String.length sql));
+            let start = Obs.Clock.now_ns () in
+            let r = B.exec sh.s_backend sql in
+            M.observe sh.s_hist (Obs.Clock.seconds_since start);
+            slots.(i) <- Some r ))
+      targets
+  in
+  Pool.run t.c_pool jobs;
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | i :: rest -> (
+        match slots.(i) with
+        | Some (Ok (B.Result_set r)) -> collect (r :: acc) rest
+        | Some (Ok (B.Command_ok tag)) ->
+            Error (Printf.sprintf "shard %d returned no rows (%s)" i tag)
+        | Some (Error e) -> Error (Printf.sprintf "shard %d: %s" i e)
+        | None -> Error (Printf.sprintf "shard %d produced no result" i))
+  in
+  collect [] targets
+
+let all_shards t = List.init (Array.length t.c_shards) Fun.id
+
+(* shard relations are serialized directly — they are already optimized
+   subtrees of the coordinator's plan, so re-running the Xformer (which
+   would re-inject root ordering) is neither needed nor wanted.
+   [tolerate_eq2] because with 2VL rewriting disabled the tree may still
+   carry raw Q equality. *)
+let shard_sql (rel : I.rel) : string =
+  Hyperq.Serializer.serialize_to_sql ~tolerate_eq2:true rel
+
+let execute (t : t) (plan : Router.plan) : (B.result, string) result =
+  try
+    match plan with
+    | Router.Single (shard, rel) -> (
+        let sql = shard_sql rel in
+        match fan_out t ~targets:[ shard ] sql with
+        | Ok [ r ] -> Ok r
+        | Ok _ -> Error "single-shard dispatch returned multiple results"
+        | Error e -> Error e)
+    | Router.Concat rel -> (
+        match fan_out t ~targets:(all_shards t) (shard_sql rel) with
+        | Ok rs -> Ok (Gather.concat rs)
+        | Error e -> Error e)
+    | Router.Merge (rel, keys) -> (
+        match fan_out t ~targets:(all_shards t) (shard_sql rel) with
+        | Ok rs -> Gather.merge ~keys rs
+        | Error e -> Error e)
+    | Router.PartialAgg plan -> (
+        match
+          fan_out t ~targets:(all_shards t)
+            (shard_sql plan.Router.a_shard_rel)
+        with
+        | Ok rs -> Gather.combine plan rs
+        | Error e -> Error e)
+  with e -> Error (Printexc.to_string e)
+
+(** The engine hook: route each optimized tree, claiming shard-safe
+    statements and declining the rest (the engine then runs its normal
+    single-backend path). Also exposes the shard-map generation for
+    plan-cache keying. *)
+let sharder (t : t) : Hyperq.Engine.sharder =
+  let log = t.c_obs.Obs.Ctx.log in
+  {
+    Hyperq.Engine.sh_generation = (fun () -> Shardmap.generation t.c_map);
+    sh_route =
+      (fun rel ->
+        if t.c_closed then None
+        else
+          match Router.route t.c_map rel with
+        | Router.Coordinator reason ->
+            M.inc t.c_coordinated;
+            if Obs.Log.enabled log Obs.Log.Debug then
+              Obs.Log.debug log "shard route: coordinator"
+                [ ("reason", Obs.Events.Str reason) ];
+            None
+        | Router.Run plan ->
+            (match plan with
+            | Router.Single _ -> M.inc t.c_routed
+            | Router.Concat _ | Router.Merge _ | Router.PartialAgg _ ->
+                M.inc t.c_scattered);
+            Some (fun () -> execute t plan));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* DDL / DML mirroring                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tokens_of (sql : string) : string list =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := String.lowercase_ascii (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | ',' -> flush ()
+      | c -> Buffer.add_char buf c)
+    sql;
+  flush ();
+  List.rev !out
+
+(* broadcast a statement to every shard, ignoring per-shard outcomes:
+   callers evict the table on any sign of trouble *)
+let broadcast_exn (t : t) (sql : string) : unit =
+  Pool.run t.c_pool
+    (List.map
+       (fun i ->
+         ( i,
+           fun () ->
+             let sh = t.c_shards.(i) in
+             Atomic.incr sh.s_statements;
+             ignore
+               (Atomic.fetch_and_add sh.s_sql_bytes (String.length sql));
+             match B.exec sh.s_backend sql with
+             | Ok _ -> ()
+             | Error e -> failwith e ))
+       (all_shards t))
+
+let evict (t : t) (table : string) : unit =
+  Shardmap.remove_table t.c_map table
+
+(* INSERT into a distributed table: parse, partition the VALUES rows by
+   the distribution column, and send each shard only its slice *)
+let mirror_distributed_insert (t : t) (table : string) (dist : string)
+    (sql : string) : unit =
+  match Pgdb.Sql_parser.parse sql with
+  | Sqlast.Ast.InsertValues { ins_table; ins_cols; rows } -> (
+      let cols =
+        if ins_cols <> [] then ins_cols
+        else
+          match Hashtbl.find_opt t.c_shards.(0).s_db.Pgdb.Db.tables table with
+          | Some tbl ->
+              List.map
+                (fun c -> c.Catalog.Schema.col_name)
+                tbl.Pgdb.Storage.def.Catalog.Schema.tbl_columns
+          | None -> []
+      in
+      let rec index i = function
+        | [] -> None
+        | c :: rest ->
+            if String.lowercase_ascii c = dist then Some i
+            else index (i + 1) rest
+      in
+      match index 0 cols with
+      | None -> evict t table
+      | Some ci ->
+          let buckets = Array.make (Array.length t.c_shards) [] in
+          List.iter
+            (fun row ->
+              match List.nth_opt row ci with
+              | None -> raise Exit
+              | Some l ->
+                  let s = Shardmap.shard_of_lit t.c_map l in
+                  buckets.(s) <- row :: buckets.(s))
+            rows;
+          Pool.run t.c_pool
+            (List.filter_map
+               (fun i ->
+                 match List.rev buckets.(i) with
+                 | [] -> None
+                 | mine ->
+                     let stmt =
+                       Sqlast.Ast.stmt_str
+                         (Sqlast.Ast.InsertValues
+                            { ins_table; ins_cols; rows = mine })
+                     in
+                     Some
+                       ( i,
+                         fun () ->
+                           let sh = t.c_shards.(i) in
+                           Atomic.incr sh.s_statements;
+                           ignore
+                             (Atomic.fetch_and_add sh.s_sql_bytes
+                                (String.length stmt));
+                           match B.exec sh.s_backend stmt with
+                           | Ok _ -> ()
+                           | Error e -> failwith e ))
+               (all_shards t)))
+  | _ -> evict t table
+
+(* the statement watcher composed onto a coordinator backend's [on_exec] *)
+let watch (t : t) (sql : string) : unit =
+  match tokens_of sql with
+  | "create" :: ("temporary" | "temp") :: _ -> ()
+  | "create" :: "table" :: name :: rest ->
+      if rest <> [] && List.hd rest = "as" then
+        (* CTAS stays coordinator-only: the result rows live only on the
+           coordinator, and routing treats the unknown table accordingly *)
+        ()
+      else begin
+        (* plain CREATE TABLE: mirror the (empty) definition everywhere
+           and treat the new table as replicated *)
+        (try broadcast_exn t sql with _ -> evict t name);
+        Shardmap.add_replicated t.c_map name
+      end
+  | "drop" :: "table" :: rest -> (
+      let name =
+        match rest with
+        | "if" :: "exists" :: n :: _ -> Some n
+        | n :: _ -> Some n
+        | [] -> None
+      in
+      match name with
+      | None -> ()
+      | Some name ->
+          (try broadcast_exn t sql with _ -> ());
+          evict t name)
+  | "insert" :: "into" :: name :: _ -> (
+      match Shardmap.distribution_of t.c_map name with
+      | Some dist -> (
+          try mirror_distributed_insert t name dist sql
+          with _ -> evict t name)
+      | None ->
+          if Shardmap.is_replicated t.c_map name then
+            try broadcast_exn t sql with _ -> evict t name)
+  | ("update" | "delete" | "truncate" | "alter") :: rest -> (
+      (* mutations the mirror does not understand: evict the target so
+         shards can never serve stale rows *)
+      let name =
+        match rest with
+        | "from" :: n :: _ | "table" :: n :: _ | n :: _ -> Some n
+        | [] -> None
+      in
+      match name with Some n -> evict t n | None -> ())
+  | _ -> ()
+
+(** Chain the cluster's DDL/DML mirror onto a coordinator backend. The
+    previous observer (e.g. MDI's catalog watcher) still runs first. *)
+let watch_backend (t : t) (backend : B.t) : unit =
+  let prev = !(backend.B.on_exec) in
+  backend.B.on_exec :=
+    fun sql ->
+      prev sql;
+      watch t sql
+
+(* ------------------------------------------------------------------ *)
+(* Introspection and shutdown                                          *)
+(* ------------------------------------------------------------------ *)
+
+type shard_info = {
+  si_id : int;
+  si_tables : string list;
+  si_rows : int;
+  si_statements : int;
+  si_bytes : int;
+      (** PG v3 wire bytes through the shard's gateway when the backend
+          is wire-metered, otherwise the SQL text bytes dispatched *)
+}
+
+let shards_info (t : t) : shard_info list =
+  Array.to_list
+    (Array.map
+       (fun sh ->
+         let tables = Pgdb.Db.list_tables sh.s_db in
+         let rows =
+           List.fold_left
+             (fun acc name ->
+               match Hashtbl.find_opt sh.s_db.Pgdb.Db.tables name with
+               | Some tbl -> acc + Array.length tbl.Pgdb.Storage.rows
+               | None -> acc)
+             0 tables
+         in
+         let pg = M.counter_value sh.s_pg_in + M.counter_value sh.s_pg_out in
+         {
+           si_id = sh.s_id;
+           si_tables = tables;
+           si_rows = rows;
+           si_statements = Atomic.get sh.s_statements;
+           si_bytes = (if pg > 0 then pg else Atomic.get sh.s_sql_bytes);
+         })
+       t.c_shards)
+
+(** Stop the worker domains. The shard databases stay readable (they are
+    plain in-process structures); only the dispatch pool goes away. *)
+let shutdown (t : t) : unit =
+  if not t.c_closed then begin
+    t.c_closed <- true;
+    Pool.shutdown t.c_pool
+  end

@@ -1,0 +1,124 @@
+(** A fixed pool of OCaml domains for fan-out dispatch.
+
+    Each worker owns a queue; jobs are pinned to a worker index, so a
+    given shard's statements always run on the same domain (its pgdb
+    session and wire gateway are never touched by two domains at once).
+    [run] blocks until every submitted job finishes and re-raises the
+    first exception a job threw. *)
+
+type job = unit -> unit
+
+type worker = {
+  w_mu : Mutex.t;
+  w_cond : Condition.t;
+  w_queue : job Queue.t;
+  mutable w_stop : bool;
+}
+
+type t = {
+  workers : worker array;
+  domains : unit Domain.t array;
+  (* completion latch shared by one [run] at a time; [run] itself is
+     serialized by [run_mu] so concurrent coordinators cannot interleave
+     their latches *)
+  run_mu : Mutex.t;
+  latch_mu : Mutex.t;
+  latch_cond : Condition.t;
+  mutable pending : int;
+  mutable first_exn : exn option;
+}
+
+let worker_loop (w : worker) () =
+  let rec next () =
+    Mutex.lock w.w_mu;
+    let rec wait () =
+      if Queue.is_empty w.w_queue && not w.w_stop then begin
+        Condition.wait w.w_cond w.w_mu;
+        wait ()
+      end
+    in
+    wait ();
+    if Queue.is_empty w.w_queue && w.w_stop then Mutex.unlock w.w_mu
+    else begin
+      let job = Queue.pop w.w_queue in
+      Mutex.unlock w.w_mu;
+      job ();
+      next ()
+    end
+  in
+  next ()
+
+let create ~(workers : int) : t =
+  let n = max 1 workers in
+  let ws =
+    Array.init n (fun _ ->
+        {
+          w_mu = Mutex.create ();
+          w_cond = Condition.create ();
+          w_queue = Queue.create ();
+          w_stop = false;
+        })
+  in
+  {
+    workers = ws;
+    domains = Array.map (fun w -> Domain.spawn (worker_loop w)) ws;
+    run_mu = Mutex.create ();
+    latch_mu = Mutex.create ();
+    latch_cond = Condition.create ();
+    pending = 0;
+    first_exn = None;
+  }
+
+let size t = Array.length t.workers
+
+(** Run every [(worker_index, job)] pair to completion. Jobs pinned to
+    the same worker run in submission order; distinct workers run
+    concurrently. Re-raises the first exception any job threw (after all
+    jobs have settled, so no job is abandoned mid-flight). *)
+let run (t : t) (jobs : (int * job) list) : unit =
+  if jobs <> [] then begin
+    Mutex.lock t.run_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.run_mu)
+      (fun () ->
+        t.pending <- List.length jobs;
+        t.first_exn <- None;
+        List.iter
+          (fun (i, job) ->
+            let w = t.workers.(i mod Array.length t.workers) in
+            let wrapped () =
+              (try job ()
+               with e ->
+                 Mutex.lock t.latch_mu;
+                 if t.first_exn = None then t.first_exn <- Some e;
+                 Mutex.unlock t.latch_mu);
+              Mutex.lock t.latch_mu;
+              t.pending <- t.pending - 1;
+              if t.pending = 0 then Condition.broadcast t.latch_cond;
+              Mutex.unlock t.latch_mu
+            in
+            Mutex.lock w.w_mu;
+            Queue.push wrapped w.w_queue;
+            Condition.signal w.w_cond;
+            Mutex.unlock w.w_mu)
+          jobs;
+        Mutex.lock t.latch_mu;
+        while t.pending > 0 do
+          Condition.wait t.latch_cond t.latch_mu
+        done;
+        let exn = t.first_exn in
+        Mutex.unlock t.latch_mu;
+        match exn with Some e -> raise e | None -> ())
+  end
+
+(** Stop every worker and join its domain. Idempotent enough for
+    shutdown paths: pending queued jobs still drain first. *)
+let shutdown (t : t) : unit =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.w_mu;
+      w.w_stop <- true;
+      Condition.broadcast w.w_cond;
+      Mutex.unlock w.w_mu)
+    t.workers;
+  Array.iter Domain.join t.domains

@@ -1,0 +1,112 @@
+(** The shard map: which tables are hash-distributed on which column,
+    which tables are replicated to every shard, and a generation counter
+    versioning the whole layout (mixed into plan-cache keys so templates
+    installed under one layout never serve another).
+
+    Modeled on hash-distributed tables in MPP systems (Greenplum, the
+    paper's backend; Citus): a {e distributed} table's rows are
+    partitioned by a hash of the distribution column, a {e replicated}
+    (reference) table is fully copied to every shard, and anything else
+    is only present on the coordinator. *)
+
+type t = {
+  sm_shards : int;  (** number of shards (>= 1) *)
+  mutable sm_distributed : (string * string) list;
+      (** lowercase table name -> lowercase distribution column *)
+  mutable sm_replicated : string list;  (** lowercase table names *)
+  mutable sm_generation : int;
+}
+
+let create ~shards ~(distributions : (string * string) list) : t =
+  if shards < 1 then invalid_arg "Shardmap.create: shards must be >= 1";
+  {
+    sm_shards = shards;
+    sm_distributed =
+      List.map
+        (fun (t, c) ->
+          (String.lowercase_ascii t, String.lowercase_ascii c))
+        distributions;
+    sm_replicated = [];
+    (* generation starts at 1: an engine without a sharder keys its
+       plan-cache entries with generation 0, so the two key spaces never
+       overlap *)
+    sm_generation = 1;
+  }
+
+let shards t = t.sm_shards
+let generation t = t.sm_generation
+let bump t = t.sm_generation <- t.sm_generation + 1
+
+let distribution_of t table =
+  List.assoc_opt (String.lowercase_ascii table) t.sm_distributed
+
+let is_distributed t table = distribution_of t table <> None
+
+let is_replicated t table =
+  List.mem (String.lowercase_ascii table) t.sm_replicated
+
+(** Known to exist on every shard (distributed or replicated). Tables
+    outside this set — session temps, CTAS results the cluster did not
+    broadcast — force coordinator-only execution. *)
+let known t table = is_distributed t table || is_replicated t table
+
+let add_replicated t table =
+  let l = String.lowercase_ascii table in
+  if not (List.mem l t.sm_replicated) then begin
+    t.sm_replicated <- l :: t.sm_replicated;
+    bump t
+  end
+
+(** Forget a table entirely (dropped, or mutated in a way the cluster
+    cannot mirror onto the shards) — routing falls back to the
+    coordinator for statements that mention it. *)
+let remove_table t table =
+  let l = String.lowercase_ascii table in
+  if List.mem_assoc l t.sm_distributed || List.mem l t.sm_replicated then begin
+    t.sm_distributed <- List.remove_assoc l t.sm_distributed;
+    t.sm_replicated <- List.filter (fun n -> n <> l) t.sm_replicated;
+    bump t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hash partitioning                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a over the value's canonical text: stable across runs (no seed),
+   so a literal in a query pins to the same shard that ingested the row *)
+let hash_string (s : string) : int =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+let canon (v : Pgdb.Value.t) : string =
+  match v with
+  | Pgdb.Value.Null -> "\x00null"
+  | Pgdb.Value.Bool b -> string_of_bool b
+  | Pgdb.Value.Int i -> Int64.to_string i
+  | Pgdb.Value.Float f -> string_of_float f
+  | Pgdb.Value.Str s -> s
+  | Pgdb.Value.Date d -> "d" ^ string_of_int d
+  | Pgdb.Value.Time tm -> "t" ^ string_of_int tm
+  | Pgdb.Value.Timestamp n -> "p" ^ Int64.to_string n
+
+(** The shard owning rows whose distribution column holds [v]. *)
+let shard_of_value t (v : Pgdb.Value.t) : int =
+  hash_string (canon v) mod t.sm_shards
+
+(** The shard owning rows pinned by a literal equality on the
+    distribution column. *)
+let shard_of_lit t (l : Sqlast.Ast.lit) : int =
+  let v =
+    match l with
+    | Sqlast.Ast.Null -> Pgdb.Value.Null
+    | Sqlast.Ast.Bool b -> Pgdb.Value.Bool b
+    | Sqlast.Ast.Int i -> Pgdb.Value.Int i
+    | Sqlast.Ast.Float f -> Pgdb.Value.Float f
+    | Sqlast.Ast.Str s -> Pgdb.Value.Str s
+  in
+  shard_of_value t v

@@ -344,6 +344,7 @@ let test_lru_eviction () =
       k_session_gen = 0;
       k_server_gen = 0;
       k_catalog_gen = 0;
+      k_shard_gen = 0;
     }
   in
   PC.store pc (key "a") ~norm:"a" (PC.Uncacheable "test");
