@@ -7,20 +7,25 @@ all:
 # the plan-cache reuse gate (warm hit ratio >= 0.95, warm mean < cold
 # mean, zero result divergence) + the shard scaling gate (>= 1.5x at 4
 # shards under the simulated remote-latency model, zero divergence vs
-# the unsharded engine); the introspection suite exercises the HTTP
-# admin endpoint through its pure handler, so no curl / open port needed
+# the unsharded engine) + the cluster-observability gate (per-shard
+# child spans, traceparent stamping, ring sampling and SLO evaluation
+# cost <= 2.5% of scatter latency on a 2-shard cluster); the
+# introspection suite exercises the HTTP admin endpoint through its
+# pure handler, so no curl / open port needed
 ci:
 	dune build @all
 	dune runtest
 	dune exec bench/main.exe -- smoke
 	dune exec bench/main.exe -- plan_cache_gate
 	dune exec bench/main.exe -- shard_gate
+	dune exec bench/main.exe -- obs_gate
 
 # quick overhead gates only (exit 1 on regression)
 bench-smoke:
 	dune exec bench/main.exe -- smoke
 	dune exec bench/main.exe -- plan_cache_gate
 	dune exec bench/main.exe -- shard_gate
+	dune exec bench/main.exe -- obs_gate
 
 check:
 	dune build @dev-check

@@ -20,6 +20,8 @@
      plan_cache_gate Quick plan_cache gate for `make ci` (exit 1 on fail)
      shard           Scatter/gather scaling over 1/2/4/8 shards
      shard_gate      Quick shard gate for `make ci` (exit 1 on fail)
+     obs_cluster     Cluster-observability overhead on a 2-shard cluster
+     obs_gate        Quick obs_cluster gate for `make ci` (exit 1 on fail)
      micro           Bechamel micro-benchmarks of the translation pipeline *)
 
 module E = Hyperq.Engine
@@ -702,6 +704,163 @@ let bench_trace_export ?(smoke = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Cluster observability: cross-shard correlation overhead             *)
+(* ------------------------------------------------------------------ *)
+
+(* drives a scatter-heavy workload through a 2-shard cluster with
+   time-series sampling live (per-shard child spans, traceparent
+   stamping on every shard gateway, gather spans, ring snapshots and
+   SLO evaluation all on), then isolates the pure cluster-observability
+   cost per query — child-span open/attr/close per shard, per-shard
+   traceparent rendering, the gather span, a ring tick and an SLO
+   evaluation — and compares it to the measured end-to-end scatter
+   latency. Target: <=2.5% overhead. Full run writes
+   BENCH_obs_cluster.json; [~gate:true] is the quick CI variant. *)
+let bench_obs_cluster ?(gate = false) () =
+  header
+    (if gate then "Cluster observability - overhead gate"
+     else "Cluster observability - cross-shard correlation overhead \
+           (writes BENCH_obs_cluster.json)");
+  let module P = Platform.Hyperq_platform in
+  let shards = 2 in
+  let d = MD.generate MD.small_scale in
+  let db = Pgdb.Db.create () in
+  MD.load_pg db d;
+  let obs = Obs.Ctx.create () in
+  let platform = P.create ~obs ~shards db in
+  (* sample the ring continuously while the workload runs: every
+     in-band tick past this interval snapshots the whole registry *)
+  Obs.Timeseries.set_interval obs.Obs.Ctx.timeseries 0.01;
+  (match Obs.Slo.parse_spec "p99<1s,err<5%,fast=1s,slow=5s" with
+  | Ok cfg -> Obs.Slo.configure obs.Obs.Ctx.slo cfg
+  | Error m -> failwith m);
+  let client = P.Client.connect platform in
+  let shapes =
+    [|
+      (fun _ -> "select mx:max Price by Symbol from trades");
+      (fun i ->
+        Printf.sprintf "select sum Size from trades where Price>%f"
+          (float_of_int (i mod 50)));
+      (fun _ -> "select avg Bid by Symbol from quotes");
+    |]
+  in
+  let total_queries = if gate then 300 else 5_000 in
+  for i = 0 to total_queries - 1 do
+    ignore (P.Client.query client (shapes.(i mod Array.length shapes) i))
+  done;
+  ignore (Obs.Slo.evaluate obs.Obs.Ctx.slo);
+  let reg = obs.Obs.Ctx.registry in
+  let query_h = Obs.Metrics.histogram reg "hq_query_seconds" in
+  let mean_query_us =
+    Obs.Metrics.hist_sum query_h
+    /. float_of_int (Stdlib.max 1 (Obs.Metrics.hist_count query_h))
+    *. 1e6
+  in
+  let ts = obs.Obs.Ctx.timeseries in
+  let windows = Obs.Timeseries.windows ts in
+  let live_windows =
+    List.length
+      (List.filter (fun w -> w.Obs.Timeseries.w_qps > 0.0) windows)
+  in
+  (* isolated per-scatter-query cluster-observability cost on scratch
+     components: what the fan-out adds on top of the single-node
+     correlation plane measured by [trace_export] *)
+  let scratch_reg = Obs.Metrics.create () in
+  let scratch_h = Obs.Metrics.histogram scratch_reg "hq_query_seconds" in
+  let scratch_ts = Obs.Timeseries.create ~interval_s:0.01 scratch_reg in
+  let scratch_slo =
+    Obs.Slo.create
+      ?config:
+        (match Obs.Slo.parse_spec "p99<1s,err<5%,fast=1s,slow=5s" with
+        | Ok c -> Some c
+        | Error _ -> None)
+      scratch_ts
+  in
+  let iterations = if gate then 5_000 else 50_000 in
+  let t0 = now () in
+  for i = 1 to iterations do
+    let tr = Obs.Trace.start "query" in
+    let trace_id = Obs.Trace.trace_id tr in
+    (* per-shard child span + attach handle + traceparent stamp *)
+    let handles =
+      Array.init shards (fun k ->
+          let sp = Obs.Trace.open_child tr "shard_exec" in
+          Obs.Trace.set_span_attr sp "shard" (Obs.Trace.Int k);
+          Obs.Trace.attach ~trace_id sp)
+    in
+    Array.iter
+      (fun h ->
+        let comment =
+          " /* traceparent='"
+          ^ Obs.Trace.traceparent ~trace_id
+              ~span_id:(Obs.Trace.span_id (Obs.Trace.current h))
+          ^ "' */"
+        in
+        ignore (String.length comment);
+        Obs.Trace.close_span (Obs.Trace.current h))
+      handles;
+    Obs.Trace.with_span tr "gather" (fun () -> ());
+    ignore (Obs.Trace.finish tr);
+    Obs.Metrics.observe scratch_h 0.0001;
+    ignore (Obs.Timeseries.tick scratch_ts);
+    if i mod 100 = 0 then ignore (Obs.Slo.evaluate scratch_slo)
+  done;
+  let mean_cluster_obs_us = (now () -. t0) *. 1e6 /. float_of_int iterations in
+  let overhead_pct =
+    100.0 *. mean_cluster_obs_us /. Float.max 1e-9 mean_query_us
+  in
+  let healthy = (Obs.Slo.evaluate obs.Obs.Ctx.slo).Obs.Slo.v_healthy in
+  Printf.printf "%-34s %12d\n" "queries through the cluster" total_queries;
+  Printf.printf "%-34s %12d\n" "shards" shards;
+  Printf.printf "%-34s %12d\n" "time-series snapshots"
+    (Obs.Timeseries.samples_total ts);
+  Printf.printf "%-34s %12d\n" "live windows" live_windows;
+  Printf.printf "%-34s %12.1f\n" "mean query latency (us)" mean_query_us;
+  Printf.printf "%-34s %12.3f\n" "mean cluster-obs cost (us)"
+    mean_cluster_obs_us;
+  Printf.printf "%-34s %11.3f%%  (target <=2.5%%)\n" "overhead" overhead_pct;
+  Printf.printf "%-34s %12s\n" "healthz"
+    (if healthy then "healthy" else "BURNING");
+  P.Client.close client;
+  P.shutdown platform;
+  let limit = 2.5 in
+  let sampled_ok = Obs.Timeseries.samples_total ts >= 2 in
+  if gate then begin
+    if (not sampled_ok) || overhead_pct > limit then begin
+      Printf.printf
+        "--\nOBS GATE FAIL: overhead %.3f%% > %.1f%% or ring never \
+         sampled\n"
+        overhead_pct limit;
+      exit 1
+    end;
+    Printf.printf "--\nobs gate ok\n"
+  end
+  else begin
+    let oc = open_out "BENCH_obs_cluster.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"queries\": %d,\n\
+      \  \"shards\": %d,\n\
+      \  \"snapshots\": %d,\n\
+      \  \"live_windows\": %d,\n\
+      \  \"mean_query_us\": %.3f,\n\
+      \  \"mean_cluster_obs_us\": %.3f,\n\
+      \  \"overhead_pct\": %.4f,\n\
+      \  \"healthy\": %b\n\
+       }\n"
+      total_queries shards
+      (Obs.Timeseries.samples_total ts)
+      live_windows mean_query_us mean_cluster_obs_us overhead_pct healthy;
+    close_out oc;
+    Printf.printf "--\nwrote BENCH_obs_cluster.json\n";
+    if overhead_pct > limit then begin
+      Printf.printf "OBS GATE FAIL: overhead %.3f%% > %.1f%%\n" overhead_pct
+        limit;
+      exit 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Plan cache: cold vs warm translation reuse                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1205,6 +1364,8 @@ let all_experiments =
     ("plan_cache_gate", (fun () -> bench_plan_cache ~smoke:true ()));
     ("shard", (fun () -> bench_shard ()));
     ("shard_gate", (fun () -> bench_shard ~gate:true ()));
+    ("obs_cluster", (fun () -> bench_obs_cluster ()));
+    ("obs_gate", (fun () -> bench_obs_cluster ~gate:true ()));
     ("micro", micro);
   ]
 
@@ -1221,7 +1382,7 @@ let () =
       List.iter
         (fun (name, f) ->
           if name <> "smoke" && name <> "plan_cache_gate"
-             && name <> "shard_gate"
+             && name <> "shard_gate" && name <> "obs_gate"
           then f ())
         all_experiments
   | names ->

@@ -42,6 +42,9 @@ let () =
   let plan_cache_size = ref Hyperq.Plancache.default_capacity in
   let shards = ref 1 in
   let workers = ref 0 in
+  let ts_interval = ref Obs.Timeseries.default_interval_s in
+  let ts_ring = ref Obs.Timeseries.default_capacity in
+  let slo_spec = ref "" in
   let speclist =
     [
       ( "--stats",
@@ -50,8 +53,8 @@ let () =
       ( "--admin-port",
         Arg.Set_int admin_port,
         "PORT serve GET /metrics, /healthz, /stats.json, /slow.json, \
-         /traces.json, /logs.json, /activity.json, /plancache.json and \
-         POST /reset on 127.0.0.1:PORT" );
+         /traces.json, /logs.json, /activity.json, /plancache.json, \
+         /timeseries.json, /slo.json and POST /reset on 127.0.0.1:PORT" );
       ( "--slow-threshold-ms",
         Arg.Set_float slow_threshold_ms,
         "MS flight-record queries slower than MS (default 100)" );
@@ -89,17 +92,39 @@ let () =
       ( "--workers",
         Arg.Set_int workers,
         "N size of the shard dispatch domain pool (default = --shards)" );
+      ( "--ts-interval",
+        Arg.Set_float ts_interval,
+        Printf.sprintf
+          "S sample the time-series ring every S seconds (default %g); \
+           inspect with .hq.timeseries[n] or GET /timeseries.json"
+          Obs.Timeseries.default_interval_s );
+      ( "--ts-ring",
+        Arg.Set_int ts_ring,
+        Printf.sprintf
+          "N keep the last N time-series snapshots (default %d)"
+          Obs.Timeseries.default_capacity );
+      ( "--slo",
+        Arg.Set_string slo_spec,
+        "SPEC latency/error-rate objectives with burn-rate alerting on \
+         GET /healthz and /slo.json; " ^ Obs.Slo.spec_syntax );
     ]
   in
   Arg.parse speclist
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a)))
     usage;
+  (* flag values validated after Arg.parse: report like Arg would *)
+  let bad fmt =
+    Printf.ksprintf
+      (fun msg ->
+        prerr_endline (Sys.argv.(0) ^ ": " ^ msg);
+        prerr_endline usage;
+        exit 2)
+      fmt
+  in
   let level =
     match Obs.Log.level_of_string !log_level with
     | Some l -> l
-    | None ->
-        raise
-          (Arg.Bad (Printf.sprintf "unknown --log-level %S" !log_level))
+    | None -> bad "unknown --log-level %S" !log_level
   in
   let d = MD.generate MD.small_scale in
   let db = Pgdb.Db.create () in
@@ -120,7 +145,33 @@ let () =
   end;
   let log = Obs.Log.create ~level ~sink:events registry in
   let export = Obs.Export.create ~capacity:(max 1 !trace_ring) () in
-  let obs = Obs.Ctx.create ~registry ~events ~log ~export () in
+  let timeseries =
+    Obs.Timeseries.create ~interval_s:!ts_interval ~capacity:(max 2 !ts_ring)
+      registry
+  in
+  let slo_config =
+    if !slo_spec = "" then Obs.Slo.default_config
+    else
+      match Obs.Slo.parse_spec !slo_spec with
+      | Ok cfg -> cfg
+      | Error msg -> bad "--slo: %s" msg
+  in
+  let slo = Obs.Slo.create ~config:slo_config timeseries in
+  let obs =
+    Obs.Ctx.create ~registry ~events ~log ~export ~timeseries ~slo ()
+  in
+  (* periodic sampler: fills the ring on the clock even while the REPL
+     sits idle, so /timeseries.json shows the traffic dying down *)
+  let sampler_stop = Atomic.make false in
+  ignore
+    (Thread.create
+       (fun () ->
+         while not (Atomic.get sampler_stop) do
+           Thread.delay (Float.max 0.01 !ts_interval);
+           ignore (Obs.Timeseries.tick timeseries)
+         done)
+       ());
+  at_exit (fun () -> Atomic.set sampler_stop true);
   let platform =
     P.create ~plan_cache:!plan_cache ~plan_cache_size:!plan_cache_size ~obs
       ~shards:!shards

@@ -355,6 +355,10 @@ let execute_rel (t : t) (brel : Binder.bound_rel) : QV.t * string list =
          statement on the coordinator alone. *)
       let res =
         stage t Stage_timer.Execute (fun () ->
+            (* mark the execute span: its children are the per-shard
+               [shard_exec] spans the cluster opens, not a coordinator
+               backend round trip *)
+            Obs.Ctx.add_attr t.obs "sharded" (Obs.Trace.Int 1);
             match run () with
             | Ok r -> r
             | Error e -> hq_error "backend" "%s" e)

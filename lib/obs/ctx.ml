@@ -6,11 +6,14 @@ type t = {
   sessions : Sessions.t;
   log : Log.t;
   export : Export.t;
+  timeseries : Timeseries.t;
+  slo : Slo.t;
   mutable trace : Trace.t option;
   mutable last_trace : Trace.span option;
 }
 
-let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export () =
+let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export
+    ?timeseries ?slo () =
   let registry =
     match registry with Some r -> r | None -> Metrics.create ()
   in
@@ -28,6 +31,10 @@ let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export () =
     match log with Some l -> l | None -> Log.create ~sink:events registry
   in
   let export = match export with Some e -> e | None -> Export.create () in
+  let timeseries =
+    match timeseries with Some t -> t | None -> Timeseries.create registry
+  in
+  let slo = match slo with Some s -> s | None -> Slo.create timeseries in
   {
     registry;
     events;
@@ -36,6 +43,8 @@ let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export () =
     sessions;
     log;
     export;
+    timeseries;
+    slo;
     trace = None;
     last_trace = None;
   }

@@ -17,6 +17,8 @@ type t = {
   sessions : Sessions.t;  (** connection registry ([.hq.activity]) *)
   log : Log.t;  (** structured leveled logger *)
   export : Export.t;  (** bounded ring of finished traces *)
+  timeseries : Timeseries.t;  (** periodic registry snapshots *)
+  slo : Slo.t;  (** burn-rate monitor over the time-series ring *)
   mutable trace : Trace.t option;  (** trace of the in-flight query *)
   mutable last_trace : Trace.span option;
       (** most recently finished query trace (introspection, tests) *)
@@ -30,6 +32,8 @@ val create :
   ?sessions:Sessions.t ->
   ?log:Log.t ->
   ?export:Export.t ->
+  ?timeseries:Timeseries.t ->
+  ?slo:Slo.t ->
   unit ->
   t
 

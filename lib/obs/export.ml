@@ -4,7 +4,11 @@ type exported = {
   x_root : Trace.span;  (** finished root span *)
 }
 
+(* the ring is written by the coordinator (every finished trace) and
+   read by the admin thread (/traces.json) and in-band .hq.traces, so
+   its multi-word state is lock-guarded *)
 type t = {
+  mu : Mutex.t;
   capacity : int;
   ring : exported option array;
   mutable next : int;  (** next write slot *)
@@ -16,35 +20,50 @@ let default_capacity = 256
 
 let create ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Export.create: capacity must be >= 1";
-  { capacity; ring = Array.make capacity None; next = 0; stored = 0; exported_total = 0 }
+  {
+    mu = Mutex.create ();
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    stored = 0;
+    exported_total = 0;
+  }
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let capacity t = t.capacity
-let size t = t.stored
-let exported_total t = t.exported_total
+let size t = with_mu t (fun () -> t.stored)
+let exported_total t = with_mu t (fun () -> t.exported_total)
 
 let reset t =
-  Array.fill t.ring 0 t.capacity None;
-  t.next <- 0;
-  t.stored <- 0;
-  t.exported_total <- 0
+  with_mu t (fun () ->
+      Array.fill t.ring 0 t.capacity None;
+      t.next <- 0;
+      t.stored <- 0;
+      t.exported_total <- 0)
 
 let offer t ~(ts : float) ~(trace_id : string) (root : Trace.span) : unit =
-  t.ring.(t.next) <- Some { x_ts = ts; x_trace_id = trace_id; x_root = root };
-  t.next <- (t.next + 1) mod t.capacity;
-  if t.stored < t.capacity then t.stored <- t.stored + 1;
-  t.exported_total <- t.exported_total + 1
+  with_mu t (fun () ->
+      t.ring.(t.next) <-
+        Some { x_ts = ts; x_trace_id = trace_id; x_root = root };
+      t.next <- (t.next + 1) mod t.capacity;
+      if t.stored < t.capacity then t.stored <- t.stored + 1;
+      t.exported_total <- t.exported_total + 1)
 
 (** The newest [n] exported traces, newest first. *)
 let recent t (n : int) : exported list =
-  let out = ref [] in
-  let i = ref ((t.next - 1 + t.capacity) mod t.capacity) in
-  let remaining = ref (Stdlib.min n t.stored) in
-  while !remaining > 0 do
-    (match t.ring.(!i) with Some r -> out := r :: !out | None -> ());
-    i := (!i - 1 + t.capacity) mod t.capacity;
-    decr remaining
-  done;
-  List.rev !out
+  with_mu t (fun () ->
+      let out = ref [] in
+      let i = ref ((t.next - 1 + t.capacity) mod t.capacity) in
+      let remaining = ref (Stdlib.min n t.stored) in
+      while !remaining > 0 do
+        (match t.ring.(!i) with Some r -> out := r :: !out | None -> ());
+        i := (!i - 1 + t.capacity) mod t.capacity;
+        decr remaining
+      done;
+      List.rev !out)
 
 let find t (trace_id : string) : exported option =
   List.find_opt (fun e -> e.x_trace_id = trace_id) (recent t t.capacity)

@@ -29,18 +29,29 @@ let reason = function
   | 405 -> "Method Not Allowed"
   | 414 -> "URI Too Long"
   | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
   | _ -> "Unknown"
 
 (* every response carries Content-Length so clients never have to read
-   to EOF to find the body's end *)
+   to EOF to find the body's end; Cache-Control because every admin
+   surface is a live snapshot no intermediary may serve stale *)
 let render_response (r : response) : string =
   Printf.sprintf
-    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: \
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+     Cache-Control: no-store\r\nServer: hyperq\r\n%sConnection: \
      close\r\n\r\n%s"
     r.status (reason r.status) r.content_type (String.length r.body)
     (String.concat ""
        (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.headers))
     r.body
+
+let query_param (req : request) (key : string) : string option =
+  String.split_on_char '&' req.query
+  |> List.find_map (fun kv ->
+         match String.index_opt kv '=' with
+         | Some i when String.sub kv 0 i = key ->
+             Some (String.sub kv (i + 1) (String.length kv - i - 1))
+         | _ -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)

@@ -26,8 +26,13 @@ val text : ?headers:(string * string) list -> int -> string -> response
 val json : ?headers:(string * string) list -> int -> string -> response
 val ndjson : ?headers:(string * string) list -> int -> string -> response
 
-(** Every rendered response carries [Content-Length]. *)
+(** Every rendered response carries [Content-Length], plus
+    [Cache-Control: no-store] and [Server: hyperq] — admin surfaces are
+    live snapshots no intermediary may serve stale. *)
 val render_response : response -> string
+
+(** [query_param req key] is the first [key=value] in the query string. *)
+val query_param : request -> string -> string option
 
 (** Parse a complete request. [`Incomplete] means more bytes are needed
     (headers unterminated or body shorter than [Content-Length]). *)

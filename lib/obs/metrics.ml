@@ -243,6 +243,44 @@ let snapshot reg : sample list =
                    facet "_p99" (percentile_unlocked h 99.0);
                  ]))
 
+(* raw (bucket-level) view of one instrument — what the time-series
+   ring snapshots so later readers can compute deltas *)
+type hist_view = {
+  hv_bounds : float array;  (** shared with the histogram, never mutated *)
+  hv_counts : int array;  (** copy, length = bounds + 1 (+Inf bucket) *)
+  hv_count : int;
+  hv_sum : float;
+}
+
+type raw =
+  | Raw_counter of int
+  | Raw_gauge of float
+  | Raw_hist of hist_view
+
+(** Every instrument's raw value keyed by [name{labels}], in
+    registration order. Histograms come out as a consistent
+    (bounds, bucket counts, count, sum) view taken under the
+    histogram's own lock — the time-series ring stores these and
+    derives per-window rates and percentiles from consecutive
+    snapshots' deltas. *)
+let raw_snapshot reg : (string * raw) list =
+  List.rev (with_mu reg.mu (fun () -> reg.metrics))
+  |> List.map (fun m ->
+         let full = key m.m_name m.m_labels in
+         match m.m_inst with
+         | Counter c -> (full, Raw_counter (Atomic.get c.c_value))
+         | Gauge g -> (full, Raw_gauge (Atomic.get g.g_value))
+         | Histogram h ->
+             ( full,
+               Raw_hist
+                 (with_mu h.h_mu (fun () ->
+                      {
+                        hv_bounds = h.h_bounds;
+                        hv_counts = Array.copy h.h_counts;
+                        hv_count = h.h_count;
+                        hv_sum = h.h_sum;
+                      })) ))
+
 let float_str v =
   if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.0f" v
@@ -250,14 +288,27 @@ let float_str v =
 
 let to_prometheus reg : string =
   let buf = Buffer.create 1024 in
+  let metrics = List.rev (with_mu reg.mu (fun () -> reg.metrics)) in
+  (* help text per family: the first non-empty help among every series
+     of the name wins, so labeled families registered without help
+     (e.g. the per-shard wire counters) still render a HELP line when
+     any sibling carries one *)
+  let family_help = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if m.m_help <> "" && not (Hashtbl.mem family_help m.m_name) then
+        Hashtbl.add family_help m.m_name m.m_help)
+    metrics;
   let seen_header = Hashtbl.create 16 in
   List.iter
     (fun m ->
       if not (Hashtbl.mem seen_header m.m_name) then begin
         Hashtbl.add seen_header m.m_name ();
-        if m.m_help <> "" then
-          Buffer.add_string buf
-            (Printf.sprintf "# HELP %s %s\n" m.m_name m.m_help);
+        (match Hashtbl.find_opt family_help m.m_name with
+        | Some help ->
+            Buffer.add_string buf
+              (Printf.sprintf "# HELP %s %s\n" m.m_name help)
+        | None -> ());
         Buffer.add_string buf
           (Printf.sprintf "# TYPE %s %s\n" m.m_name (kind_name m.m_inst))
       end;
@@ -290,5 +341,5 @@ let to_prometheus reg : string =
               Buffer.add_string buf
                 (Printf.sprintf "%s_count%s %d\n" m.m_name
                    (label_str m.m_labels) h.h_count)))
-    (List.rev (with_mu reg.mu (fun () -> reg.metrics)));
+    metrics;
   Buffer.contents buf

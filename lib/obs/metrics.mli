@@ -96,6 +96,30 @@ type sample = {
     rendered into the name Prometheus-style: [name{k="v"}]. *)
 val snapshot : t -> sample list
 
+(** Raw (delta-able) view of one histogram: shared bounds array, a
+    copied bucket-count array (last slot is the +Inf bucket), total
+    count and sum — all read consistently under the histogram's lock. *)
+type hist_view = {
+  hv_bounds : float array;
+  hv_counts : int array;
+  hv_count : int;
+  hv_sum : float;
+}
+
+type raw =
+  | Raw_counter of int
+  | Raw_gauge of float
+  | Raw_hist of hist_view
+
+(** Every instrument's raw value keyed by [name{labels}], in
+    registration order — what the time-series ring ({!Timeseries})
+    snapshots so per-window rates and percentiles can be derived from
+    deltas of consecutive snapshots. *)
+val raw_snapshot : t -> (string * raw) list
+
 (** Prometheus text exposition format (HELP/TYPE comments, cumulative
-    [_bucket{le="..."}] series, [_sum] and [_count]). *)
+    [_bucket{le="..."}] series, [_sum] and [_count]). Each family's
+    HELP line uses the first non-empty help text among its series, so
+    labeled registrations without help (per-shard families) still
+    document themselves when any sibling carries help. *)
 val to_prometheus : t -> string

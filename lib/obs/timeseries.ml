@@ -1,0 +1,353 @@
+(** Time-series ring: periodic raw snapshots of the whole metrics
+    registry, plus per-window rates and percentiles derived from the
+    deltas of consecutive snapshots.
+
+    Counters and histogram buckets are cumulative, so any two snapshots
+    bracket a window whose traffic is simply their difference. The
+    latency percentiles come from the *bucket deltas* of the query
+    histogram: subtract the older snapshot's bucket counts from the
+    newer one's, then run the same rank-interpolation the registry uses
+    for lifetime percentiles — the estimate reflects only the queries
+    that landed inside the window, which a cumulative histogram alone
+    can never report. *)
+
+type snap = {
+  sn_ts : float;  (** wall clock (display / correlation) *)
+  sn_mono : int64;  (** monotonic ns (window arithmetic) *)
+  sn_values : (string * Metrics.raw) list;
+}
+
+type t = {
+  ts_mu : Mutex.t;
+  ts_registry : Metrics.t;
+  mutable ts_interval_s : float;
+  ts_ring : snap option array;
+  mutable ts_next : int;
+  mutable ts_stored : int;
+  mutable ts_samples_total : int;
+  mutable ts_last_mono : int64;  (** 0 until the first sample *)
+  mutable ts_hooks : (unit -> unit) list;  (** pre-sample refreshers *)
+}
+
+let default_capacity = 128
+let default_interval_s = 1.0
+
+(* the headline series every derived window reports *)
+let queries_name = "hq_queries_total"
+let errors_name = "hq_query_errors_total"
+let latency_name = "hq_query_seconds"
+
+let create ?(interval_s = default_interval_s) ?(capacity = default_capacity)
+    (registry : Metrics.t) : t =
+  if capacity < 2 then
+    invalid_arg "Timeseries.create: capacity must be >= 2 (windows are deltas)";
+  {
+    ts_mu = Mutex.create ();
+    ts_registry = registry;
+    ts_interval_s = interval_s;
+    ts_ring = Array.make capacity None;
+    ts_next = 0;
+    ts_stored = 0;
+    ts_samples_total = 0;
+    ts_last_mono = 0L;
+    ts_hooks = [];
+  }
+
+let with_mu t f =
+  Mutex.lock t.ts_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.ts_mu) f
+
+let capacity t = Array.length t.ts_ring
+let size t = with_mu t (fun () -> t.ts_stored)
+let samples_total t = with_mu t (fun () -> t.ts_samples_total)
+let interval_s t = with_mu t (fun () -> t.ts_interval_s)
+let set_interval t s = with_mu t (fun () -> t.ts_interval_s <- s)
+
+(** Register a hook run (outside the ring lock) before every sample —
+    the platform uses this to refresh mirrored gauges (pool saturation,
+    backend counters) so snapshots see current values. *)
+let on_sample t hook = with_mu t (fun () -> t.ts_hooks <- hook :: t.ts_hooks)
+
+(** Take one snapshot now, unconditionally. *)
+let sample t =
+  let hooks = with_mu t (fun () -> t.ts_hooks) in
+  List.iter (fun h -> try h () with _ -> ()) hooks;
+  let s =
+    {
+      sn_ts = Unix.gettimeofday ();
+      sn_mono = Clock.now_ns ();
+      sn_values = Metrics.raw_snapshot t.ts_registry;
+    }
+  in
+  with_mu t (fun () ->
+      t.ts_ring.(t.ts_next) <- Some s;
+      t.ts_next <- (t.ts_next + 1) mod Array.length t.ts_ring;
+      if t.ts_stored < Array.length t.ts_ring then
+        t.ts_stored <- t.ts_stored + 1;
+      t.ts_samples_total <- t.ts_samples_total + 1;
+      t.ts_last_mono <- s.sn_mono)
+
+(** Sample only if at least the configured interval elapsed since the
+    last snapshot (in-band pacing for callers without a sampler
+    thread). Returns whether a snapshot was taken. *)
+let tick t =
+  let due =
+    with_mu t (fun () ->
+        t.ts_last_mono = 0L
+        || Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t.ts_last_mono)
+           >= t.ts_interval_s)
+  in
+  if due then sample t;
+  due
+
+let reset t =
+  with_mu t (fun () ->
+      Array.fill t.ts_ring 0 (Array.length t.ts_ring) None;
+      t.ts_next <- 0;
+      t.ts_stored <- 0;
+      t.ts_last_mono <- 0L)
+
+(* oldest-first list of held snapshots *)
+let snaps t : snap list =
+  with_mu t (fun () ->
+      let n = Array.length t.ts_ring in
+      let out = ref [] in
+      for k = t.ts_stored downto 1 do
+        (* t.ts_next - 1 is the newest; walk backwards, prepend *)
+        match t.ts_ring.((t.ts_next - k + n + n) mod n) with
+        | Some s -> out := s :: !out
+        | None -> ()
+      done;
+      List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Delta arithmetic                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* deltas clamp at zero: a cross-plane reset between two snapshots
+   would otherwise produce negative traffic *)
+let delta_int a b = Stdlib.max 0 (b - a)
+
+let counter_of (s : snap) name =
+  match List.assoc_opt name s.sn_values with
+  | Some (Metrics.Raw_counter v) -> Some v
+  | _ -> None
+
+let hist_of (s : snap) name =
+  match List.assoc_opt name s.sn_values with
+  | Some (Metrics.Raw_hist hv) -> Some hv
+  | _ -> None
+
+(** Percentile estimate from a window's bucket deltas: linear
+    interpolation inside the bucket holding the rank, exactly like the
+    registry's lifetime percentile, except min/max are not delta-able —
+    the overflow (+Inf) bucket clamps to the highest finite bound, so
+    the estimate is always finite. [nan] when the window saw nothing. *)
+let percentile_of_deltas ~(bounds : float array) ~(counts : int array)
+    (p : float) : float =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then Float.nan
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int total in
+    let n = Array.length bounds in
+    let rec go i cum =
+      if i > n then bounds.(n - 1)
+      else
+        let cum' = cum + counts.(i) in
+        if float_of_int cum' >= rank && counts.(i) > 0 then
+          let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+          let hi = if i = n then bounds.(n - 1) else bounds.(i) in
+          let inside = rank -. float_of_int cum in
+          lo +. ((hi -. lo) *. (inside /. float_of_int counts.(i)))
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
+(* bucket deltas between two histogram views (same instrument, so the
+   layouts match; anything else yields an empty delta) *)
+let hist_delta (a : Metrics.hist_view) (b : Metrics.hist_view) :
+    (float array * int array) option =
+  if Array.length a.Metrics.hv_counts <> Array.length b.Metrics.hv_counts then
+    None
+  else
+    Some
+      ( b.Metrics.hv_bounds,
+        Array.init
+          (Array.length b.Metrics.hv_counts)
+          (fun i ->
+            delta_int a.Metrics.hv_counts.(i) b.Metrics.hv_counts.(i)) )
+
+type window = {
+  w_ts : float;  (** wall clock at the window's end *)
+  w_dt_s : float;
+  w_queries : int;
+  w_qps : float;
+  w_errors : int;
+  w_error_rate : float;  (** errors / queries, 0 for an idle window *)
+  w_p50_s : float;  (** [nan] when the window saw no queries *)
+  w_p95_s : float;
+  w_p99_s : float;
+}
+
+let window_of (a : snap) (b : snap) : window =
+  let dt = Clock.ns_to_s (Int64.sub b.sn_mono a.sn_mono) in
+  let dt = Float.max 1e-9 dt in
+  let dcounter name =
+    match (counter_of a name, counter_of b name) with
+    | Some va, Some vb -> delta_int va vb
+    | _ -> 0
+  in
+  let queries = dcounter queries_name in
+  let errors = dcounter errors_name in
+  let p50, p95, p99 =
+    match (hist_of a latency_name, hist_of b latency_name) with
+    | Some ha, Some hb -> (
+        match hist_delta ha hb with
+        | Some (bounds, counts) ->
+            ( percentile_of_deltas ~bounds ~counts 50.0,
+              percentile_of_deltas ~bounds ~counts 95.0,
+              percentile_of_deltas ~bounds ~counts 99.0 )
+        | None -> (Float.nan, Float.nan, Float.nan))
+    | _ -> (Float.nan, Float.nan, Float.nan)
+  in
+  {
+    w_ts = b.sn_ts;
+    w_dt_s = dt;
+    w_queries = queries;
+    w_qps = float_of_int queries /. dt;
+    w_errors = errors;
+    w_error_rate =
+      (if queries = 0 then 0.0
+       else float_of_int errors /. float_of_int queries);
+    w_p50_s = p50;
+    w_p95_s = p95;
+    w_p99_s = p99;
+  }
+
+(** Derived windows, oldest first — one per consecutive snapshot pair.
+    [horizon_s] keeps only windows ending within that many (monotonic)
+    seconds of the newest snapshot. *)
+let windows ?horizon_s t : window list =
+  let ss = snaps t in
+  let newest_mono =
+    match List.rev ss with s :: _ -> s.sn_mono | [] -> 0L
+  in
+  let keep (b : snap) =
+    match horizon_s with
+    | None -> true
+    | Some h -> Clock.ns_to_s (Int64.sub newest_mono b.sn_mono) <= h
+  in
+  let rec pair = function
+    | a :: (b :: _ as rest) ->
+        if keep b then window_of a b :: pair rest else pair rest
+    | _ -> []
+  in
+  pair ss
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate over a horizon (the SLO monitor's view)                   *)
+(* ------------------------------------------------------------------ *)
+
+type agg = {
+  a_dt_s : float;  (** span between the bracketing snapshots *)
+  a_queries : int;
+  a_errors : int;
+  a_latency : (float array * int array) option;
+      (** query-latency bucket deltas over the horizon *)
+}
+
+(** Traffic between the oldest snapshot within [horizon_s] of the
+    newest and the newest itself; [None] until two snapshots exist in
+    the horizon. Cumulative series make this a single subtraction — no
+    per-window summing. *)
+let aggregate t ~(horizon_s : float) : agg option =
+  let ss = snaps t in
+  match List.rev ss with
+  | [] | [ _ ] -> None
+  | newest :: older ->
+      let inside =
+        List.filter
+          (fun s ->
+            Clock.ns_to_s (Int64.sub newest.sn_mono s.sn_mono) <= horizon_s)
+          older
+      in
+      (* [older] is newest-first, so the last survivor is the oldest *)
+      (match List.rev inside with
+      | [] -> None
+      | oldest :: _ ->
+          let dcounter name =
+            match (counter_of oldest name, counter_of newest name) with
+            | Some va, Some vb -> delta_int va vb
+            | _ -> 0
+          in
+          Some
+            {
+              a_dt_s =
+                Clock.ns_to_s (Int64.sub newest.sn_mono oldest.sn_mono);
+              a_queries = dcounter queries_name;
+              a_errors = dcounter errors_name;
+              a_latency =
+                (match
+                   (hist_of oldest latency_name, hist_of newest latency_name)
+                 with
+                | Some ha, Some hb -> hist_delta ha hb
+                | _ -> None);
+            })
+
+(** Fraction of a window's observations at or under [threshold]
+    seconds, interpolated inside the bucket containing the threshold.
+    [nan] on an empty window. *)
+let frac_le ~(bounds : float array) ~(counts : int array) (threshold : float) :
+    float =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then Float.nan
+  else begin
+    let n = Array.length bounds in
+    let acc = ref 0.0 in
+    (try
+       for i = 0 to n do
+         let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+         let hi = if i = n then bounds.(n - 1) else bounds.(i) in
+         if threshold >= hi then acc := !acc +. float_of_int counts.(i)
+         else begin
+           if threshold > lo && hi > lo then
+             acc :=
+               !acc
+               +. (float_of_int counts.(i) *. (threshold -. lo) /. (hi -. lo));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !acc /. float_of_int total
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let window_json (w : window) : string =
+  Printf.sprintf
+    "{\"ts\":%.3f,\"dt_s\":%s,\"queries\":%d,\"qps\":%s,\"errors\":%d,\
+     \"error_rate\":%s,\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s}"
+    w.w_ts
+    (Trace.float_json w.w_dt_s)
+    w.w_queries
+    (Trace.float_json w.w_qps)
+    w.w_errors
+    (Trace.float_json w.w_error_rate)
+    (Trace.float_json (w.w_p50_s *. 1e3))
+    (Trace.float_json (w.w_p95_s *. 1e3))
+    (Trace.float_json (w.w_p99_s *. 1e3))
+
+(** The ring as one JSON document — what [GET /timeseries.json]
+    serves. [horizon_s] (the [?window=..] query parameter) bounds how
+    far back the reported windows reach. *)
+let to_json ?horizon_s t : string =
+  let ws = windows ?horizon_s t in
+  Printf.sprintf
+    "{\"interval_s\":%s,\"capacity\":%d,\"samples\":%d,\"windows\":[%s]}\n"
+    (Trace.float_json (interval_s t))
+    (capacity t) (size t)
+    (String.concat "," (List.map window_json ws))

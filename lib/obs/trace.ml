@@ -111,6 +111,25 @@ let with_span t name f =
   enter t name;
   Fun.protect ~finally:(fun () -> exit_span t) f
 
+(* cross-domain propagation: the coordinator creates the child span (a
+   single-writer append onto its own open span) but does NOT push it on
+   the stack — the span is handed to a worker domain, which is then the
+   only mutator of that subtree until the pool's completion latch
+   publishes it back *)
+let open_child t name =
+  let sp = mk_span name in
+  let parent = current t in
+  parent.sp_children_rev <- sp :: parent.sp_children_rev;
+  sp
+
+let close_span sp = close sp
+
+(** A trace handle rooted at an already-attached [span], sharing
+    [trace_id]: what a worker domain carries so nested spans, span
+    attributes and the Gateway's [traceparent] stamp all land on the
+    per-shard child span instead of the coordinator's mutable stack. *)
+let attach ~trace_id span = { trace_id; root = span; stack = [ span ] }
+
 let add_attr t k v =
   let sp = current t in
   sp.sp_attrs_rev <- (k, v) :: sp.sp_attrs_rev

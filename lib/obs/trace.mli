@@ -49,6 +49,30 @@ val exit_span : t -> unit
     both return and raise. *)
 val with_span : t -> string -> (unit -> 'a) -> 'a
 
+(** {1 Cross-domain propagation}
+
+    The span stack of a {!t} is single-domain mutable state, so fan-out
+    over worker domains never shares it. Instead the coordinator calls
+    {!open_child} (appending a child to its innermost open span while
+    it alone owns the trace), hands the span to the worker — explicit
+    context passing, no TLS — and the worker wraps it in {!attach} to
+    get a private handle whose stack is rooted at that child. The
+    worker closes the span with {!close_span}; the pool's completion
+    latch orders those writes before the coordinator reads the tree. *)
+
+(** Create a child of the innermost open span WITHOUT opening it on the
+    stack — the caller hands it to another domain to close. *)
+val open_child : t -> string -> span
+
+(** Close a span handed out by {!open_child} (sets its end timestamp). *)
+val close_span : span -> unit
+
+(** A private trace handle rooted at [span] under an existing trace id —
+    spans entered through it nest under [span], and {!current} is
+    [span] itself, so a shard gateway's [traceparent] stamp carries the
+    per-shard child span id. *)
+val attach : trace_id:string -> span -> t
+
 (** Attach an attribute to the innermost open span. *)
 val add_attr : t -> string -> attr -> unit
 

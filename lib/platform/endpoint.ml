@@ -16,8 +16,9 @@
     [.hq.stats] (registry snapshot), [.hq.top[n]] (fingerprint table by
     total time), [.hq.slow[n]] (flight-recorder captures),
     [.hq.activity] (session registry), [.hq.traces[n]] (trace-export
-    ring), [.hq.plancache] (plan-cache contents), [.hq.shards] (shard
-    cluster layout and traffic) and [.hq.stats.reset] —
+    ring), [.hq.timeseries[n]] (time-series windows), [.hq.plancache]
+    (plan-cache contents), [.hq.shards] (shard cluster layout and
+    traffic) and [.hq.stats.reset] —
     so any QIPC client can introspect the proxy without touching the
     backend. *)
 
@@ -261,6 +262,35 @@ let traces_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
          ("trace", QV.syms (arr (fun x -> Obs.Export.trace_json x)));
        ])
 
+(** The newest [n] time-series windows as a Q table — the reply to
+    [.hq.timeseries[n]]. Each row is one inter-snapshot window with its
+    rate and latency percentiles; [nan] percentiles (idle windows)
+    surface as Q nulls. *)
+let timeseries_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
+  let ts = ctx.Obs.Ctx.timeseries in
+  ignore (Obs.Timeseries.tick ts);
+  let ws = Obs.Timeseries.windows ts in
+  let ws =
+    let len = List.length ws in
+    if len <= n then ws else List.filteri (fun i _ -> i >= len - n) ws
+  in
+  let arr f = Array.of_list (List.map f ws) in
+  let floats f = QV.floats (arr f) in
+  let longs f = QV.longs (arr f) in
+  QV.Table
+    (QV.table
+       [
+         ("ts", floats (fun w -> w.Obs.Timeseries.w_ts));
+         ("dt_s", floats (fun w -> w.Obs.Timeseries.w_dt_s));
+         ("queries", longs (fun w -> w.Obs.Timeseries.w_queries));
+         ("qps", floats (fun w -> w.Obs.Timeseries.w_qps));
+         ("errors", longs (fun w -> w.Obs.Timeseries.w_errors));
+         ("error_rate", floats (fun w -> w.Obs.Timeseries.w_error_rate));
+         ("p50_ms", floats (fun w -> w.Obs.Timeseries.w_p50_s *. 1e3));
+         ("p95_ms", floats (fun w -> w.Obs.Timeseries.w_p95_s *. 1e3));
+         ("p99_ms", floats (fun w -> w.Obs.Timeseries.w_p99_s *. 1e3));
+       ])
+
 (** The plan cache's entries as a Q table (most-hit first) — the reply
     to [.hq.plancache]. Empty when the cache is disabled. *)
 let plancache_table (pc : Hyperq.Plancache.t option) : QV.t =
@@ -286,14 +316,19 @@ let plancache_table (pc : Hyperq.Plancache.t option) : QV.t =
            QV.floats (arr (fun (e : PC.entry) -> e.PC.e_saved_s *. 1e3)) );
        ])
 
-(** Zero the metrics registry, the pgdb executor counters it mirrors,
-    and the fingerprint store, so benchmark runs can be bracketed
-    without restarting the proxy. The flight recorder keeps its
-    captures — they are forensic, not cumulative. *)
+(** Zero every observability plane at once: the metrics registry, the
+    pgdb executor counters it mirrors, the fingerprint store, the
+    flight-recorder ring, the trace-export ring and the time-series
+    ring — so benchmark runs can be bracketed without restarting the
+    proxy and no plane reports pre-reset state next to another plane's
+    post-reset state. *)
 let reset_stats (ctx : Obs.Ctx.t) : unit =
   M.reset_all ctx.Obs.Ctx.registry;
   Pgdb.Exec.reset_stats ();
-  Obs.Qstats.reset ctx.Obs.Ctx.qstats
+  Obs.Qstats.reset ctx.Obs.Ctx.qstats;
+  Obs.Recorder.reset ctx.Obs.Ctx.recorder;
+  Obs.Export.reset ctx.Obs.Ctx.export;
+  Obs.Timeseries.reset ctx.Obs.Ctx.timeseries
 
 (* [.hq.top] and [.hq.slow] take an optional bracketed count:
    [".hq.top[5]"], [".hq.top[]"], or bare [".hq.top"]. Returns [None]
@@ -357,6 +392,11 @@ let admin_reply (t : t) (text : string) : QV.t option =
       | Some n ->
           answered (fun () -> top_table t.obs (Option.value n ~default:10))
       | None -> (
+          match parse_bracket_arg ~prefix:".hq.timeseries" text with
+          | Some n ->
+              answered (fun () ->
+                  timeseries_table t.obs (Option.value n ~default:max_int))
+          | None -> (
           match parse_bracket_arg ~prefix:".hq.traces" text with
           | Some n ->
               answered (fun () ->
@@ -371,7 +411,7 @@ let admin_reply (t : t) (text : string) : QV.t option =
                         (Option.value n
                            ~default:
                              (Obs.Recorder.capacity t.obs.Obs.Ctx.recorder)))
-              | None -> None)))
+              | None -> None))))
 
 (* ------------------------------------------------------------------ *)
 (* Per-query observability                                             *)
@@ -421,6 +461,10 @@ let traced_process (t : t) (text : string) ~(bytes_in : int) :
   in
   let duration = Obs.Clock.seconds_since start in
   M.observe t.m.query_seconds duration;
+  (* in-band pacing: the ring keeps filling under load even when no
+     sampler thread runs (tick is a clock read when the interval has
+     not elapsed) *)
+  ignore (Obs.Timeseries.tick t.obs.Obs.Ctx.timeseries);
   Obs.Trace.add_root_attr tr "qipc_bytes_in" (Obs.Trace.Int bytes_in);
   let root = Obs.Ctx.finish_trace t.obs tr in
   (result, root, duration, trace_id)

@@ -60,6 +60,12 @@ let create ?(users = [ ("trader", "pwd") ])
            ~obs db)
     else None
   in
+  (* every periodic snapshot first refreshes the mirrored gauges (pgdb
+     executor, fingerprint store, recorder, statement cache) and — when
+     sharded — the pool saturation gauges, so the ring sees live values *)
+  Obs.Timeseries.on_sample obs.Obs.Ctx.timeseries (fun () ->
+      Endpoint.refresh_external_gauges obs;
+      Option.iter Shard.Cluster.refresh_saturation cluster);
   let plancache =
     if plan_cache then
       let evictions =
@@ -175,6 +181,8 @@ let admin_routes : (string * string list) list =
     ("/activity.json", [ "GET" ]);
     ("/plancache.json", [ "GET" ]);
     ("/shards.json", [ "GET" ]);
+    ("/timeseries.json", [ "GET" ]);
+    ("/slo.json", [ "GET" ]);
     ("/reset", [ "POST" ]);
   ]
 
@@ -204,17 +212,44 @@ let shards_json (t : t) : string =
         (Shard.Cluster.generation c)
         (String.concat "," entries)
 
+(** The time-series ring as JSON — what [GET /timeseries.json] serves.
+    [?window=30s] (any {!Obs.Slo.parse_duration_s} form) keeps only
+    windows ending within that horizon of the newest snapshot. *)
+let timeseries_json ?(window : string option) (t : t) : string =
+  let ts = t.obs.Obs.Ctx.timeseries in
+  ignore (Obs.Timeseries.tick ts);
+  let horizon_s = Option.bind window Obs.Slo.parse_duration_s in
+  Obs.Timeseries.to_json ?horizon_s ts
+
+(** The SLO monitor's verdict plus config as JSON — [GET /slo.json]. *)
+let slo_json (t : t) : string =
+  ignore (Obs.Timeseries.tick t.obs.Obs.Ctx.timeseries);
+  Obs.Slo.to_json t.obs.Obs.Ctx.slo
+
+(** [GET /healthz]: 200/"ok" while every SLO objective is within budget,
+    503 with the burn report as JSON while any objective burns on both
+    the fast and slow windows. With no objectives configured (the
+    default) it never degrades. *)
+let healthz (t : t) : Obs.Http.response =
+  ignore (Obs.Timeseries.tick t.obs.Obs.Ctx.timeseries);
+  let slo = t.obs.Obs.Ctx.slo in
+  let v = Obs.Slo.evaluate slo in
+  if v.Obs.Slo.v_healthy then Obs.Http.text 200 "ok\n"
+  else Obs.Http.json 503 (Obs.Slo.to_json slo)
+
 (** Route an admin-plane HTTP request: [GET /metrics] (Prometheus text),
-    [GET /healthz], [GET /stats.json], [GET /slow.json] (flight-recorder
-    JSONL), [GET /traces.json] (trace-export ring), [GET /logs.json]
-    (structured-log tail), [GET /activity.json] (session registry) and
+    [GET /healthz] (SLO-aware: 503 while burning), [GET /stats.json],
+    [GET /slow.json] (flight-recorder JSONL), [GET /traces.json]
+    (trace-export ring), [GET /logs.json] (structured-log tail),
+    [GET /activity.json] (session registry), [GET /timeseries.json]
+    (windowed rates and percentiles), [GET /slo.json] (burn report) and
     [POST /reset]. A known path with the wrong method gets a 405 with an
     [Allow] header. Pure — drive it through {!Obs.Http.handle} in tests,
     or hang it off {!Obs.Http.listen} in the server binary. *)
 let admin_handler (t : t) (req : Obs.Http.request) : Obs.Http.response =
   match (req.Obs.Http.meth, req.Obs.Http.path) with
   | "GET", "/metrics" -> Obs.Http.text 200 (stats_text t)
-  | "GET", "/healthz" -> Obs.Http.text 200 "ok\n"
+  | "GET", "/healthz" -> healthz t
   | "GET", "/stats.json" -> Obs.Http.json 200 (stats_json t)
   | "GET", "/slow.json" ->
       Obs.Http.ndjson 200 (Obs.Recorder.to_jsonl t.obs.Obs.Ctx.recorder)
@@ -226,6 +261,10 @@ let admin_handler (t : t) (req : Obs.Http.request) : Obs.Http.response =
       Obs.Http.json 200 (Obs.Sessions.to_json t.obs.Obs.Ctx.sessions)
   | "GET", "/plancache.json" -> Obs.Http.json 200 (plancache_json t)
   | "GET", "/shards.json" -> Obs.Http.json 200 (shards_json t)
+  | "GET", "/timeseries.json" ->
+      Obs.Http.json 200
+        (timeseries_json ?window:(Obs.Http.query_param req "window") t)
+  | "GET", "/slo.json" -> Obs.Http.json 200 (slo_json t)
   | "POST", "/reset" ->
       reset_stats t;
       Obs.Http.json 200 "{\"status\":\"reset\"}\n"

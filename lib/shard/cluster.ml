@@ -33,6 +33,10 @@ type shard = {
   s_db : Pgdb.Db.t;
   s_session : Pgdb.Db.session;
   s_backend : B.t;
+  s_obs : Obs.Ctx.t;
+      (** the shard's own trace-less ctx; the coordinator plants a
+          per-dispatch trace handle here so the shard gateway stamps
+          [traceparent] with the shard's child span id *)
   s_statements : int Atomic.t;  (** statements dispatched by the cluster *)
   s_sql_bytes : int Atomic.t;  (** SQL text bytes dispatched *)
   s_hist : M.histogram;  (** per-shard dispatch latency *)
@@ -48,6 +52,9 @@ type t = {
   c_routed : M.counter;  (** hq_shard_queries_total{route="router"} *)
   c_scattered : M.counter;  (** hq_shard_queries_total{route="scatter"} *)
   c_coordinated : M.counter;  (** hq_shard_queries_total{route="coordinator"} *)
+  c_queue_depth : M.gauge;  (** hq_shard_pool_queue_depth *)
+  c_busy : M.gauge;  (** hq_shard_pool_busy_workers *)
+  c_workers : M.gauge;  (** hq_shard_pool_workers (pool size, static) *)
   mutable c_closed : bool;
 }
 
@@ -67,7 +74,8 @@ let shard_obs (obs : Obs.Ctx.t) : Obs.Ctx.t =
   Obs.Ctx.create ~registry:obs.Obs.Ctx.registry ~events:obs.Obs.Ctx.events
     ~qstats:obs.Obs.Ctx.qstats ~recorder:obs.Obs.Ctx.recorder
     ~sessions:obs.Obs.Ctx.sessions ~log:obs.Obs.Ctx.log
-    ~export:obs.Obs.Ctx.export ()
+    ~export:obs.Obs.Ctx.export ~timeseries:obs.Obs.Ctx.timeseries
+    ~slo:obs.Obs.Ctx.slo ()
 
 let create ?(distributions = default_distributions) ?workers ~shards
     ?(make_backend =
@@ -119,18 +127,24 @@ let create ?(distributions = default_distributions) ?workers ~shards
   let mk_shard i sdb =
     let labels = [ ("shard", string_of_int i) ] in
     let session = Pgdb.Db.open_session sdb in
+    let sobs = shard_obs obs in
     {
       s_id = i;
       s_db = sdb;
       s_session = session;
-      s_backend = make_backend ~shard_id:i ~obs:(shard_obs obs) session;
+      s_backend = make_backend ~shard_id:i ~obs:sobs session;
+      s_obs = sobs;
       s_statements = Atomic.make 0;
       s_sql_bytes = Atomic.make 0;
       s_hist =
         M.histogram reg ~help:"Per-shard dispatch latency (seconds)" ~labels
           "hq_shard_dispatch_seconds";
-      s_pg_in = M.counter reg ~labels "hq_pgwire_bytes_in";
-      s_pg_out = M.counter reg ~labels "hq_pgwire_bytes_out";
+      s_pg_in =
+        M.counter reg ~help:"PG v3 bytes received from the backend" ~labels
+          "hq_pgwire_bytes_in";
+      s_pg_out =
+        M.counter reg ~help:"PG v3 bytes sent to the backend" ~labels
+          "hq_pgwire_bytes_out";
     }
   in
   let route_counter r =
@@ -138,14 +152,26 @@ let create ?(distributions = default_distributions) ?workers ~shards
       ~labels:[ ("route", r) ]
       "hq_shard_queries_total"
   in
+  let pool = Pool.create ~workers:(Option.value ~default:shards workers) in
+  let workers_g =
+    M.gauge reg ~help:"Shard dispatch pool size" "hq_shard_pool_workers"
+  in
+  M.set workers_g (float_of_int (Pool.size pool));
   {
     c_map = map;
     c_shards = Array.mapi mk_shard shard_dbs;
-    c_pool = Pool.create ~workers:(Option.value ~default:shards workers);
+    c_pool = pool;
     c_obs = obs;
     c_routed = route_counter "router";
     c_scattered = route_counter "scatter";
     c_coordinated = route_counter "coordinator";
+    c_queue_depth =
+      M.gauge reg ~help:"Shard dispatch jobs queued, not yet started"
+        "hq_shard_pool_queue_depth";
+    c_busy =
+      M.gauge reg ~help:"Shard dispatch workers currently executing"
+        "hq_shard_pool_busy_workers";
+    c_workers = workers_g;
     c_closed = false;
   }
 
@@ -153,28 +179,66 @@ let create ?(distributions = default_distributions) ?workers ~shards
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(** Mirror the pool's saturation counters into the overload monitor's
+    gauges. Called on every dispatch and from the time-series sampler's
+    pre-sample hook, so periodic snapshots see live congestion. *)
+let refresh_saturation (t : t) : unit =
+  M.set t.c_queue_depth (float_of_int (Pool.queue_depth t.c_pool));
+  M.set t.c_busy (float_of_int (Pool.busy_workers t.c_pool))
+
 (* run [sql] on the given shards through the domain pool (shard i is
    pinned to worker i mod workers) and collect row results in shard
-   order *)
+   order.
+
+   Trace propagation: while the coordinator's query trace is open, each
+   target gets a [shard_exec{shard=i}] child span, created HERE on the
+   coordinator (which still solely owns the trace tree) and carried
+   onto the worker domain by planting a private {!Obs.Trace.attach}
+   handle in the shard's own ctx — explicit context passing, no TLS.
+   The shard gateway reads that ctx for its [traceparent] comment, so
+   the SQL each shard logs carries the child span's id; the worker
+   closes the span and clears the handle before the pool's completion
+   latch hands the tree back to the coordinator. *)
 let fan_out (t : t) ~(targets : int list) (sql : string) :
     (B.result list, string) result =
   let slots = Array.make (Array.length t.c_shards) None in
+  let parent_trace = t.c_obs.Obs.Ctx.trace in
   let jobs =
     List.map
       (fun i ->
         let sh = t.c_shards.(i) in
+        let child =
+          match parent_trace with
+          | Some tr ->
+              let sp = Obs.Trace.open_child tr "shard_exec" in
+              Obs.Trace.set_span_attr sp "shard" (Obs.Trace.Int i);
+              sh.s_obs.Obs.Ctx.trace <-
+                Some (Obs.Trace.attach ~trace_id:(Obs.Trace.trace_id tr) sp);
+              Some sp
+          | None -> None
+        in
         ( i,
           fun () ->
-            Atomic.incr sh.s_statements;
-            ignore
-              (Atomic.fetch_and_add sh.s_sql_bytes (String.length sql));
-            let start = Obs.Clock.now_ns () in
-            let r = B.exec sh.s_backend sql in
-            M.observe sh.s_hist (Obs.Clock.seconds_since start);
-            slots.(i) <- Some r ))
+            Fun.protect
+              ~finally:(fun () ->
+                match child with
+                | Some sp ->
+                    Obs.Trace.close_span sp;
+                    sh.s_obs.Obs.Ctx.trace <- None
+                | None -> ())
+              (fun () ->
+                Atomic.incr sh.s_statements;
+                ignore
+                  (Atomic.fetch_and_add sh.s_sql_bytes (String.length sql));
+                let start = Obs.Clock.now_ns () in
+                let r = B.exec sh.s_backend sql in
+                M.observe sh.s_hist (Obs.Clock.seconds_since start);
+                slots.(i) <- Some r) ))
       targets
   in
+  refresh_saturation t;
   Pool.run t.c_pool jobs;
+  refresh_saturation t;
   let rec collect acc = function
     | [] -> Ok (List.rev acc)
     | i :: rest -> (
@@ -197,7 +261,18 @@ let all_shards t = List.init (Array.length t.c_shards) Fun.id
 let shard_sql (rel : I.rel) : string =
   Hyperq.Serializer.serialize_to_sql ~tolerate_eq2:true rel
 
+(* reassembly gets its own span so the exported tree separates shard
+   time from coordinator merge time *)
+let gathering (t : t) (f : unit -> 'a) : 'a =
+  match t.c_obs.Obs.Ctx.trace with
+  | Some tr -> Obs.Trace.with_span tr "gather" f
+  | None -> f ()
+
 let execute (t : t) (plan : Router.plan) : (B.result, string) result =
+  (match t.c_obs.Obs.Ctx.trace with
+  | Some tr ->
+      Obs.Trace.add_attr tr "shard_route" (Obs.Trace.Str (Router.plan_kind plan))
+  | None -> ());
   try
     match plan with
     | Router.Single (shard, rel) -> (
@@ -208,18 +283,18 @@ let execute (t : t) (plan : Router.plan) : (B.result, string) result =
         | Error e -> Error e)
     | Router.Concat rel -> (
         match fan_out t ~targets:(all_shards t) (shard_sql rel) with
-        | Ok rs -> Ok (Gather.concat rs)
+        | Ok rs -> Ok (gathering t (fun () -> Gather.concat rs))
         | Error e -> Error e)
     | Router.Merge (rel, keys) -> (
         match fan_out t ~targets:(all_shards t) (shard_sql rel) with
-        | Ok rs -> Gather.merge ~keys rs
+        | Ok rs -> gathering t (fun () -> Gather.merge ~keys rs)
         | Error e -> Error e)
     | Router.PartialAgg plan -> (
         match
           fan_out t ~targets:(all_shards t)
             (shard_sql plan.Router.a_shard_rel)
         with
-        | Ok rs -> Gather.combine plan rs
+        | Ok rs -> gathering t (fun () -> Gather.combine plan rs)
         | Error e -> Error e)
   with e -> Error (Printexc.to_string e)
 
@@ -419,6 +494,11 @@ type shard_info = {
       (** PG v3 wire bytes through the shard's gateway when the backend
           is wire-metered, otherwise the SQL text bytes dispatched *)
 }
+
+(** Per-shard backends in shard order (tests reach through this to read
+    each shard's [sql_log]). *)
+let backends (t : t) : B.t array =
+  Array.map (fun sh -> sh.s_backend) t.c_shards
 
 let shards_info (t : t) : shard_info list =
   Array.to_list

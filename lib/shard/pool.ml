@@ -26,9 +26,15 @@ type t = {
   latch_cond : Condition.t;
   mutable pending : int;
   mutable first_exn : exn option;
+  (* saturation counters, readable from any domain without touching the
+     queue locks: jobs queued-but-not-started and jobs mid-execution —
+     what the overload monitor's pool gauges report *)
+  queued : int Atomic.t;
+  busy : int Atomic.t;
 }
 
-let worker_loop (w : worker) () =
+let worker_loop ~(queued : int Atomic.t) ~(busy : int Atomic.t) (w : worker)
+    () =
   let rec next () =
     Mutex.lock w.w_mu;
     let rec wait () =
@@ -42,7 +48,9 @@ let worker_loop (w : worker) () =
     else begin
       let job = Queue.pop w.w_queue in
       Mutex.unlock w.w_mu;
-      job ();
+      Atomic.decr queued;
+      Atomic.incr busy;
+      Fun.protect ~finally:(fun () -> Atomic.decr busy) job;
       next ()
     end
   in
@@ -59,17 +67,27 @@ let create ~(workers : int) : t =
           w_stop = false;
         })
   in
+  let queued = Atomic.make 0 in
+  let busy = Atomic.make 0 in
   {
     workers = ws;
-    domains = Array.map (fun w -> Domain.spawn (worker_loop w)) ws;
+    domains = Array.map (fun w -> Domain.spawn (worker_loop ~queued ~busy w)) ws;
     run_mu = Mutex.create ();
     latch_mu = Mutex.create ();
     latch_cond = Condition.create ();
     pending = 0;
     first_exn = None;
+    queued;
+    busy;
   }
 
 let size t = Array.length t.workers
+
+(** Jobs submitted but not yet started — the pool's queue depth. *)
+let queue_depth t = Stdlib.max 0 (Atomic.get t.queued)
+
+(** Workers currently executing a job. *)
+let busy_workers t = Stdlib.max 0 (Atomic.get t.busy)
 
 (** Run every [(worker_index, job)] pair to completion. Jobs pinned to
     the same worker run in submission order; distinct workers run
@@ -97,6 +115,7 @@ let run (t : t) (jobs : (int * job) list) : unit =
               if t.pending = 0 then Condition.broadcast t.latch_cond;
               Mutex.unlock t.latch_mu
             in
+            Atomic.incr t.queued;
             Mutex.lock w.w_mu;
             Queue.push wrapped w.w_queue;
             Condition.signal w.w_cond;

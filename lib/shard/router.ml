@@ -70,6 +70,14 @@ type plan =
 
 type route = Run of plan | Coordinator of string
 
+(** Short label of a plan's gather strategy — stamped onto the query
+    trace so per-trace skew analysis can group by route class. *)
+let plan_kind = function
+  | Single _ -> "single"
+  | Merge _ -> "merge"
+  | Concat _ -> "concat"
+  | PartialAgg _ -> "partial_agg"
+
 (* ------------------------------------------------------------------ *)
 (* Distribution-key pinning                                            *)
 (* ------------------------------------------------------------------ *)

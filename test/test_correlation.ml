@@ -244,6 +244,102 @@ let test_hq_traces_in_band () =
   P.Client.close c
 
 (* ------------------------------------------------------------------ *)
+(* Cross-shard trace propagation                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec collect_named name (sp : Tr.span) acc =
+  let acc = if Tr.name sp = name then sp :: acc else acc in
+  List.fold_left (fun a c -> collect_named name c a) acc (Tr.children sp)
+
+let shard_attr (sp : Tr.span) : int =
+  match List.assoc_opt "shard" (Tr.attrs sp) with
+  | Some (Tr.Int i) -> i
+  | _ -> Alcotest.fail "shard_exec span must carry a shard attribute"
+
+let test_cross_shard_trace () =
+  let shards = 4 in
+  let sink, read = Obs.Events.memory () in
+  let obs = Obs.Ctx.create ~events:sink () in
+  Obs.Log.set_level obs.Obs.Ctx.log Obs.Log.Debug;
+  let p = P.create ~obs ~shards (make_db ()) in
+  let c = P.Client.connect p in
+  (* a grouped aggregate is shard-safe and scatters to every shard *)
+  ignore (ok (P.Client.query c "select mx:max Price by Symbol from trades"));
+  let exported =
+    match Obs.Export.recent obs.Obs.Ctx.export 1 with
+    | [ e ] -> e
+    | es -> Alcotest.failf "expected one exported trace, got %d" (List.length es)
+  in
+  let trace_id = exported.Obs.Export.x_trace_id in
+  let root = exported.Obs.Export.x_root in
+  (* (a) the coordinator's span tree holds one shard_exec child per
+     shard, under the execute stage, each tagged with its shard index *)
+  let shard_spans = collect_named "shard_exec" root [] in
+  check tint "one shard_exec span per shard" shards (List.length shard_spans);
+  let by_shard =
+    List.sort compare (List.map (fun sp -> (shard_attr sp, Tr.span_id sp)) shard_spans)
+  in
+  check tbool "every shard index appears once" true
+    (List.map fst by_shard = List.init shards Fun.id);
+  List.iter
+    (fun sp ->
+      check tbool "worker closed the span" true (Tr.duration_ns sp >= 0L);
+      check tint "span id is 16 hex chars" 16 (String.length (Tr.span_id sp));
+      check tbool "span id is hex" true (is_hex (Tr.span_id sp)))
+    shard_spans;
+  (* gather/merge got its own span under the same trace *)
+  check tbool "gather span recorded" true (collect_named "gather" root [] <> []);
+  (* (b) each shard's dispatched SQL carries a traceparent naming the
+     trace AND that shard's own child span id *)
+  let backends =
+    match P.cluster p with
+    | Some cl -> Shard.Cluster.backends cl
+    | None -> Alcotest.fail "platform must be sharded"
+  in
+  List.iter
+    (fun (shard, span_id) ->
+      let expected =
+        Printf.sprintf "/* traceparent='00-%s-%s-01' */" trace_id span_id
+      in
+      let log = !(backends.(shard).Hyperq.Backend.sql_log) in
+      check tbool
+        (Printf.sprintf "shard %d sql_log names its own shard_exec span" shard)
+        true
+        (List.exists (fun sql -> contains sql expected) log))
+    by_shard;
+  (* (c) shard-side structured logs correlate on the same trace id: the
+     gateway's Debug dispatch line is emitted on the worker domain
+     through the attached per-shard trace handle *)
+  let dispatch_logs =
+    List.filter (fun l -> contains l "backend dispatch") (read ())
+  in
+  check tbool "shard dispatch logs carry the coordinator's trace id" true
+    (List.exists
+       (fun l -> contains l (Printf.sprintf "\"trace_id\":\"%s\"" trace_id))
+       dispatch_logs);
+  (* (d) /traces.json renders the full coordinator -> shard tree *)
+  let tj = H.handle (P.admin_handler p) "GET /traces.json HTTP/1.1\r\n\r\n" in
+  check tbool "traces.json 200" true (contains tj "HTTP/1.1 200");
+  check tbool "traces.json names the trace" true
+    (contains tj (Printf.sprintf "\"traceID\":\"%s\"" trace_id));
+  check tbool "traces.json has the shard spans" true
+    (contains tj "\"operationName\":\"shard_exec\"");
+  List.iter
+    (fun (_, span_id) ->
+      check tbool "traces.json lists each shard span id" true
+        (contains tj (Printf.sprintf "\"spanID\":\"%s\"" span_id)))
+    by_shard;
+  (* (e) .hq.traces serves the same tree in band *)
+  (match ok (P.Client.query c ".hq.traces[1]") with
+  | QV.Table tb ->
+      let traces = column_syms tb "trace" in
+      check tbool ".hq.traces embeds shard_exec spans" true
+        (contains traces.(0) "shard_exec")
+  | v -> Alcotest.failf "expected a table, got %s" (Qvalue.Qprint.to_string v));
+  P.Client.close c;
+  P.shutdown p
+
+(* ------------------------------------------------------------------ *)
 (* Backend latency histogram                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -276,6 +372,11 @@ let () =
       ( "traces",
         [
           Alcotest.test_case ".hq.traces in band" `Quick test_hq_traces_in_band;
+        ] );
+      ( "cross-shard",
+        [
+          Alcotest.test_case "scatter/gather under one trace" `Quick
+            test_cross_shard_trace;
         ] );
       ( "gateway",
         [

@@ -463,6 +463,12 @@ let test_hq_stats_reset () =
     M.counter_value (M.counter reg "hq_queries_total")
   in
   check tint "counted before reset" 4 (queries_total ());
+  check tbool "recorder holds captures before reset" true
+    (Obs.Recorder.size (P.obs p).Obs.Ctx.recorder > 0);
+  check tbool "export ring holds traces before reset" true
+    (Obs.Export.size (P.obs p).Obs.Ctx.export > 0);
+  check tbool "time-series ring sampled before reset" true
+    (Obs.Timeseries.size (P.obs p).Obs.Ctx.timeseries > 0);
   (match ok (P.Client.query c ".hq.stats.reset") with
   | QV.Atom (QA.Sym "reset") -> ()
   | v -> Alcotest.failf "expected `reset, got %s" (Qvalue.Qprint.to_string v));
@@ -470,6 +476,15 @@ let test_hq_stats_reset () =
   check tint "fingerprint store zeroed" 0 (QS.size (P.obs p).Obs.Ctx.qstats);
   check tbool "histograms zeroed" true
     (M.hist_count (M.histogram reg "hq_query_seconds") = 0);
+  (* the reset is atomic across every plane: the flight-recorder ring,
+     the trace-export ring and the time-series ring clear with it, so no
+     plane reports pre-reset state next to another's post-reset state *)
+  check tint "flight recorder cleared" 0
+    (Obs.Recorder.size (P.obs p).Obs.Ctx.recorder);
+  check tint "trace-export ring cleared" 0
+    (Obs.Export.size (P.obs p).Obs.Ctx.export);
+  check tint "time-series ring cleared" 0
+    (Obs.Timeseries.size (P.obs p).Obs.Ctx.timeseries);
   (* the proxy keeps serving and counting after a reset *)
   ignore (ok (P.Client.query c "select Price from trades"));
   check tint "counting resumes from zero" 1 (queries_total ())
@@ -549,6 +564,91 @@ let test_admin_endpoint_routes () =
   check tbool "405 for GET /reset" true (contains get_reset "HTTP/1.1 405");
   check tbool "reset 405 allows POST" true (contains get_reset "Allow: POST")
 
+(* the cluster observability plane over HTTP: hardened headers, HELP/
+   TYPE on per-shard families, windowed time series, and the SLO-aware
+   healthz degrading to 503 under a latency spike and recovering *)
+let test_cluster_observability_http () =
+  let obs = Obs.Ctx.create () in
+  let p = P.create ~obs ~shards:2 (make_db ()) in
+  Fun.protect ~finally:(fun () -> P.shutdown p) @@ fun () ->
+  let c = P.Client.connect p in
+  (* interval 0: every query's in-band tick snapshots the ring, so 100
+     queries produce plenty of windows *)
+  Obs.Timeseries.set_interval obs.Obs.Ctx.timeseries 0.0;
+  for _ = 1 to 100 do
+    ignore (ok (P.Client.query c "select mx:max Price by Symbol from trades"))
+  done;
+  let get path =
+    H.handle (P.admin_handler p)
+      (Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path)
+  in
+  (* every admin response carries the hardened headers *)
+  let metrics = get "/metrics" in
+  check tbool "Cache-Control: no-store" true
+    (contains metrics "Cache-Control: no-store");
+  check tbool "Server: hyperq" true (contains metrics "Server: hyperq");
+  (* per-shard families carry HELP/TYPE headers even though the shard
+     series are registered with labels (and some without help text) *)
+  check tbool "# TYPE for the per-shard histogram family" true
+    (contains metrics "# TYPE hq_shard_dispatch_seconds histogram");
+  check tbool "# HELP for the per-shard histogram family" true
+    (contains metrics "# HELP hq_shard_dispatch_seconds");
+  check tbool "# TYPE for the shard wire counters" true
+    (contains metrics "# TYPE hq_pgwire_bytes_in counter");
+  check tbool "per-shard series labelled" true
+    (contains metrics "hq_shard_dispatch_seconds_bucket{shard=\"0\"");
+  check tbool "pool gauges exported" true
+    (contains metrics "hq_shard_pool_workers");
+  (* /timeseries.json: >= 2 windows, non-zero qps, finite p99 *)
+  let ws = Obs.Timeseries.windows obs.Obs.Ctx.timeseries in
+  let live =
+    List.filter
+      (fun w ->
+        w.Obs.Timeseries.w_qps > 0.0
+        && Float.is_finite w.Obs.Timeseries.w_p99_s)
+      ws
+  in
+  check tbool "at least two live windows" true (List.length live >= 2);
+  let tsj = get "/timeseries.json" in
+  check tbool "timeseries.json 200" true (contains tsj "HTTP/1.1 200");
+  check tbool "timeseries.json has windows" true (contains tsj "\"windows\":[");
+  check tbool "timeseries.json reports queries" true
+    (contains tsj "\"queries\":1");
+  (* ?window= filters to the given horizon; a bogus value is ignored *)
+  let narrow = get "/timeseries.json?window=30s" in
+  check tbool "windowed query 200" true (contains narrow "HTTP/1.1 200");
+  let bogus = get "/timeseries.json?window=bogus" in
+  check tbool "bogus window ignored" true (contains bogus "HTTP/1.1 200");
+  (* healthz: healthy without objectives... *)
+  check tbool "healthz healthy" true (contains (get "/healthz") "HTTP/1.1 200");
+  (* ...then a latency SLO no real query can meet: everything burns *)
+  (match Obs.Slo.parse_spec "p99<1us,fast=50ms,slow=50ms" with
+  | Ok cfg -> Obs.Slo.configure obs.Obs.Ctx.slo cfg
+  | Error m -> Alcotest.failf "spec: %s" m);
+  ignore (ok (P.Client.query c "select mx:max Price by Symbol from trades"));
+  ignore (ok (P.Client.query c "select mx:max Price by Symbol from trades"));
+  let hz = get "/healthz" in
+  check tbool "healthz degrades to 503" true (contains hz "HTTP/1.1 503");
+  check tbool "503 body carries the burn reason" true
+    (contains hz "\"healthy\":false" && contains hz "\"burning\":true");
+  check tbool "503 names the objective" true (contains hz "p99<1us");
+  let sj = get "/slo.json" in
+  check tbool "slo.json reports the burn" true
+    (contains sj "\"healthy\":false");
+  (* recovery: the spike ages out of the 50ms windows *)
+  Unix.sleepf 0.06;
+  ignore (Obs.Timeseries.tick obs.Obs.Ctx.timeseries);
+  Unix.sleepf 0.06;
+  let hz2 = get "/healthz" in
+  check tbool "healthz recovers" true (contains hz2 "HTTP/1.1 200");
+  (* in-band .hq.timeseries mirrors the HTTP plane *)
+  (match ok (P.Client.query c ".hq.timeseries[5]") with
+  | QV.Table tb ->
+      check tbool "bracket arg bounds rows" true (QV.table_length tb <= 5);
+      check tbool "has rows" true (QV.table_length tb > 0)
+  | v -> Alcotest.failf "expected a table, got %s" (Qvalue.Qprint.to_string v));
+  P.Client.close c
+
 let test_default_buckets_log_scale () =
   let b = M.default_buckets in
   check tbool "ascending" true
@@ -613,6 +713,8 @@ let () =
           Alcotest.test_case ".hq.stats.reset" `Quick test_hq_stats_reset;
           Alcotest.test_case "HTTP admin endpoint routes" `Quick
             test_admin_endpoint_routes;
+          Alcotest.test_case "cluster observability plane" `Quick
+            test_cluster_observability_http;
           Alcotest.test_case "log-scale default buckets" `Quick
             test_default_buckets_log_scale;
         ] );

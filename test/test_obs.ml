@@ -437,6 +437,163 @@ let test_trace_export_ring () =
   check tbool "span count present" true (contains "\"spanCount\":2")
 
 (* ------------------------------------------------------------------ *)
+(* Time-series ring                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module TS = Obs.Timeseries
+
+let has_sub hay needle =
+  let re = Str.regexp_string needle in
+  try
+    ignore (Str.search_forward re hay 0);
+    true
+  with Not_found -> false
+
+let test_timeseries_windows () =
+  let reg = M.create () in
+  let q = M.counter reg "hq_queries_total" in
+  let e = M.counter reg "hq_query_errors_total" in
+  let h = M.histogram reg "hq_query_seconds" in
+  (* interval 0: every tick/sample takes a snapshot — deterministic *)
+  let ts = TS.create ~interval_s:0.0 ~capacity:8 reg in
+  TS.sample ts;
+  for _ = 1 to 100 do
+    M.inc q;
+    M.observe h 0.004
+  done;
+  M.inc e;
+  TS.sample ts;
+  (match TS.windows ts with
+  | [ w ] ->
+      check tint "queries delta" 100 w.TS.w_queries;
+      check tint "errors delta" 1 w.TS.w_errors;
+      check tbool "qps positive" true (w.TS.w_qps > 0.0);
+      check tbool "error rate is errors/queries" true
+        (Float.abs (w.TS.w_error_rate -. 0.01) < 1e-9);
+      check tbool "p99 finite" true (Float.is_finite w.TS.w_p99_s);
+      check tbool "p50 lands near the observations" true
+        (w.TS.w_p50_s > 0.0 && w.TS.w_p50_s < 0.1)
+  | ws -> Alcotest.failf "expected 1 window, got %d" (List.length ws));
+  (* an idle window reports zero traffic and nan percentiles *)
+  TS.sample ts;
+  (match List.rev (TS.windows ts) with
+  | idle :: _ ->
+      check tint "idle window queries" 0 idle.TS.w_queries;
+      check tbool "idle percentile is nan" true (Float.is_nan idle.TS.w_p99_s);
+      check tfloat "idle error rate" 0.0 idle.TS.w_error_rate
+  | [] -> Alcotest.fail "expected windows");
+  (* nan percentiles must render as JSON null, not "nan" *)
+  let js = TS.to_json ts in
+  check tbool "json carries windows" true (has_sub js "\"windows\":[");
+  check tbool "nan renders as null" true (has_sub js "\"p99_ms\":null");
+  check tbool "json never prints bare nan" false (has_sub js ":nan")
+
+let test_timeseries_ring_and_reset () =
+  let reg = M.create () in
+  let ts = TS.create ~interval_s:0.0 ~capacity:4 reg in
+  for _ = 1 to 10 do
+    TS.sample ts
+  done;
+  check tint "ring capped at capacity" 4 (TS.size ts);
+  check tint "samples_total keeps counting" 10 (TS.samples_total ts);
+  check tint "windows pair stored snapshots" 3 (List.length (TS.windows ts));
+  TS.reset ts;
+  check tint "reset empties the ring" 0 (TS.size ts);
+  check tint "samples_total survives reset" 10 (TS.samples_total ts);
+  (* a hook registered before reset still runs after it *)
+  let fired = ref 0 in
+  TS.on_sample ts (fun () -> incr fired);
+  TS.sample ts;
+  check tint "hooks survive reset" 1 !fired
+
+let test_percentile_delta_math () =
+  let bounds = [| 0.001; 0.01; 0.1 |] in
+  (* 90 observations in (0.001, 0.01], 10 in the +Inf bucket *)
+  let counts = [| 0; 90; 0; 10 |] in
+  let p50 = TS.percentile_of_deltas ~bounds ~counts 50.0 in
+  check tbool "p50 interpolates inside its bucket" true
+    (p50 > 0.001 && p50 <= 0.01);
+  let p99 = TS.percentile_of_deltas ~bounds ~counts 99.0 in
+  check tfloat "overflow clamps to the top finite bound" 0.1 p99;
+  check tbool "empty deltas give nan" true
+    (Float.is_nan
+       (TS.percentile_of_deltas ~bounds ~counts:[| 0; 0; 0; 0 |] 50.0));
+  check tbool "frac_le at a bucket edge" true
+    (Float.abs (TS.frac_le ~bounds ~counts 0.01 -. 0.9) < 1e-9);
+  check tbool "frac_le above all bounds is 1" true
+    (Float.abs (TS.frac_le ~bounds ~counts 1.0 -. 1.0) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* SLO monitor                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_slo_spec_parsing () =
+  (match Obs.Slo.parse_spec "p99<50ms,err<1%,fast=5s,slow=60s,burn=2" with
+  | Ok cfg ->
+      check tint "two objectives" 2 (List.length cfg.Obs.Slo.objectives);
+      check tfloat "fast window" 5.0 cfg.Obs.Slo.fast_s;
+      check tfloat "slow window" 60.0 cfg.Obs.Slo.slow_s;
+      check tfloat "burn threshold" 2.0 cfg.Obs.Slo.burn_threshold;
+      (match List.assoc "p99<50ms" cfg.Obs.Slo.objectives with
+      | Obs.Slo.Latency { l_threshold_s; l_budget } ->
+          check tbool "threshold is 50ms" true
+            (Float.abs (l_threshold_s -. 0.05) < 1e-12);
+          check tbool "p99 budget is 1%" true
+            (Float.abs (l_budget -. 0.01) < 1e-12)
+      | _ -> Alcotest.fail "p99 objective must be a latency objective");
+      (match List.assoc "err<1%" cfg.Obs.Slo.objectives with
+      | Obs.Slo.Error_rate { e_budget } ->
+          check tbool "error budget is 1%" true
+            (Float.abs (e_budget -. 0.01) < 1e-12)
+      | _ -> Alcotest.fail "err objective must be an error-rate objective")
+  | Error m -> Alcotest.failf "spec must parse: %s" m);
+  (match Obs.Slo.parse_spec "fast=5s" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a spec with no objectives must be rejected");
+  match Obs.Slo.parse_spec "p99<oops" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a bad duration must be rejected"
+
+let test_slo_burn_and_recovery () =
+  let reg = M.create () in
+  let q = M.counter reg "hq_queries_total" in
+  let h = M.histogram reg "hq_query_seconds" in
+  let ts = TS.create ~interval_s:0.0 ~capacity:64 reg in
+  let cfg =
+    match Obs.Slo.parse_spec "p99<1ms,fast=50ms,slow=50ms" with
+    | Ok c -> c
+    | Error m -> Alcotest.failf "spec: %s" m
+  in
+  let slo = Obs.Slo.create ~config:cfg ts in
+  TS.sample ts;
+  check tbool "idle is healthy" true (Obs.Slo.evaluate slo).Obs.Slo.v_healthy;
+  (* latency spike: every query lands far above the 1ms threshold *)
+  for _ = 1 to 50 do
+    M.inc q;
+    M.observe h 0.05
+  done;
+  TS.sample ts;
+  let v = Obs.Slo.evaluate slo in
+  check tbool "spike burns both windows" false v.Obs.Slo.v_healthy;
+  (match v.Obs.Slo.v_burns with
+  | [ b ] ->
+      check tbool "fast burn over threshold" true (b.Obs.Slo.b_fast_burn >= 1.0);
+      check tbool "objective marked burning" true b.Obs.Slo.b_burning
+  | bs -> Alcotest.failf "expected 1 burn entry, got %d" (List.length bs));
+  check tbool "degradations counted" true (Obs.Slo.degraded_total slo >= 1);
+  (* recovery: the spike ages out of the 50ms windows, and fresh fast
+     traffic shows a healthy window *)
+  Unix.sleepf 0.06;
+  TS.sample ts;
+  for _ = 1 to 50 do
+    M.inc q;
+    M.observe h 0.0001
+  done;
+  TS.sample ts;
+  let v = Obs.Slo.evaluate slo in
+  check tbool "recovers once the spike ages out" true v.Obs.Slo.v_healthy
+
+(* ------------------------------------------------------------------ *)
 (* Handshake hardening                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -515,6 +672,21 @@ let () =
           Alcotest.test_case "id generation and traceparent" `Quick
             test_trace_ids;
           Alcotest.test_case "export ring" `Quick test_trace_export_ring;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "windows from snapshot deltas" `Quick
+            test_timeseries_windows;
+          Alcotest.test_case "ring wrap and reset" `Quick
+            test_timeseries_ring_and_reset;
+          Alcotest.test_case "percentile-from-deltas math" `Quick
+            test_percentile_delta_math;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_slo_spec_parsing;
+          Alcotest.test_case "burn and recovery" `Quick
+            test_slo_burn_and_recovery;
         ] );
       ( "handshake",
         [

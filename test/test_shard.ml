@@ -504,6 +504,89 @@ let test_sharded_routes_not_cached () =
       check tint "no template installed for the sharded route" 0 templates;
       P.Client.close c)
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent admin reads under a sharded workload                     *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let re = Str.regexp_string needle in
+  try
+    ignore (Str.search_forward re hay 0);
+    true
+  with Not_found -> false
+
+(* four domains hammer the scrape surfaces (Prometheus text, the
+   time-series ring, healthz, raw registry snapshots) while the sharded
+   workload runs and answers in-band admin queries: every response must
+   be well-formed (no torn reads, no exceptions) and the headline
+   counter must never move backwards *)
+let test_concurrent_admin_reads () =
+  with_platform ~shards:2 (make_db ()) (fun p ->
+      let stop = Atomic.make false in
+      let failures = Atomic.make 0 in
+      let fail_mu = Mutex.create () in
+      let fail_msg = ref "" in
+      let record msg =
+        Atomic.incr failures;
+        Mutex.lock fail_mu;
+        if !fail_msg = "" then fail_msg := msg;
+        Mutex.unlock fail_mu
+      in
+      let http req () =
+        while not (Atomic.get stop) do
+          match Obs.Http.handle (P.admin_handler p) req with
+          | out ->
+              if not (contains out "HTTP/1.1 200") then
+                record
+                  ("non-200 reply: "
+                  ^ String.sub out 0 (min 60 (String.length out)))
+          | exception e -> record (Printexc.to_string e)
+        done
+      in
+      let monotone () =
+        let last = ref 0.0 in
+        let reg = (P.obs p).Obs.Ctx.registry in
+        while not (Atomic.get stop) do
+          match
+            List.find_opt
+              (fun s -> s.M.s_name = "hq_queries_total")
+              (M.snapshot reg)
+          with
+          | Some s ->
+              if s.M.s_value < !last then record "hq_queries_total decreased";
+              last := s.M.s_value
+          | None -> ()
+          | exception e -> record (Printexc.to_string e)
+        done
+      in
+      let domains =
+        List.map Domain.spawn
+          [
+            http "GET /metrics HTTP/1.1\r\n\r\n";
+            http "GET /timeseries.json?window=30s HTTP/1.1\r\n\r\n";
+            http "GET /healthz HTTP/1.1\r\n\r\n";
+            monotone;
+          ]
+      in
+      let c = P.Client.connect p in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          List.iter Domain.join domains;
+          P.Client.close c)
+        (fun () ->
+          for i = 1 to 200 do
+            ignore
+              (ok (P.Client.query c "select mx:max Price by Symbol from trades"));
+            if i mod 20 = 0 then begin
+              ignore (ok (P.Client.query c ".hq.stats"));
+              ignore (ok (P.Client.query c ".hq.timeseries[]"))
+            end
+          done);
+      check tint
+        (Printf.sprintf "no concurrent-read failures (%s)" !fail_msg)
+        0 (Atomic.get failures))
+
 let () =
   Alcotest.run "shard"
     [
@@ -535,5 +618,10 @@ let () =
             test_plan_cache_shard_generation;
           Alcotest.test_case "sharded routes not cached" `Quick
             test_sharded_routes_not_cached;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "admin reads under sharded load" `Quick
+            test_concurrent_admin_reads;
         ] );
     ]
