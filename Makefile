@@ -9,9 +9,11 @@ all:
 # shards under the simulated remote-latency model, zero divergence vs
 # the unsharded engine) + the cluster-observability gate (per-shard
 # child spans, traceparent stamping, ring sampling and SLO evaluation
-# cost <= 2.5% of scatter latency on a 2-shard cluster); the
-# introspection suite exercises the HTTP admin endpoint through its
-# pure handler, so no curl / open port needed
+# cost <= 2.5% of scatter latency on a 2-shard cluster) + the explain
+# gate (per-operator EXPLAIN/ANALYZE instrumentation costs <= 2.5% of
+# mean query latency while collection is off); the introspection suite
+# exercises the HTTP admin endpoint through its pure handler, so no
+# curl / open port needed
 ci:
 	dune build @all
 	dune runtest
@@ -19,6 +21,7 @@ ci:
 	dune exec bench/main.exe -- plan_cache_gate
 	dune exec bench/main.exe -- shard_gate
 	dune exec bench/main.exe -- obs_gate
+	dune exec bench/main.exe -- explain_gate
 
 # quick overhead gates only (exit 1 on regression)
 bench-smoke:
@@ -26,6 +29,7 @@ bench-smoke:
 	dune exec bench/main.exe -- plan_cache_gate
 	dune exec bench/main.exe -- shard_gate
 	dune exec bench/main.exe -- obs_gate
+	dune exec bench/main.exe -- explain_gate
 
 check:
 	dune build @dev-check

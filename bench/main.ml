@@ -22,6 +22,8 @@
      shard_gate      Quick shard gate for `make ci` (exit 1 on fail)
      obs_cluster     Cluster-observability overhead on a 2-shard cluster
      obs_gate        Quick obs_cluster gate for `make ci` (exit 1 on fail)
+     explain         EXPLAIN/ANALYZE collection overhead off/sampled/always
+     explain_gate    Quick explain gate for `make ci` (exit 1 on fail)
      micro           Bechamel micro-benchmarks of the translation pipeline *)
 
 module E = Hyperq.Engine
@@ -861,6 +863,126 @@ let bench_obs_cluster ?(gate = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* EXPLAIN/ANALYZE plane: collection overhead off / sampled / always    *)
+(* ------------------------------------------------------------------ *)
+
+(* measures what per-operator instrumentation costs at the three
+   sampling settings a deployment would run: off (--analyze-sample 0,
+   the default), tail-sampled 1/8, and always-on. The off-mode number
+   is the one that matters — analysis must be free when nobody asked
+   for it — so the gate also prices the isolated off-path work
+   (sampling decision + per-operator collect checks + route stamp) on a
+   synthetic loop and holds it under 2.5% of the mean query latency,
+   like the other observability gates. *)
+let bench_explain ?(gate = false) () =
+  header
+    (if gate then "EXPLAIN/ANALYZE plane - off-mode overhead gate"
+     else
+       "EXPLAIN/ANALYZE plane - collection overhead off/sampled/always \
+        (writes BENCH_explain.json)");
+  let module P = Platform.Hyperq_platform in
+  let d = MD.generate MD.small_scale in
+  let db = Pgdb.Db.create () in
+  MD.load_pg db d;
+  let obs = Obs.Ctx.create () in
+  let platform = P.create ~obs ~shards:2 db in
+  let client = P.Client.connect platform in
+  let s0 = d.MD.syms.(0) in
+  let shapes =
+    [|
+      (fun _ -> "select mx:max Price by Symbol from trades");
+      (fun _ ->
+        Printf.sprintf "select from trades where Symbol=`%s" s0);
+      (fun i ->
+        Printf.sprintf "select sum Size from trades where Price>%f"
+          (float_of_int (i mod 50)));
+      (fun _ -> "select avg Bid by Symbol from quotes");
+    |]
+  in
+  let per_pass = if gate then 200 else 2_000 in
+  let pass sample =
+    P.set_analyze_sample platform sample;
+    let t0 = now () in
+    for i = 0 to per_pass - 1 do
+      ignore (P.Client.query client (shapes.(i mod Array.length shapes) i))
+    done;
+    (now () -. t0) *. 1e6 /. float_of_int per_pass
+  in
+  (* warm up caches so the off pass is not charged for cold misses *)
+  for i = 0 to (2 * Array.length shapes) - 1 do
+    ignore (P.Client.query client (shapes.(i mod Array.length shapes) i))
+  done;
+  let off_us = pass 0 in
+  let sampled_us = pass 8 in
+  let always_us = pass 1 in
+  let analyzed = Obs.Explain.analyzed_total obs.Obs.Ctx.explain in
+  (* the isolated off-path cost per query: one sampling decision, the
+     collect check every operator pays (a deep plan's worth), and the
+     route stamp the cluster records — everything the feature added to
+     an unanalyzed query *)
+  let flag = Atomic.make 0 in
+  let route_stamp = ref 0 in
+  let iterations = 2_000_000 in
+  let t0 = now () in
+  for i = 1 to iterations do
+    (if Atomic.get flag > 0 then route_stamp := !route_stamp + 1);
+    for _ = 1 to 12 do
+      if Sys.opaque_identity false then incr route_stamp
+    done;
+    route_stamp := Sys.opaque_identity i
+  done;
+  let off_path_us = (now () -. t0) *. 1e6 /. float_of_int iterations in
+  let overhead_pct = 100.0 *. off_path_us /. Float.max 1e-9 off_us in
+  let pct base v = 100.0 *. (v -. base) /. Float.max 1e-9 base in
+  Printf.printf "%-34s %12d\n" "queries per pass" per_pass;
+  Printf.printf "%-34s %12.1f\n" "mean latency, analyze off (us)" off_us;
+  Printf.printf "%-34s %12.1f  (%+.1f%%)\n"
+    "mean latency, sampled 1/8 (us)" sampled_us (pct off_us sampled_us);
+  Printf.printf "%-34s %12.1f  (%+.1f%%)\n"
+    "mean latency, always on (us)" always_us (pct off_us always_us);
+  Printf.printf "%-34s %12d\n" "plans in the explain ring" analyzed;
+  Printf.printf "%-34s %12.4f\n" "isolated off-path cost (us)" off_path_us;
+  Printf.printf "%-34s %11.4f%%  (target <=2.5%%)\n" "off-mode overhead"
+    overhead_pct;
+  P.Client.close client;
+  P.shutdown platform;
+  let limit = 2.5 in
+  if gate then begin
+    if overhead_pct > limit || analyzed = 0 then begin
+      Printf.printf
+        "--\nEXPLAIN GATE FAIL: off-mode overhead %.4f%% > %.1f%% or no \
+         plan ever collected\n"
+        overhead_pct limit;
+      exit 1
+    end;
+    Printf.printf "--\nexplain gate ok\n"
+  end
+  else begin
+    let oc = open_out "BENCH_explain.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"queries_per_pass\": %d,\n\
+      \  \"mean_off_us\": %.3f,\n\
+      \  \"mean_sampled_us\": %.3f,\n\
+      \  \"mean_always_us\": %.3f,\n\
+      \  \"sampled_overhead_pct\": %.4f,\n\
+      \  \"always_overhead_pct\": %.4f,\n\
+      \  \"analyzed_plans\": %d,\n\
+      \  \"off_path_us\": %.4f,\n\
+      \  \"off_mode_overhead_pct\": %.4f\n\
+       }\n"
+      per_pass off_us sampled_us always_us (pct off_us sampled_us)
+      (pct off_us always_us) analyzed off_path_us overhead_pct;
+    close_out oc;
+    Printf.printf "--\nwrote BENCH_explain.json\n";
+    if overhead_pct > limit then begin
+      Printf.printf "EXPLAIN GATE FAIL: off-mode overhead %.4f%% > %.1f%%\n"
+        overhead_pct limit;
+      exit 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Plan cache: cold vs warm translation reuse                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1366,6 +1488,8 @@ let all_experiments =
     ("shard_gate", (fun () -> bench_shard ~gate:true ()));
     ("obs_cluster", (fun () -> bench_obs_cluster ()));
     ("obs_gate", (fun () -> bench_obs_cluster ~gate:true ()));
+    ("explain", (fun () -> bench_explain ()));
+    ("explain_gate", (fun () -> bench_explain ~gate:true ()));
     ("micro", micro);
   ]
 
@@ -1383,6 +1507,7 @@ let () =
         (fun (name, f) ->
           if name <> "smoke" && name <> "plan_cache_gate"
              && name <> "shard_gate" && name <> "obs_gate"
+             && name <> "explain_gate"
           then f ())
         all_experiments
   | names ->

@@ -45,6 +45,7 @@ let () =
   let ts_interval = ref Obs.Timeseries.default_interval_s in
   let ts_ring = ref Obs.Timeseries.default_capacity in
   let slo_spec = ref "" in
+  let analyze_sample = ref 0 in
   let speclist =
     [
       ( "--stats",
@@ -107,6 +108,12 @@ let () =
         Arg.Set_string slo_spec,
         "SPEC latency/error-rate objectives with burn-rate alerting on \
          GET /healthz and /slo.json; " ^ Obs.Slo.spec_syntax );
+      ( "--analyze-sample",
+        Arg.Set_int analyze_sample,
+        "N run every Nth query with per-operator EXPLAIN/ANALYZE \
+         collection on (default 0 = off); analyzed plans land in \
+         GET /explain.json, or explain one query on demand with \
+         .hq.explain <query>" );
     ]
   in
   Arg.parse speclist
@@ -176,7 +183,7 @@ let () =
     P.create ~plan_cache:!plan_cache ~plan_cache_size:!plan_cache_size ~obs
       ~shards:!shards
       ?workers:(if !workers > 0 then Some !workers else None)
-      db
+      ~analyze_sample:!analyze_sample db
   in
   at_exit (fun () -> P.shutdown platform);
   let recorder = (P.obs platform).Obs.Ctx.recorder in

@@ -72,6 +72,22 @@ type t = {
       (* (query, categorised error), newest first, bounded *)
   mutable error_count : int;  (* length of [error_log], kept so the
                                  bound is enforced without List.length *)
+  mutable last_cache : string;
+      (* plan-cache outcome of the last program: hit/miss/bypass/off *)
+  mutable last_sharded : bool;
+      (* whether the last program's relational statement fanned out *)
+  mutable last_note : pipeline_note option;
+      (* pipeline annotation of the last completed program *)
+}
+
+(** How the Q→XTRA→SQL pipeline handled the last program: the plan-cache
+    outcome ([hit] = template splice, skipping Parse→Serialize), whether
+    the sharder claimed the statement, and how many SQL statements were
+    dispatched. Attached to analyzed plans by the EXPLAIN plane. *)
+and pipeline_note = {
+  pn_cache : string;  (** hit / miss / bypass / off *)
+  pn_sharded : bool;
+  pn_statements : int;  (** SQL statements dispatched to backends *)
 }
 
 let create ?(config = default_config ()) ?mdi_config ?server_scope ?plan_cache
@@ -129,6 +145,9 @@ let create ?(config = default_config ()) ?mdi_config ?server_scope ?plan_cache
     last_rel_exec = None;
     error_log = [];
     error_count = 0;
+    last_cache = "off";
+    last_sharded = false;
+    last_note = None;
   }
 
 (* every pipeline stage is recorded three ways from one measurement: the
@@ -368,6 +387,7 @@ let execute_rel (t : t) (brel : Binder.bound_rel) : QV.t * string list =
         stage t Stage_timer.Pivot (fun () -> pivot res brel.Binder.shape)
       in
       t.last_rel_exec <- None;
+      t.last_sharded <- true;
       (value, sent)
   | None ->
       let sql =
@@ -624,6 +644,7 @@ let run_program_cached (t : t) (pc : Plancache.t) (src : string) : run_result =
   let an = F.analyze src in
   let bypass () =
     Obs.Metrics.inc t.pc_bypass;
+    t.last_cache <- "bypass";
     run_program_uncached t src
   in
   if (not an.F.a_ok) || an.F.a_statements <> 1 then bypass ()
@@ -634,6 +655,7 @@ let run_program_cached (t : t) (pc : Plancache.t) (src : string) : run_result =
         let key = cache_key t an.F.a_fingerprint sg in
         let miss () =
           Obs.Metrics.inc t.pc_misses;
+          t.last_cache <- "miss";
           let gens0 = Scopes.generations t.scopes in
           let catalog0 = Mdi.generation t.mdi in
           let mark0 = Backend.log_mark t.backend in
@@ -656,11 +678,13 @@ let run_program_cached (t : t) (pc : Plancache.t) (src : string) : run_result =
         match Plancache.find pc key with
         | Some { Plancache.e_kind = Plancache.Uncacheable _; _ } ->
             Obs.Metrics.inc t.pc_bypass;
+            t.last_cache <- "bypass";
             run_program_uncached t src
         | Some ({ Plancache.e_kind = Plancache.Template tpl; _ } as e) -> (
             match run_cached_hit t tpl params with
             | Some r ->
                 Obs.Metrics.inc t.pc_hits;
+                t.last_cache <- "hit";
                 Plancache.note_hit e;
                 r
             | None ->
@@ -672,9 +696,21 @@ let run_program_cached (t : t) (pc : Plancache.t) (src : string) : run_result =
     With the plan cache enabled, single-statement queries whose shape is
     cached skip the translation pipeline entirely. *)
 let run_program (t : t) (src : string) : run_result =
-  match t.plancache with
-  | None -> run_program_uncached t src
-  | Some pc -> run_program_cached t pc src
+  t.last_sharded <- false;
+  t.last_cache <- "off";
+  let r =
+    match t.plancache with
+    | None -> run_program_uncached t src
+    | Some pc -> run_program_cached t pc src
+  in
+  t.last_note <-
+    Some
+      {
+        pn_cache = t.last_cache;
+        pn_sharded = t.last_sharded;
+        pn_statements = List.length r.sqls;
+      };
+  r
 
 (** Translate without executing: returns the serialized SQL for a single
     Q query (used by tests, examples and the translation benchmarks). *)
@@ -704,6 +740,10 @@ let mdi (t : t) = t.mdi
 
 (** The session's plan cache, when enabled. *)
 let plan_cache (t : t) = t.plancache
+
+(** How the last [run_program] moved through the pipeline: plan-cache
+    outcome, whether a sharded path executed, statements produced. *)
+let last_note (t : t) = t.last_note
 
 let error_log_limit = 100
 

@@ -92,6 +92,18 @@ val mdi : t -> Mdi.t
 (** The session's plan cache, when enabled (possibly shared). *)
 val plan_cache : t -> Plancache.t option
 
+(** How the last [run_program] moved through the Q→XTRA→SQL pipeline:
+    the plan-cache outcome ([hit]/[miss]/[bypass]/[off]), whether a
+    sharded scatter/gather path executed, and how many SQL statements
+    the program produced. Feeds the [.hq.explain] pipeline annotation. *)
+type pipeline_note = {
+  pn_cache : string;
+  pn_sharded : bool;
+  pn_statements : int;
+}
+
+val last_note : t -> pipeline_note option
+
 (** The most recent failures as [(query, categorised error)] pairs, newest
     first (bounded) — the paper's Section 5 notes that verbose,
     attributable error reporting is a place where Hyper-Q improves on

@@ -8,12 +8,13 @@ type t = {
   export : Export.t;
   timeseries : Timeseries.t;
   slo : Slo.t;
+  explain : Explain.t;
   mutable trace : Trace.t option;
   mutable last_trace : Trace.span option;
 }
 
 let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export
-    ?timeseries ?slo () =
+    ?timeseries ?slo ?explain () =
   let registry =
     match registry with Some r -> r | None -> Metrics.create ()
   in
@@ -35,6 +36,7 @@ let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export
     match timeseries with Some t -> t | None -> Timeseries.create registry
   in
   let slo = match slo with Some s -> s | None -> Slo.create timeseries in
+  let explain = match explain with Some e -> e | None -> Explain.create () in
   {
     registry;
     events;
@@ -45,6 +47,7 @@ let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export
     export;
     timeseries;
     slo;
+    explain;
     trace = None;
     last_trace = None;
   }

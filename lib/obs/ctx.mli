@@ -19,6 +19,7 @@ type t = {
   export : Export.t;  (** bounded ring of finished traces *)
   timeseries : Timeseries.t;  (** periodic registry snapshots *)
   slo : Slo.t;  (** burn-rate monitor over the time-series ring *)
+  explain : Explain.t;  (** bounded ring of analyzed query plans *)
   mutable trace : Trace.t option;  (** trace of the in-flight query *)
   mutable last_trace : Trace.span option;
       (** most recently finished query trace (introspection, tests) *)
@@ -34,6 +35,7 @@ val create :
   ?export:Export.t ->
   ?timeseries:Timeseries.t ->
   ?slo:Slo.t ->
+  ?explain:Explain.t ->
   unit ->
   t
 

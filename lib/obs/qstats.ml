@@ -25,6 +25,11 @@ type entry = {
   mutable e_stages : (string * float) list;  (** per-stage latency sums *)
   e_hist : int array;  (** log2-us-bucketed latency histogram *)
   mutable e_last_use : int;  (** logical tick, for LRU eviction *)
+  (* cardinality feedback, fed from analyzed (EXPLAIN/ANALYZE) runs only *)
+  mutable e_analyzed : int;  (** calls that ran with operator stats on *)
+  mutable e_rows_scanned : int;  (** base-table rows read, analyzed calls *)
+  mutable e_worst_qerror : float;  (** worst per-operator q-error seen *)
+  mutable e_worst_op : string;  (** operator holding that worst q-error *)
 }
 
 type t = {
@@ -119,6 +124,10 @@ let record t ~(fingerprint : string) ~(query : string) ~(duration_s : float)
             e_stages = [];
             e_hist = Array.make hist_buckets 0;
             e_last_use = 0;
+            e_analyzed = 0;
+            e_rows_scanned = 0;
+            e_worst_qerror = 0.0;
+            e_worst_op = "";
           }
         in
         Hashtbl.replace t.q_table fingerprint e;
@@ -139,6 +148,38 @@ let record t ~(fingerprint : string) ~(query : string) ~(duration_s : float)
   let b = bucket_of_seconds duration_s in
   e.e_hist.(b) <- e.e_hist.(b) + 1;
   e.e_last_use <- t.q_tick)
+
+(** Fold one analyzed run's operator-tree observations into the
+    fingerprint's cardinality feedback. No-op when the fingerprint is
+    unknown (the per-call {!record} always runs first). *)
+let record_cardinality t ~(fingerprint : string) ~(rows_scanned : int)
+    ~(qerror : float) ~(op : string) : unit =
+  with_mu t (fun () ->
+      match Hashtbl.find_opt t.q_table fingerprint with
+      | None -> ()
+      | Some e ->
+          e.e_analyzed <- e.e_analyzed + 1;
+          e.e_rows_scanned <- e.e_rows_scanned + rows_scanned;
+          if qerror > e.e_worst_qerror then begin
+            e.e_worst_qerror <- qerror;
+            e.e_worst_op <- op
+          end)
+
+(** Top-[n] fingerprints by worst observed q-error — the planner's
+    worst-offender feed. Only fingerprints with analyzed runs qualify. *)
+let worst_misestimates t (n : int) : entry list =
+  with_mu t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.q_table [])
+  |> List.filter (fun e -> e.e_analyzed > 0)
+  |> List.sort (fun a b -> Float.compare b.e_worst_qerror a.e_worst_qerror)
+  |> List.filteri (fun i _ -> i < n)
+
+let entry_rows_scanned_avg (e : entry) : float =
+  if e.e_analyzed = 0 then 0.0
+  else float_of_int e.e_rows_scanned /. float_of_int e.e_analyzed
+
+let entry_rows_out_avg (e : entry) : float =
+  if e.e_calls = 0 then 0.0
+  else float_of_int e.e_rows_out /. float_of_int e.e_calls
 
 let find t fingerprint =
   with_mu t (fun () -> Hashtbl.find_opt t.q_table fingerprint)
@@ -200,6 +241,11 @@ let entry_json (e : entry) : string =
           (List.map
              (fun (s, d) -> (Trace.json_escape s, Printf.sprintf "%.3f" (d *. 1e3)))
              e.e_stages) );
+      ("analyzed", string_of_int e.e_analyzed);
+      ("rows_scanned_avg", Printf.sprintf "%.1f" (entry_rows_scanned_avg e));
+      ("rows_out_avg", Printf.sprintf "%.1f" (entry_rows_out_avg e));
+      ("worst_qerror", Printf.sprintf "%.2f" e.e_worst_qerror);
+      ("worst_op", Printf.sprintf "\"%s\"" (Trace.json_escape e.e_worst_op));
     ]
 
 let to_json ?(n = max_int) t : string =

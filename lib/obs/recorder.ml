@@ -9,6 +9,10 @@ type record = {
   r_sql : string list;  (** generated SQL statements, oldest first *)
   r_span : Trace.span;  (** finished root span of the query's trace *)
   r_kind : string;  (** ["slow"] or ["sample"] *)
+  r_ops : string;
+      (** operator-stats tree as pre-rendered JSON, [""] when the query
+          did not run with ANALYZE collection on *)
+  r_top_operator : string;  (** operator with the most self-time, [""] *)
 }
 
 type t = {
@@ -68,9 +72,10 @@ let push t r =
 (** Offer one completed query; captured when it ran at least the
     threshold, or as a tail sample of every [sample_every]-th fast query
     (0 disables sampling). Returns whether it was kept. *)
-let observe t ~(ts : float) ?(trace_id = "") ~(fingerprint : string)
-    ~(query : string) ~(duration_s : float) ~(status : string)
-    ~(error : string) ~(sql : string list) (span : Trace.span) : bool =
+let observe t ~(ts : float) ?(trace_id = "") ?(ops = "") ?(top_operator = "")
+    ~(fingerprint : string) ~(query : string) ~(duration_s : float)
+    ~(status : string) ~(error : string) ~(sql : string list)
+    (span : Trace.span) : bool =
   t.seen <- t.seen + 1;
   let kind =
     if duration_s >= t.threshold_s then Some "slow"
@@ -95,6 +100,8 @@ let observe t ~(ts : float) ?(trace_id = "") ~(fingerprint : string)
           r_sql = sql;
           r_span = span;
           r_kind;
+          r_ops = ops;
+          r_top_operator = top_operator;
         };
       true
 
@@ -117,6 +124,7 @@ let record_json (r : record) : string =
     "{\"ts\":%.3f,\"trace_id\":\"%s\",\"fingerprint\":\"%s\",\
      \"query\":\"%s\",\"ms\":%.3f,\
      \"status\":\"%s\",\"error\":\"%s\",\"kind\":\"%s\",\"sql\":[%s],\
+     \"top_operator\":\"%s\",\"ops\":%s,\
      \"trace\":%s}"
     r.r_ts r.r_trace_id r.r_fingerprint
     (Trace.json_escape r.r_query)
@@ -125,6 +133,9 @@ let record_json (r : record) : string =
     r.r_kind
     (String.concat ","
        (List.map (fun s -> Printf.sprintf "\"%s\"" (Trace.json_escape s)) r.r_sql))
+    (Trace.json_escape r.r_top_operator)
+    (* r_ops is pre-rendered JSON, spliced verbatim *)
+    (if r.r_ops = "" then "null" else r.r_ops)
     (Trace.to_json r.r_span)
 
 (** One JSON line per record, newest first ([GET /slow.json]). *)

@@ -21,6 +21,10 @@ type record = {
   r_sql : string list;  (** generated SQL statements, oldest first *)
   r_span : Trace.span;  (** finished root span of the query's trace *)
   r_kind : string;  (** ["slow"] or ["sample"] *)
+  r_ops : string;
+      (** operator-stats tree as pre-rendered JSON, [""] when the query
+          did not run with ANALYZE collection on *)
+  r_top_operator : string;  (** operator with the most self-time, [""] *)
 }
 
 type t
@@ -34,11 +38,16 @@ val create :
   ?capacity:int -> ?threshold_s:float -> ?sample_every:int -> unit -> t
 
 (** Offer one completed query; captured when [duration_s >= threshold],
-    or as every [sample_every]-th fast query. Returns whether kept. *)
+    or as every [sample_every]-th fast query. Returns whether kept.
+    [ops] is the pre-rendered operator-stats tree JSON and
+    [top_operator] its hottest operator, both [""] when the query was
+    not analyzed. *)
 val observe :
   t ->
   ts:float ->
   ?trace_id:string ->
+  ?ops:string ->
+  ?top_operator:string ->
   fingerprint:string ->
   query:string ->
   duration_s:float ->

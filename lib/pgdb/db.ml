@@ -25,6 +25,10 @@ type session = {
   db : t;
   temps : (string, Storage.table) Hashtbl.t;
   session_id : int;
+  mutable analyze : bool;
+      (** collect per-operator statistics for every SELECT (ANALYZE mode) *)
+  mutable last_plan : Opstats.node option;
+      (** operator-stats tree of the last SELECT run with [analyze] on *)
 }
 
 type outcome =
@@ -47,9 +51,15 @@ let session_counter = Atomic.make 0
 
 let open_session db =
   let id = Atomic.fetch_and_add session_counter 1 + 1 in
-  { db; temps = Hashtbl.create 8; session_id = id }
+  { db; temps = Hashtbl.create 8; session_id = id; analyze = false; last_plan = None }
 
 let close_session (s : session) = Hashtbl.reset s.temps
+
+let set_analyze (s : session) (on : bool) =
+  s.analyze <- on;
+  if not on then s.last_plan <- None
+
+let last_plan (s : session) : Opstats.node option = s.last_plan
 
 (* ------------------------------------------------------------------ *)
 (* Catalog maintenance                                                 *)
@@ -140,10 +150,16 @@ let rec resolve_rowset (sess : session) (name : string) : Exec.rowset =
           | None -> Errors.undefined_table "relation %s does not exist" name))
 
 and exec_env (sess : session) : Exec.env =
-  { Exec.resolve = (fun name -> resolve_rowset sess name) }
+  Exec.env_of_resolve ~collect:sess.analyze (fun name ->
+      resolve_rowset sess name)
 
 and run_select (sess : session) (sel : A.select) : Exec.result =
-  Exec.run_select (exec_env sess) sel
+  let env = exec_env sess in
+  let res = Exec.run_select env sel in
+  (* the outermost SELECT wins: view/CTAS sub-executions set this first
+     and are then overwritten by the enclosing statement's tree *)
+  if sess.analyze then sess.last_plan <- env.Exec.plan;
+  res
 
 (* ------------------------------------------------------------------ *)
 (* DDL / DML                                                           *)

@@ -20,8 +20,26 @@ type result = {
 }
 
 (** Table resolution is a callback so the executor stays independent of the
-    database facade (sessions, temp tables, views). *)
-type env = { resolve : string -> rowset }
+    database facade (sessions, temp tables, views). [collect] turns on
+    per-operator statistics (ANALYZE): as each operator finishes it leaves
+    its completed {!Opstats.node} subtree in [plan], where the enclosing
+    operator picks it up; after [run_select] returns, [plan] holds the whole
+    tree. Off-path cost is one boolean test per operator node. *)
+type env = {
+  resolve : string -> rowset;
+  collect : bool;
+  mutable plan : Opstats.node option;
+}
+
+let env_of_resolve ?(collect = false) resolve = { resolve; collect; plan = None }
+
+let now_ns () : int64 = Monotonic_clock.now ()
+let emit (env : env) (n : Opstats.node) = env.plan <- Some n
+
+let take_plan (env : env) : Opstats.node option =
+  let p = env.plan in
+  env.plan <- None;
+  p
 
 let error_undefined_column c = Errors.undefined_column "column %s does not exist" c
 
@@ -687,11 +705,32 @@ let compute_window (ctx : eval_ctx) (rows : Value.t array array)
 let rec eval_from (env : env) (f : A.from_item) : rowset =
   match f with
   | A.TableRef (name, alias) ->
+      let t0 = if env.collect then now_ns () else 0L in
       let rs = env.resolve name in
       let qual = match alias with Some a -> Some a | None -> Some name in
-      { rs with bindings = List.map (fun b -> { b with b_qual = qual }) rs.bindings }
+      let rs =
+        { rs with bindings = List.map (fun b -> { b with b_qual = qual }) rs.bindings }
+      in
+      if env.collect then begin
+        (* a scan's estimate is the base-table cardinality itself *)
+        let n = Array.length rs.rows in
+        emit env
+          (Opstats.leaf ~op:"scan" ~detail:name ~est_rows:n ~rows_out:n
+             ~self_ns:(Int64.sub (now_ns ()) t0))
+      end;
+      rs
   | A.SubqueryRef (sel, alias) ->
       let res = run_select env sel in
+      let sub = if env.collect then take_plan env else None in
+      if env.collect then begin
+        let n = Array.length res.res_rows in
+        let est =
+          match sub with Some s -> s.Opstats.est_rows | None -> n
+        in
+        emit env
+          (Opstats.make ~op:"subquery" ~detail:alias ~est_rows:est ~rows_in:n
+             ~rows_out:n ~self_ns:0L ~children:(Option.to_list sub))
+      end;
       {
         bindings =
           List.map
@@ -700,29 +739,54 @@ let rec eval_from (env : env) (f : A.from_item) : rowset =
         rows = res.res_rows;
       }
   | A.UnionRef (sels, alias) -> (
-      match List.map (run_select env) sels with
+      let subs =
+        List.map
+          (fun sel ->
+            let r = run_select env sel in
+            let node = if env.collect then take_plan env else None in
+            (r, node))
+          sels
+      in
+      match subs with
       | [] -> Errors.syntax_error "empty UNION"
-      | first :: rest ->
+      | (first, _) :: rest ->
+          let t0 = if env.collect then now_ns () else 0L in
           let width = List.length first.res_cols in
           List.iter
-            (fun r ->
+            (fun (r, _) ->
               if List.length r.res_cols <> width then
                 Errors.syntax_error
                   "each UNION query must have the same number of columns")
             rest;
+          let rows =
+            Array.concat
+              (first.res_rows :: List.map (fun (r, _) -> r.res_rows) rest)
+          in
+          if env.collect then begin
+            let children = List.filter_map snd subs in
+            let est =
+              List.fold_left (fun a n -> a + n.Opstats.est_rows) 0 children
+            in
+            let out = Array.length rows in
+            emit env
+              (Opstats.make ~op:"union" ~detail:alias ~est_rows:est
+                 ~rows_in:out ~rows_out:out
+                 ~self_ns:(Int64.sub (now_ns ()) t0) ~children)
+          end;
           {
             bindings =
               List.map
                 (fun (n, ty) ->
                   { b_qual = Some alias; b_name = n; b_type = Some ty })
                 first.res_cols;
-            rows =
-              Array.concat (first.res_rows :: List.map (fun r -> r.res_rows) rest);
+            rows;
           })
   | A.JoinItem { jkind; left; right; on } ->
       let l = eval_from env left in
+      let lnode = if env.collect then take_plan env else None in
       let r = eval_from env right in
-      eval_join l r jkind on
+      let rnode = if env.collect then take_plan env else None in
+      eval_join env lnode rnode l r jkind on
 
 (* ---------------------------------------------------------------- *)
 (* Join evaluation: hash join on extractable equality conjuncts,     *)
@@ -739,7 +803,9 @@ and conjuncts (e : A.expr) : A.expr list =
 and side_of (bindings : binding list) (q : string option) (c : string) : bool =
   match find_binding bindings q c with _ -> true | exception _ -> false
 
-and eval_join (l : rowset) (r : rowset) jkind (on : A.expr option) : rowset =
+and eval_join (env : env) lnode rnode (l : rowset) (r : rowset) jkind
+    (on : A.expr option) : rowset =
+  let t0 = if env.collect then now_ns () else 0L in
   let bindings = l.bindings @ r.bindings in
   let ctx = { bindings; windows = [] } in
   (* partition the ON conjuncts into hashable equality pairs and residuals *)
@@ -845,7 +911,34 @@ and eval_join (l : rowset) (r : rowset) jkind (on : A.expr option) : rowset =
           out := Array.append lrow null_right :: !out)
       l.rows
   end;
-  { bindings; rows = Array.of_list (List.rev !out) }
+  let rows = Array.of_list (List.rev !out) in
+  if env.collect then begin
+    let meth =
+      if equi <> [] && jkind <> `Cross then "hash_join" else "nested_loop"
+    in
+    let kind =
+      match jkind with `Inner -> "inner" | `Left -> "left" | `Cross -> "cross"
+    in
+    let l_est =
+      match lnode with Some n -> n.Opstats.est_rows | None -> Array.length l.rows
+    in
+    let r_est =
+      match rnode with Some n -> n.Opstats.est_rows | None -> Array.length r.rows
+    in
+    (* hash equi-joins estimated as max(inputs) (FK-ish), nested loops as
+       the cross product *)
+    let est =
+      if meth = "hash_join" then Stdlib.max l_est r_est
+      else Stdlib.max 1 l_est * Stdlib.max 1 r_est
+    in
+    let children = List.filter_map Fun.id [ lnode; rnode ] in
+    emit env
+      (Opstats.make ~op:meth ~detail:kind ~est_rows:est
+         ~rows_in:(Array.length l.rows + Array.length r.rows)
+         ~rows_out:(Array.length rows)
+         ~self_ns:(Int64.sub (now_ns ()) t0) ~children)
+  end;
+  { bindings; rows }
 
 (* ------------------------------------------------------------------ *)
 (* SELECT driver                                                       *)
@@ -925,10 +1018,36 @@ and subst_aliases (projs : A.proj list) (names : string list) (e : A.expr) :
   go e
 
 and run_select (env : env) (s : A.select) : result =
+  let c = env.collect in
   let input =
     match s.from with
     | Some f -> eval_from env f
-    | None -> { bindings = []; rows = [| [||] |] }
+    | None ->
+        if c then
+          emit env
+            (Opstats.leaf ~op:"values" ~detail:"" ~est_rows:1 ~rows_out:1
+               ~self_ns:0L);
+        { bindings = []; rows = [| [||] |] }
+  in
+  (* operator-stats chain: each pipeline phase below stacks one node on
+     top of the FROM subtree; [lap] attributes the wall time since the
+     previous phase boundary to the node being pushed *)
+  let cur : Opstats.node option ref = ref (if c then take_plan env else None) in
+  let last_t = ref (if c then now_ns () else 0L) in
+  let lap () =
+    let t = now_ns () in
+    let d = Int64.sub t !last_t in
+    last_t := t;
+    if d < 0L then 0L else d
+  in
+  let cur_est () = match !cur with Some n -> n.Opstats.est_rows | None -> 1 in
+  let push ~op ~detail ~est_rows ~rows_in ~rows_out =
+    let self_ns = lap () in
+    let children = match !cur with Some n -> [ n ] | None -> [] in
+    cur :=
+      Some
+        (Opstats.make ~op ~detail ~est_rows ~rows_in ~rows_out ~self_ns
+           ~children)
   in
   let ctx = { bindings = input.bindings; windows = [] } in
   (* WHERE *)
@@ -941,6 +1060,12 @@ and run_select (env : env) (s : A.select) : result =
              (fun row -> Value.is_true (eval_expr ctx row 0 w))
              (Array.to_list input.rows))
   in
+  (if c && s.where <> None then
+     (* naive selectivity: a predicate keeps a third of its input *)
+     push ~op:"filter" ~detail:"where"
+       ~est_rows:(Stdlib.max 1 (cur_est () / 3))
+       ~rows_in:(Array.length input.rows)
+       ~rows_out:(Array.length rows));
   (* expand stars *)
   let projs =
     List.concat_map
@@ -1050,8 +1175,27 @@ and run_select (env : env) (s : A.select) : result =
       (out, keys)
     end
   in
+  (if c then
+     let n_in = Array.length rows in
+     let n_out = List.length output_rows in
+     if has_agg then
+       let detail =
+         if s.group_by = [] then "scalar"
+         else Printf.sprintf "group by %d" (List.length s.group_by)
+       in
+       (* grouped aggregation estimated at one group per ten input rows *)
+       let est =
+         if s.group_by = [] then 1 else Stdlib.max 1 (cur_est () / 10)
+       in
+       push ~op:"aggregate" ~detail ~est_rows:est ~rows_in:n_in ~rows_out:n_out
+     else
+       let op = if ctx.windows <> [] then "window" else "project" in
+       push ~op
+         ~detail:(Printf.sprintf "%d cols" (List.length projs))
+         ~est_rows:(cur_est ()) ~rows_in:n_in ~rows_out:n_out);
   (* DISTINCT *)
   let pairs = List.combine output_rows sort_keys in
+  let n_pre_distinct = if c then List.length pairs else 0 in
   let pairs =
     if s.distinct then
       List.fold_left
@@ -1070,6 +1214,9 @@ and run_select (env : env) (s : A.select) : result =
       |> List.rev
     else pairs
   in
+  (if c && s.distinct then
+     push ~op:"distinct" ~detail:"" ~est_rows:(cur_est ())
+       ~rows_in:n_pre_distinct ~rows_out:(List.length pairs));
   (* ORDER BY *)
   let pairs =
     if s.order_by = [] then pairs
@@ -1088,7 +1235,13 @@ and run_select (env : env) (s : A.select) : result =
           go k1 k2 s.order_by)
         pairs
   in
+  (if c && s.order_by <> [] then
+     let n = List.length pairs in
+     push ~op:"sort"
+       ~detail:(Printf.sprintf "%d keys" (List.length s.order_by))
+       ~est_rows:(cur_est ()) ~rows_in:n ~rows_out:n);
   (* OFFSET / LIMIT *)
+  let n_pre_limit = if c then List.length pairs else 0 in
   let pairs =
     match s.offset with
     | Some n -> (try List.filteri (fun i _ -> i >= n) pairs with _ -> pairs)
@@ -1099,12 +1252,38 @@ and run_select (env : env) (s : A.select) : result =
     | Some n -> List.filteri (fun i _ -> i < n) pairs
     | None -> pairs
   in
+  (if c && (s.limit <> None || s.offset <> None) then
+     let detail =
+       String.concat " "
+         (List.filter
+            (fun x -> x <> "")
+            [
+              (match s.limit with
+              | Some n -> Printf.sprintf "limit %d" n
+              | None -> "");
+              (match s.offset with
+              | Some n -> Printf.sprintf "offset %d" n
+              | None -> "");
+            ])
+     in
+     let est =
+       let after_offset =
+         Stdlib.max 0
+           (cur_est () - match s.offset with Some o -> o | None -> 0)
+       in
+       match s.limit with
+       | Some n -> Stdlib.min n after_offset
+       | None -> after_offset
+     in
+     push ~op:"limit" ~detail ~est_rows:est ~rows_in:n_pre_limit
+       ~rows_out:(List.length pairs));
   let out_rows = Array.of_list (List.map fst pairs) in
   let types =
     List.mapi
       (fun i p -> infer_col_type input.bindings out_rows i p.A.p_expr)
       projs
   in
+  if c then env.plan <- !cur;
   { res_cols = List.combine out_names types; res_rows = out_rows }
 
 (* ------------------------------------------------------------------ *)

@@ -64,6 +64,23 @@ let make_metrics (reg : M.t) : metrics =
         "hq_query_seconds";
   }
 
+(** The platform's ANALYZE plumbing, injected so the endpoint can flip
+    operator-stats collection on the coordinator session and the shard
+    cluster without depending on either directly. [eh_sample] is the
+    tail-sampling decision ([--analyze-sample N]): true means "collect
+    stats for this ordinary query too". *)
+type explain_hooks = {
+  eh_set_analyze : bool -> unit;
+      (** toggle collection on the backend session and every shard *)
+  eh_plan : unit -> Pgdb.Opstats.node option;
+      (** coordinator-side operator tree of the last analyzed query *)
+  eh_route : unit -> Shard.Router.explain option;
+      (** route explanation of the last routed statement *)
+  eh_shard_plans : unit -> (int * Pgdb.Opstats.node option) list;
+      (** per-shard operator trees of the last analyzed fan-out *)
+  eh_sample : unit -> bool;  (** tail-sampling decision for this query *)
+}
+
 type t = {
   xc : Xc.t;
   users : (string * string) list;
@@ -72,13 +89,15 @@ type t = {
   session : Obs.Sessions.session;  (** this connection's registry entry *)
   shards_info : (unit -> Shard.Cluster.shard_info list) option;
       (** supplied by a sharded platform; answers [.hq.shards] *)
+  explain : explain_hooks option;
+      (** supplied by the platform; powers [.hq.explain] and sampling *)
   mutable phase : phase;
   mutable pending : string;
   mutable client_version : int;
 }
 
-let create ?(users = [ ("trader", "pwd") ]) ?obs ?shards_info (xc : Xc.t) : t
-    =
+let create ?(users = [ ("trader", "pwd") ]) ?obs ?shards_info ?explain
+    (xc : Xc.t) : t =
   let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   {
     xc;
@@ -87,6 +106,7 @@ let create ?(users = [ ("trader", "pwd") ]) ?obs ?shards_info (xc : Xc.t) : t
     m = make_metrics obs.Obs.Ctx.registry;
     session = Obs.Sessions.register obs.Obs.Ctx.sessions;
     shards_info;
+    explain;
     phase = Handshake;
     pending = "";
     client_version = 3;
@@ -196,6 +216,12 @@ let top_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
          ( "p95_ms",
            floats (fun e -> Obs.Qstats.entry_percentile e 95.0 *. 1e3) );
          ("rows_out", longs (fun e -> e.Obs.Qstats.e_rows_out));
+         ("rows_out_avg", floats Obs.Qstats.entry_rows_out_avg);
+         (* cardinality feedback: populated by analyzed runs only *)
+         ("analyzed", longs (fun e -> e.Obs.Qstats.e_analyzed));
+         ("rows_scanned_avg", floats Obs.Qstats.entry_rows_scanned_avg);
+         ("worst_qerror", floats (fun e -> e.Obs.Qstats.e_worst_qerror));
+         ("worst_op", QV.syms (arr (fun e -> e.Obs.Qstats.e_worst_op)));
        ])
 
 (** The newest [n] flight-recorder captures as a Q table — the reply to
@@ -213,6 +239,8 @@ let slow_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
          ("ms", QV.floats (arr (fun r -> r.Obs.Recorder.r_duration_s *. 1e3)));
          ("status", QV.syms (arr (fun r -> r.Obs.Recorder.r_status)));
          ("kind", QV.syms (arr (fun r -> r.Obs.Recorder.r_kind)));
+         ( "top_operator",
+           QV.syms (arr (fun r -> r.Obs.Recorder.r_top_operator)) );
          ( "sql",
            QV.syms (arr (fun r -> String.concat "; " r.Obs.Recorder.r_sql)) );
          ( "trace",
@@ -328,7 +356,8 @@ let reset_stats (ctx : Obs.Ctx.t) : unit =
   Obs.Qstats.reset ctx.Obs.Ctx.qstats;
   Obs.Recorder.reset ctx.Obs.Ctx.recorder;
   Obs.Export.reset ctx.Obs.Ctx.export;
-  Obs.Timeseries.reset ctx.Obs.Ctx.timeseries
+  Obs.Timeseries.reset ctx.Obs.Ctx.timeseries;
+  Obs.Explain.reset ctx.Obs.Ctx.explain
 
 (* [.hq.top] and [.hq.slow] take an optional bracketed count:
    [".hq.top[5]"], [".hq.top[]"], or bare [".hq.top"]. Returns [None]
@@ -366,6 +395,221 @@ let shards_table (infos : Shard.Cluster.shard_info list) : QV.t =
          ("bytes", QV.longs (arr (fun s -> s.Shard.Cluster.si_bytes)));
        ])
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN/ANALYZE assembly                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Op = Pgdb.Opstats
+
+(* [.hq.explain q"select ..."] and [.hq.explain select ...] both work;
+   the q"" wrapper mirrors how Q programs pass query strings around. *)
+let strip_q_wrapper (s : string) : string =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 3 && s.[0] = 'q' && s.[1] = '"' && s.[n - 1] = '"' then
+    String.sub s 2 (n - 3)
+  else s
+
+(* every operator tree attached to the analyzed query: the coordinator's
+   (unsharded / fallback execution) and one per shard that ran *)
+let explain_trees (coord : Op.node option)
+    (shard_plans : (int * Op.node option) list) : Op.node list =
+  (match coord with Some n -> [ n ] | None -> [])
+  @ List.filter_map snd shard_plans
+
+(** The analyzed plan as a flat Q table — the reply to [.hq.explain].
+    One row per operator, pre-order; [shard] is [-1] for
+    coordinator-side operators. *)
+let explain_table (coord : Op.node option)
+    (shard_plans : (int * Op.node option) list) : QV.t =
+  let rows =
+    (match coord with
+    | Some n -> List.map (fun (d, m) -> (-1, d, m)) (Op.flatten n)
+    | None -> [])
+    @ List.concat_map
+        (fun (k, p) ->
+          match p with
+          | Some n -> List.map (fun (d, m) -> (k, d, m)) (Op.flatten n)
+          | None -> [])
+        shard_plans
+  in
+  let arr f = Array.of_list (List.map f rows) in
+  QV.Table
+    (QV.table
+       [
+         ("shard", QV.longs (arr (fun (k, _, _) -> k)));
+         ("depth", QV.longs (arr (fun (_, d, _) -> d)));
+         ("op", QV.syms (arr (fun (_, _, m) -> m.Op.op)));
+         ("detail", QV.syms (arr (fun (_, _, m) -> m.Op.detail)));
+         ("est_rows", QV.longs (arr (fun (_, _, m) -> m.Op.est_rows)));
+         ("rows_in", QV.longs (arr (fun (_, _, m) -> m.Op.rows_in)));
+         ("rows_out", QV.longs (arr (fun (_, _, m) -> m.Op.rows_out)));
+         ( "self_ms",
+           QV.floats (arr (fun (_, _, m) -> Op.ms_of_ns m.Op.self_ns)) );
+       ])
+
+(* the one JSON document describing an analyzed query end to end: query,
+   route explanation, pipeline annotation, coordinator tree, shard trees *)
+let explain_doc ~(query : string) ~(fingerprint : string)
+    ~(route : Shard.Router.explain option) ~(cache : string)
+    ~(sharded : bool) ~(statements : int) ~(coord : Op.node option)
+    ~(shard_plans : (int * Op.node option) list) : string =
+  let shard_docs =
+    List.filter_map
+      (fun (k, p) ->
+        Option.map
+          (fun n ->
+            Printf.sprintf "{\"shard\":%d,\"plan\":%s}" k (Op.to_json n))
+          p)
+      shard_plans
+  in
+  Printf.sprintf
+    "{\"query\":\"%s\",\"fingerprint\":\"%s\",\"route\":%s,\"pipeline\":{\"cache\":\"%s\",\"sharded\":%b,\"statements\":%d},\"plan\":%s,\"shards\":[%s]}"
+    (Obs.Trace.json_escape query)
+    (Obs.Trace.json_escape fingerprint)
+    (match route with
+    | Some x -> Shard.Router.explain_json x
+    | None -> "null")
+    cache sharded statements
+    (match coord with Some n -> Op.to_json n | None -> "null")
+    (String.concat "," shard_docs)
+
+type explain_summary = {
+  xs_doc : string;  (** the unified JSON document (ring entry, recorder) *)
+  xs_top_operator : string;
+  xs_rows_scanned : int;
+  xs_worst_op : string;
+  xs_worst_qerror : float;
+}
+
+(** Assemble the unified explain document for one analyzed query, offer
+    it to the explain ring, and return the headline numbers the caller
+    feeds into the recorder and the cardinality store. *)
+let offer_explain (t : t) ~(norm : string) ~(fp : string)
+    ~(trace_id : string) ~(duration : float)
+    ~(route : Shard.Router.explain option) ~(coord : Op.node option)
+    ~(shard_plans : (int * Op.node option) list) : explain_summary =
+  let cache, sharded, statements =
+    match Hyperq.Engine.last_note (Xc.engine t.xc) with
+    | Some n ->
+        ( n.Hyperq.Engine.pn_cache,
+          n.Hyperq.Engine.pn_sharded,
+          n.Hyperq.Engine.pn_statements )
+    | None -> ("off", false, 0)
+  in
+  let trees = explain_trees coord shard_plans in
+  let rows_scanned =
+    List.fold_left (fun acc n -> acc + Op.rows_scanned n) 0 trees
+  in
+  (* rows leaving the plan: the coordinator root when it executed, else
+     the pre-merge sum of the shard roots *)
+  let rows_out =
+    match coord with
+    | Some n -> n.Op.rows_out
+    | None -> List.fold_left (fun acc n -> acc + n.Op.rows_out) 0 trees
+  in
+  let top_operator =
+    match
+      List.fold_left
+        (fun best n ->
+          let c = Op.top_operator n in
+          match best with
+          | Some b when b.Op.self_ns >= c.Op.self_ns -> best
+          | _ -> Some c)
+        None trees
+    with
+    | Some n -> if n.Op.detail = "" then n.Op.op else n.Op.op ^ "(" ^ n.Op.detail ^ ")"
+    | None -> ""
+  in
+  let worst_op, worst_qerror =
+    List.fold_left
+      (fun ((_, bq) as best) n ->
+        let m, q = Op.worst_estimate n in
+        if q > bq then ((if m.Op.detail = "" then m.Op.op else m.Op.op ^ "(" ^ m.Op.detail ^ ")"), q)
+        else best)
+      ("", 0.0) trees
+  in
+  let doc =
+    explain_doc ~query:norm ~fingerprint:fp ~route ~cache ~sharded
+      ~statements ~coord ~shard_plans
+  in
+  Obs.Explain.offer t.obs.Obs.Ctx.explain
+    {
+      Obs.Explain.p_ts = Unix.gettimeofday ();
+      p_trace_id = trace_id;
+      p_fingerprint = fp;
+      p_query = norm;
+      p_duration_s = duration;
+      p_route =
+        (match route with
+        | Some x -> x.Shard.Router.x_class
+        | None -> "coordinator");
+      p_cache = cache;
+      p_shards = List.length (List.filter_map snd shard_plans);
+      p_rows_scanned = rows_scanned;
+      p_rows_out = rows_out;
+      p_top_operator = top_operator;
+      p_worst_qerror = worst_qerror;
+      p_tree = doc;
+    };
+  {
+    xs_doc = doc;
+    xs_top_operator = top_operator;
+    xs_rows_scanned = rows_scanned;
+    xs_worst_op = worst_op;
+    xs_worst_qerror = worst_qerror;
+  }
+
+(** Answer [.hq.explain <query>]: run the query with operator-stats
+    collection on, and reply with the flattened coordinator→shard
+    operator table. The assembled JSON document also lands in the
+    explain ring ([GET /explain.json]). Errors come back as an error
+    atom, like any failed query would. *)
+let explain_reply (t : t) (rest : string) : QV.t =
+  match t.explain with
+  | None ->
+      QV.Atom
+        (Qvalue.Atom.Sym ".hq.explain requires a platform connection")
+  | Some eh -> (
+      let qtext = strip_q_wrapper rest in
+      if qtext = "" then
+        QV.Atom (Qvalue.Atom.Sym "usage: .hq.explain <query>")
+      else begin
+        eh.eh_set_analyze true;
+        let start = Obs.Clock.now_ns () in
+        let tr = Obs.Ctx.start_trace t.obs "explain" in
+        let trace_id = Obs.Trace.trace_id tr in
+        let result =
+          match Xc.process t.xc qtext with
+          | r -> r
+          | exception e ->
+              ignore (Obs.Ctx.finish_trace t.obs tr);
+              eh.eh_set_analyze false;
+              raise e
+        in
+        let duration = Obs.Clock.seconds_since start in
+        ignore (Obs.Ctx.finish_trace t.obs tr);
+        let coord = eh.eh_plan () in
+        let route = eh.eh_route () in
+        let shard_plans = eh.eh_shard_plans () in
+        eh.eh_set_analyze false;
+        match result with
+        | Error e -> QV.Atom (Qvalue.Atom.Sym ("explain failed: " ^ e))
+        | Ok _ ->
+            let norm = Qlang.Fingerprint.normalize qtext in
+            let fp = Qlang.Fingerprint.of_normalized norm in
+            let s =
+              offer_explain t ~norm ~fp ~trace_id ~duration ~route ~coord
+                ~shard_plans
+            in
+            (* cardinality feedback reaches the store only for shapes
+               normal traffic has already fingerprinted *)
+            Obs.Qstats.record_cardinality t.obs.Obs.Ctx.qstats
+              ~fingerprint:fp ~rows_scanned:s.xs_rows_scanned
+              ~qerror:s.xs_worst_qerror ~op:s.xs_worst_op;
+            explain_table coord shard_plans
+      end)
+
 let admin_reply (t : t) (text : string) : QV.t option =
   (* count the admin query before building the reply so a .hq.stats
      snapshot includes itself *)
@@ -387,6 +631,10 @@ let admin_reply (t : t) (text : string) : QV.t option =
   | ".hq.stats.reset" ->
       reset_stats t.obs;
       answered (fun () -> QV.Atom (Qvalue.Atom.Sym "reset"))
+  | _ when String.length text >= 11 && String.sub text 0 11 = ".hq.explain"
+    ->
+      answered (fun () ->
+          explain_reply t (String.sub text 11 (String.length text - 11)))
   | _ -> (
       match parse_bracket_arg ~prefix:".hq.top" text with
       | Some n ->
@@ -505,9 +753,10 @@ let emit_query_event (t : t) ~(text : string) ~(sql_before : int)
     and offer it to the slow-query flight recorder (with the SQL it
     generated, its full span tree and its trace id). *)
 let record_workload (t : t) ~(norm : string) ~(fp : string)
-    ~(trace_id : string) ~(sql_before : int)
-    ~(result : (QV.t option, string) result) ~(duration : float)
-    ~(bytes_in : int) ~(bytes_out : int) (root : Obs.Trace.span) : unit =
+    ~(trace_id : string) ~(sql_before : int) ?(ops = "")
+    ?(top_operator = "") ~(result : (QV.t option, string) result)
+    ~(duration : float) ~(bytes_in : int) ~(bytes_out : int)
+    (root : Obs.Trace.span) : unit =
   let status, error =
     match result with Ok _ -> ("ok", "") | Error e -> ("error", e)
   in
@@ -528,8 +777,8 @@ let record_workload (t : t) ~(norm : string) ~(fp : string)
   let sql = Hyperq.Backend.sql_since (backend t) sql_before in
   ignore
     (Obs.Recorder.observe t.obs.Obs.Ctx.recorder ~ts:(Unix.gettimeofday ())
-       ~trace_id ~fingerprint:fp ~query:norm ~duration_s:duration ~status
-       ~error ~sql root)
+       ~trace_id ~ops ~top_operator ~fingerprint:fp ~query:norm
+       ~duration_s:duration ~status ~error ~sql root)
 
 (* ------------------------------------------------------------------ *)
 (* Byte-level protocol handling                                        *)
@@ -598,11 +847,50 @@ let feed (t : t) (bytes : string) : string =
                         let fp = Qlang.Fingerprint.of_normalized norm in
                         Obs.Sessions.query_started t.session ~query:norm
                           ~fingerprint:fp;
+                        (* opt-in tail sampling: every Nth query runs
+                           with operator-stats collection on and lands
+                           in the explain ring like an .hq.explain *)
+                        let sampled =
+                          match t.explain with
+                          | Some eh -> eh.eh_sample ()
+                          | None -> false
+                        in
+                        let captured = ref None in
                         let result, root, duration, trace_id =
                           Fun.protect
                             ~finally:(fun () ->
+                              (match t.explain with
+                              | Some eh when sampled ->
+                                  eh.eh_set_analyze false
+                              | _ -> ());
                               Obs.Sessions.query_finished t.session)
-                            (fun () -> traced_process t text ~bytes_in:consumed)
+                            (fun () ->
+                              (match t.explain with
+                              | Some eh when sampled ->
+                                  eh.eh_set_analyze true
+                              | _ -> ());
+                              let r =
+                                traced_process t text ~bytes_in:consumed
+                              in
+                              (* read the trees before ~finally clears
+                                 them with collection *)
+                              (match t.explain with
+                              | Some eh when sampled ->
+                                  captured :=
+                                    Some
+                                      ( eh.eh_plan (),
+                                        eh.eh_route (),
+                                        eh.eh_shard_plans () )
+                              | _ -> ());
+                              r)
+                        in
+                        let summary =
+                          match (!captured, result) with
+                          | Some (coord, route, shard_plans), Ok _ ->
+                              Some
+                                (offer_explain t ~norm ~fp ~trace_id
+                                   ~duration ~route ~coord ~shard_plans)
+                          | _ -> None
                         in
                         let reply =
                           match result with
@@ -634,8 +922,20 @@ let feed (t : t) (bytes : string) : string =
                           ~bytes_in:consumed ~bytes_out:(String.length reply)
                           root;
                         record_workload t ~norm ~fp ~trace_id ~sql_before
+                          ?ops:(Option.map (fun s -> s.xs_doc) summary)
+                          ?top_operator:
+                            (Option.map (fun s -> s.xs_top_operator) summary)
                           ~result ~duration ~bytes_in:consumed
                           ~bytes_out:(String.length reply) root;
+                        (* est-vs-actual feedback keyed on the same
+                           fingerprint record the line above created *)
+                        Option.iter
+                          (fun s ->
+                            Obs.Qstats.record_cardinality
+                              t.obs.Obs.Ctx.qstats ~fingerprint:fp
+                              ~rows_scanned:s.xs_rows_scanned
+                              ~qerror:s.xs_worst_qerror ~op:s.xs_worst_op)
+                          summary;
                         Obs.Log.info t.obs.Obs.Ctx.log ~trace_id
                           ~conn_id:t.session.Obs.Sessions.s_conn
                           "query completed"

@@ -28,6 +28,10 @@ type t = {
           hash-partitioned across N independent pgdb backends, each
           behind its own wire gateway on its own domain; shard-safe
           statements fan out, everything else runs on [db] as before *)
+  analyze_sample : int Atomic.t;
+      (** run every Nth ordinary query with operator-stats collection on
+          (0 = off) — the [--analyze-sample N] tail sampler *)
+  analyze_seen : int Atomic.t;  (** queries considered by the sampler *)
 }
 
 type connection = {
@@ -47,7 +51,8 @@ type connection = {
 let create ?(users = [ ("trader", "pwd") ])
     ?(engine_config = Hyperq.Engine.default_config) ?(plan_cache = true)
     ?(plan_cache_size = Hyperq.Plancache.default_capacity) ?obs
-    ?(shards = 1) ?workers ?distributions (db : Pgdb.Db.t) : t =
+    ?(shards = 1) ?workers ?distributions ?(analyze_sample = 0)
+    (db : Pgdb.Db.t) : t =
   let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   let cluster =
     if shards > 1 then
@@ -87,10 +92,20 @@ let create ?(users = [ ("trader", "pwd") ])
     plancache;
     obs;
     cluster;
+    analyze_sample = Atomic.make (max 0 analyze_sample);
+    analyze_seen = Atomic.make 0;
   }
 
 (** The platform's shared plan cache, when enabled. *)
 let plan_cache (t : t) = t.plancache
+
+(** Change the ANALYZE tail-sampling rate at runtime: every [n]-th
+    ordinary query runs with operator-stats collection on and lands in
+    the explain ring; [0] turns sampling off. *)
+let set_analyze_sample (t : t) (n : int) : unit =
+  Atomic.set t.analyze_sample (max 0 n)
+
+let analyze_sample (t : t) : int = Atomic.get t.analyze_sample
 
 (** The shard cluster, when running sharded. *)
 let cluster (t : t) = t.cluster
@@ -181,6 +196,7 @@ let admin_routes : (string * string list) list =
     ("/activity.json", [ "GET" ]);
     ("/plancache.json", [ "GET" ]);
     ("/shards.json", [ "GET" ]);
+    ("/explain.json", [ "GET" ]);
     ("/timeseries.json", [ "GET" ]);
     ("/slo.json", [ "GET" ]);
     ("/reset", [ "POST" ]);
@@ -261,6 +277,11 @@ let admin_handler (t : t) (req : Obs.Http.request) : Obs.Http.response =
       Obs.Http.json 200 (Obs.Sessions.to_json t.obs.Obs.Ctx.sessions)
   | "GET", "/plancache.json" -> Obs.Http.json 200 (plancache_json t)
   | "GET", "/shards.json" -> Obs.Http.json 200 (shards_json t)
+  | "GET", "/explain.json" ->
+      let n =
+        Option.bind (Obs.Http.query_param req "n") int_of_string_opt
+      in
+      Obs.Http.json 200 (Obs.Explain.to_json ?n t.obs.Obs.Ctx.explain)
   | "GET", "/timeseries.json" ->
       Obs.Http.json 200
         (timeseries_json ?window:(Obs.Http.query_param req "window") t)
@@ -295,8 +316,33 @@ let connect (t : t) : connection =
   let shards_info =
     Option.map (fun c () -> Shard.Cluster.shards_info c) t.cluster
   in
+  (* the endpoint's ANALYZE plumbing: flip collection on this
+     connection's backend session and (when sharded) on every shard
+     session, and read the trees back out *)
+  let explain =
+    {
+      Endpoint.eh_set_analyze =
+        (fun on ->
+          Pgdb.Db.set_analyze session on;
+          Option.iter (fun c -> Shard.Cluster.set_analyze c on) t.cluster);
+      eh_plan = (fun () -> Pgdb.Db.last_plan session);
+      eh_route =
+        (fun () -> Option.bind t.cluster Shard.Cluster.last_route);
+      eh_shard_plans =
+        (fun () ->
+          match t.cluster with
+          | Some c -> Shard.Cluster.last_shard_plans c
+          | None -> []);
+      eh_sample =
+        (fun () ->
+          let n = Atomic.get t.analyze_sample in
+          if n <= 0 then false
+          else (Atomic.fetch_and_add t.analyze_seen 1 + 1) mod n = 0);
+    }
+  in
   {
-    endpoint = Endpoint.create ~users:t.users ~obs:t.obs ?shards_info xc;
+    endpoint =
+      Endpoint.create ~users:t.users ~obs:t.obs ?shards_info ~explain xc;
     xc;
     session;
   }

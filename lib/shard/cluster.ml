@@ -56,6 +56,12 @@ type t = {
   c_busy : M.gauge;  (** hq_shard_pool_busy_workers *)
   c_workers : M.gauge;  (** hq_shard_pool_workers (pool size, static) *)
   mutable c_closed : bool;
+  mutable c_analyze : bool;
+      (** shard sessions collect per-operator stats (ANALYZE mode) *)
+  mutable c_last_route : Router.route option;
+      (** routing decision of the last statement offered to the sharder *)
+  mutable c_last_shard_plans : (int * Pgdb.Opstats.node option) list;
+      (** per-target operator trees of the last analyzed fan-out *)
 }
 
 let shard_count t = Array.length t.c_shards
@@ -75,7 +81,7 @@ let shard_obs (obs : Obs.Ctx.t) : Obs.Ctx.t =
     ~qstats:obs.Obs.Ctx.qstats ~recorder:obs.Obs.Ctx.recorder
     ~sessions:obs.Obs.Ctx.sessions ~log:obs.Obs.Ctx.log
     ~export:obs.Obs.Ctx.export ~timeseries:obs.Obs.Ctx.timeseries
-    ~slo:obs.Obs.Ctx.slo ()
+    ~slo:obs.Obs.Ctx.slo ~explain:obs.Obs.Ctx.explain ()
 
 let create ?(distributions = default_distributions) ?workers ~shards
     ?(make_backend =
@@ -173,7 +179,31 @@ let create ?(distributions = default_distributions) ?workers ~shards
         "hq_shard_pool_busy_workers";
     c_workers = workers_g;
     c_closed = false;
+    c_analyze = false;
+    c_last_route = None;
+    c_last_shard_plans = [];
   }
+
+(** Toggle ANALYZE collection on every shard session. Worker domains
+    only touch their sessions inside [Pool.run], whose completion latch
+    orders these writes before any dispatch. *)
+let set_analyze (t : t) (on : bool) : unit =
+  t.c_analyze <- on;
+  if not on then t.c_last_shard_plans <- [];
+  Array.iter (fun sh -> Pgdb.Db.set_analyze sh.s_session on) t.c_shards
+
+(** Routing decision of the last statement the sharder saw, as a route
+    explanation (including coordinator fallbacks with their reason). *)
+let last_route (t : t) : Router.explain option =
+  Option.map
+    (Router.explain_route ~shards:(Array.length t.c_shards))
+    t.c_last_route
+
+(** Per-shard operator trees collected by the last analyzed fan-out, in
+    target order; [] when the last statement was not analyzed or ran on
+    the coordinator. *)
+let last_shard_plans (t : t) : (int * Pgdb.Opstats.node option) list =
+  t.c_last_shard_plans
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -239,6 +269,13 @@ let fan_out (t : t) ~(targets : int list) (sql : string) :
   refresh_saturation t;
   Pool.run t.c_pool jobs;
   refresh_saturation t;
+  (* Pool.run's completion latch orders the workers' session writes
+     before this read of each shard's last operator tree *)
+  if t.c_analyze then
+    t.c_last_shard_plans <-
+      List.map
+        (fun i -> (i, Pgdb.Db.last_plan t.c_shards.(i).s_session))
+        targets;
   let rec collect acc = function
     | [] -> Ok (List.rev acc)
     | i :: rest -> (
@@ -310,7 +347,9 @@ let sharder (t : t) : Hyperq.Engine.sharder =
       (fun rel ->
         if t.c_closed then None
         else
-          match Router.route t.c_map rel with
+          let route = Router.route t.c_map rel in
+          t.c_last_route <- Some route;
+          match route with
         | Router.Coordinator reason ->
             M.inc t.c_coordinated;
             if Obs.Log.enabled log Obs.Log.Debug then

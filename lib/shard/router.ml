@@ -403,3 +403,67 @@ let route (map : Shardmap.t) (rel : I.rel) : route =
           match pins with
           | pin :: _ when not has_union -> Run (Single (pin, rel))
           | _ -> Run (Concat rel)))
+
+(* ------------------------------------------------------------------ *)
+(* Route explanation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Human/JSON-facing description of a routing decision, attached to
+    analyzed plans by the EXPLAIN plane. *)
+type explain = {
+  x_class : string;  (** single/merge/concat/partial_agg/coordinator *)
+  x_targets : int list;  (** shards the statement was dispatched to *)
+  x_reason : string;  (** coordinator fallback reason, [""] otherwise *)
+  x_merge_keys : (string * [ `Asc | `Desc ]) list;
+      (** gather ordering: merge keys, or the coordinator re-sort of a
+          partial aggregate *)
+  x_combines : (string * string) list;
+      (** partial-aggregate recombination rule per output column *)
+}
+
+let combine_name = function
+  | CKey -> "key"
+  | CSum -> "sum"
+  | CCount -> "count"
+  | CMin -> "min"
+  | CMax -> "max"
+  | CAvg (s, c) -> Printf.sprintf "avg(%s/%s)" s c
+
+let explain_route ~(shards : int) (r : route) : explain =
+  let all = List.init shards (fun i -> i) in
+  let none = { x_class = ""; x_targets = []; x_reason = ""; x_merge_keys = []; x_combines = [] } in
+  match r with
+  | Run (Single (s, _)) -> { none with x_class = "single"; x_targets = [ s ] }
+  | Run (Merge (_, keys)) ->
+      { none with x_class = "merge"; x_targets = all; x_merge_keys = keys }
+  | Run (Concat _) -> { none with x_class = "concat"; x_targets = all }
+  | Run (PartialAgg p) ->
+      {
+        none with
+        x_class = "partial_agg";
+        x_targets = all;
+        x_merge_keys = p.a_sort;
+        x_combines = List.map (fun (n, c) -> (n, combine_name c)) p.a_cols;
+      }
+  | Coordinator reason ->
+      { none with x_class = "coordinator"; x_reason = reason }
+
+let explain_json (x : explain) : string =
+  Printf.sprintf
+    "{\"class\":\"%s\",\"targets\":[%s],\"reason\":\"%s\",\
+     \"merge_keys\":[%s],\"combines\":{%s}}"
+    (Obs.Trace.json_escape x.x_class)
+    (String.concat "," (List.map string_of_int x.x_targets))
+    (Obs.Trace.json_escape x.x_reason)
+    (String.concat ","
+       (List.map
+          (fun (k, d) ->
+            Printf.sprintf "[\"%s\",\"%s\"]" (Obs.Trace.json_escape k)
+              (match d with `Asc -> "asc" | `Desc -> "desc"))
+          x.x_merge_keys))
+    (String.concat ","
+       (List.map
+          (fun (n, c) ->
+            Printf.sprintf "\"%s\":\"%s\"" (Obs.Trace.json_escape n)
+              (Obs.Trace.json_escape c))
+          x.x_combines))

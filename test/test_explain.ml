@@ -1,0 +1,445 @@
+(* EXPLAIN/ANALYZE plane tests: operator trees out of the instrumented
+   pgdb executor (shapes, row counts, estimates), the .hq.explain admin
+   query over the full 25-query analytical workload on a 2-shard
+   platform (single-shard and scatter/gather routes included), the
+   /explain.json admin endpoint, tree-shape stability across plan-cache
+   hits, tail sampling, and the cardinality feedback that analyzed runs
+   fold into the per-fingerprint store. *)
+
+module Db = Pgdb.Db
+module Op = Pgdb.Opstats
+module QV = Qvalue.Value
+module P = Platform.Hyperq_platform
+module MD = Workload.Marketdata
+module AW = Workload.Analytical
+module H = Obs.Http
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+let tstr = Alcotest.string
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "query failed: %s" e
+
+let marketdata_db () =
+  let db = Db.create () in
+  MD.load_pg db (MD.generate MD.small_scale);
+  db
+
+let with_platform ?shards ?analyze_sample db f =
+  let p = P.create ?shards ?analyze_sample db in
+  Fun.protect ~finally:(fun () -> P.shutdown p) (fun () -> f p)
+
+(* ------------------------------------------------------------------ *)
+(* Executor instrumentation (pgdb layer, no platform)                  *)
+(* ------------------------------------------------------------------ *)
+
+let analyzed_plan sess sql : Op.node =
+  (match Db.exec sess sql with
+  | Db.Rows _ -> ()
+  | _ -> Alcotest.failf "expected rows from %s" sql);
+  match Db.last_plan sess with
+  | Some n -> n
+  | None -> Alcotest.failf "no plan collected for %s" sql
+
+let ops_of (n : Op.node) : string list =
+  List.map (fun (_, m) -> m.Op.op) (Op.flatten n)
+
+let test_exec_tree_shape () =
+  let db = marketdata_db () in
+  let sess = Db.open_session db in
+  Db.set_analyze sess true;
+  let n =
+    analyzed_plan sess
+      "SELECT \"Price\" FROM trades WHERE \"Price\" > 10.0 ORDER BY \
+       \"Price\" DESC LIMIT 5"
+  in
+  check
+    Alcotest.(list string)
+    "operator chain" [ "limit"; "sort"; "project"; "filter"; "scan" ]
+    (ops_of n);
+  (* sane actuals: the scan reads the whole table, the limit caps at 5 *)
+  let by op = List.find (fun (_, m) -> m.Op.op = op) (Op.flatten n) in
+  let _, scan = by "scan" in
+  check tstr "scan names the table" "trades" scan.Op.detail;
+  check tbool "scan read rows" true (scan.Op.rows_out > 0);
+  let _, limit = by "limit" in
+  check tbool "limit caps output" true (limit.Op.rows_out <= 5);
+  (* every node carries a positive estimate and non-negative self time *)
+  List.iter
+    (fun (_, m) ->
+      check tbool (m.Op.op ^ " est positive") true (m.Op.est_rows >= 1);
+      check tbool (m.Op.op ^ " self_ns >= 0") true (m.Op.self_ns >= 0L))
+    (Op.flatten n)
+
+let test_exec_aggregate_and_join () =
+  let db = marketdata_db () in
+  let sess = Db.open_session db in
+  Db.set_analyze sess true;
+  let agg =
+    analyzed_plan sess
+      "SELECT \"Symbol\", SUM(\"Size\") FROM trades GROUP BY \"Symbol\""
+  in
+  check tbool "aggregate at the root" true
+    (List.mem "aggregate" (ops_of agg));
+  let join =
+    analyzed_plan sess
+      "SELECT t.\"Price\", s.\"Sector\" FROM trades t JOIN secmaster_w s \
+       ON t.\"Symbol\" = s.\"Symbol\""
+  in
+  let _, j =
+    List.find
+      (fun (_, m) -> m.Op.op = "hash_join" || m.Op.op = "nested_loop")
+      (Op.flatten join)
+  in
+  check tint "join has two children" 2 (List.length j.Op.children);
+  check tstr "equi join hashes" "hash_join" j.Op.op;
+  (* join input accounting: rows_in is the sum of both children *)
+  check tint "join rows_in"
+    (List.fold_left (fun a c -> a + c.Op.rows_out) 0 j.Op.children)
+    j.Op.rows_in
+
+let test_exec_off_collects_nothing () =
+  let db = marketdata_db () in
+  let sess = Db.open_session db in
+  (match Db.exec sess "SELECT \"Price\" FROM trades" with
+  | Db.Rows _ -> ()
+  | _ -> Alcotest.fail "expected rows");
+  check tbool "no plan without analyze" true (Db.last_plan sess = None);
+  Db.set_analyze sess true;
+  ignore (analyzed_plan sess "SELECT \"Price\" FROM trades");
+  Db.set_analyze sess false;
+  check tbool "turning analyze off clears the plan" true
+    (Db.last_plan sess = None)
+
+let test_qerror_accounting () =
+  check (Alcotest.float 1e-9) "perfect estimate" 1.0
+    (Op.qerror ~est:100 ~actual:100);
+  check (Alcotest.float 1e-9) "underestimate" 4.0
+    (Op.qerror ~est:25 ~actual:100);
+  check (Alcotest.float 1e-9) "empty actuals clamp" 25.0
+    (Op.qerror ~est:25 ~actual:0)
+
+(* ------------------------------------------------------------------ *)
+(* .hq.explain over the analytical workload, sharded                   *)
+(* ------------------------------------------------------------------ *)
+
+let column_syms t name =
+  match QV.column_exn t name with
+  | QV.Vector (_, a) ->
+      Array.to_list a
+      |> List.map (function Qvalue.Atom.Sym s -> s | _ -> "?")
+  | _ -> []
+
+let test_workload_explains_sharded () =
+  let d = MD.generate MD.small_scale in
+  let db = Db.create () in
+  MD.load_pg db d;
+  with_platform ~shards:2 db (fun p ->
+      let c = P.Client.connect p in
+      let ex = (P.obs p).Obs.Ctx.explain in
+      List.iter
+        (fun (q : AW.query) ->
+          List.iter (fun s -> ignore (ok (P.Client.query c s))) q.AW.setup;
+          match ok (P.Client.query c (".hq.explain " ^ q.AW.text)) with
+          | QV.Table t ->
+              let rows = QV.table_length t in
+              if rows = 0 then
+                Alcotest.failf "Q%d: empty operator table" q.AW.id;
+              (* every analyzed query lands in the explain ring with its
+                 actual row counts *)
+              (match Obs.Explain.recent ex 1 with
+              | [ pl ] ->
+                  check tbool
+                    (Printf.sprintf "Q%d: rows scanned" q.AW.id)
+                    true
+                    (pl.Obs.Explain.p_rows_scanned > 0)
+              | _ -> Alcotest.failf "Q%d: no ring entry" q.AW.id);
+              check tbool
+                (Printf.sprintf "Q%d: ops named" q.AW.id)
+                true
+                (List.for_all (fun s -> s <> "") (column_syms t "op"))
+          | v ->
+              Alcotest.failf "Q%d: expected operator table, got %s" q.AW.id
+                (Qvalue.Qprint.to_string v))
+        (AW.queries d);
+      check tint "all 25 queries analyzed" 25 (Obs.Explain.analyzed_total ex);
+      P.Client.close c)
+
+let test_route_explanations () =
+  let d = MD.generate MD.small_scale in
+  let db = Db.create () in
+  MD.load_pg db d;
+  with_platform ~shards:2 db (fun p ->
+      let c = P.Client.connect p in
+      let ex = (P.obs p).Obs.Ctx.explain in
+      let s0 = d.MD.syms.(0) in
+      (* distribution-key equality pins the query to one shard *)
+      (match
+         ok
+           (P.Client.query c
+              (Printf.sprintf ".hq.explain select from trades where \
+                               Symbol=`%s" s0))
+       with
+      | QV.Table t ->
+          check tbool "single route: shard operators attached" true
+            (QV.table_length t > 0)
+      | v -> Alcotest.failf "expected table, got %s" (Qvalue.Qprint.to_string v));
+      (match Obs.Explain.recent ex 1 with
+      | [ pl ] ->
+          check tstr "single route class" "single" pl.Obs.Explain.p_route;
+          check tint "single route: one shard plan" 1
+            pl.Obs.Explain.p_shards
+      | _ -> Alcotest.fail "no ring entry");
+      (* a grouped aggregate scatters with partial-aggregate decomposition *)
+      ignore
+        (ok (P.Client.query c ".hq.explain select mx:max Price by Symbol \
+                               from trades"));
+      (match Obs.Explain.recent ex 1 with
+      | [ pl ] ->
+          check tstr "scatter route class" "partial_agg"
+            pl.Obs.Explain.p_route;
+          check tint "scatter: both shard plans" 2 pl.Obs.Explain.p_shards;
+          (* the decomposition itself is in the rendered document *)
+          let has s =
+            Str.string_match
+              (Str.regexp (".*" ^ Str.quote s))
+              pl.Obs.Explain.p_tree 0
+          in
+          check tbool "combine functions listed" true
+            (has "\"combines\"" && has "\"max\"")
+      | _ -> Alcotest.fail "no ring entry");
+      P.Client.close c)
+
+(* .hq.explain works unsharded too: the tree is coordinator-side *)
+let test_explain_unsharded () =
+  with_platform (marketdata_db ()) (fun p ->
+      let c = P.Client.connect p in
+      (match
+         ok (P.Client.query c ".hq.explain q\"select s:sum Size by Symbol \
+                               from trades\"")
+       with
+      | QV.Table t ->
+          let shards =
+            match QV.column_exn t "shard" with
+            | QV.Vector (_, a) ->
+                Array.to_list a
+                |> List.map (function Qvalue.Atom.Long i -> Int64.to_int i | _ -> 0)
+            | _ -> []
+          in
+          check tbool "coordinator rows marked -1" true
+            (shards <> [] && List.for_all (fun s -> s = -1) shards)
+      | v -> Alcotest.failf "expected table, got %s" (Qvalue.Qprint.to_string v));
+      (match Obs.Explain.recent (P.obs p).Obs.Ctx.explain 1 with
+      | [ pl ] ->
+          check tstr "unsharded route class" "coordinator"
+            pl.Obs.Explain.p_route;
+          check tbool "rows out recorded" true (pl.Obs.Explain.p_rows_out > 0)
+      | _ -> Alcotest.fail "no ring entry");
+      (* a broken query comes back as an atom, not a crash *)
+      (match ok (P.Client.query c ".hq.explain select nope from missing") with
+      | QV.Atom (Qvalue.Atom.Sym s) ->
+          check tbool "error surfaces" true
+            (String.length s > 0 && String.sub s 0 7 = "explain")
+      | v -> Alcotest.failf "expected atom, got %s" (Qvalue.Qprint.to_string v));
+      P.Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Plan-cache hits must explain identically                            *)
+(* ------------------------------------------------------------------ *)
+
+let doc_ops (doc : string) : string list =
+  let re = Str.regexp "\"op\":\"\\([a-z_]+\\)\"" in
+  let rec go acc pos =
+    match Str.search_forward re doc pos with
+    | exception Not_found -> List.rev acc
+    | p -> go (Str.matched_group 1 doc :: acc) (p + 1)
+  in
+  go [] 0
+
+let test_plan_cache_hit_stability () =
+  with_platform (marketdata_db ()) (fun p ->
+      let c = P.Client.connect p in
+      let ex = (P.obs p).Obs.Ctx.explain in
+      (* the connection's very first statement bumps the scope
+         generations the cache key includes, so warm up first *)
+      ignore (ok (P.Client.query c "select t:sum Size from trades"));
+      let q = ".hq.explain select Price from trades where Size>5" in
+      ignore (ok (P.Client.query c q));
+      let first =
+        match Obs.Explain.recent ex 1 with
+        | [ pl ] -> pl
+        | _ -> Alcotest.fail "no first entry"
+      in
+      ignore (ok (P.Client.query c q));
+      let second =
+        match Obs.Explain.recent ex 1 with
+        | [ pl ] -> pl
+        | _ -> Alcotest.fail "no second entry"
+      in
+      check tstr "first run misses" "miss" first.Obs.Explain.p_cache;
+      check tstr "second run hits the template" "hit"
+        second.Obs.Explain.p_cache;
+      (* the template path must execute the same plan: identical operator
+         sequence, identical row counts *)
+      check
+        Alcotest.(list string)
+        "tree shape stable across cache hit"
+        (doc_ops first.Obs.Explain.p_tree)
+        (doc_ops second.Obs.Explain.p_tree);
+      check tint "row counts stable" first.Obs.Explain.p_rows_out
+        second.Obs.Explain.p_rows_out;
+      P.Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Sampling, cardinality feedback, recorder and HTTP surfaces          *)
+(* ------------------------------------------------------------------ *)
+
+let test_tail_sampling () =
+  with_platform ~analyze_sample:3 (marketdata_db ()) (fun p ->
+      let c = P.Client.connect p in
+      for _ = 1 to 6 do
+        ignore (ok (P.Client.query c "select t:sum Size from trades"))
+      done;
+      check tint "1-in-3 sampling analyzed 2 of 6" 2
+        (Obs.Explain.analyzed_total (P.obs p).Obs.Ctx.explain);
+      P.Client.close c)
+
+let test_cardinality_feedback () =
+  with_platform ~analyze_sample:1 (marketdata_db ()) (fun p ->
+      let c = P.Client.connect p in
+      let q = "select a:avg Price by Symbol from trades" in
+      ignore (ok (P.Client.query c q));
+      ignore (ok (P.Client.query c q));
+      let qstats = (P.obs p).Obs.Ctx.qstats in
+      (match Obs.Qstats.worst_misestimates qstats 5 with
+      | [] -> Alcotest.fail "no analyzed fingerprints"
+      | e :: _ ->
+          check tbool "analyzed runs counted" true (e.Obs.Qstats.e_analyzed >= 2);
+          check tbool "rows scanned accumulated" true
+            (e.Obs.Qstats.e_rows_scanned > 0);
+          check tbool "q-error clamped >= 1" true
+            (e.Obs.Qstats.e_worst_qerror >= 1.0);
+          check tbool "worst operator named" true
+            (e.Obs.Qstats.e_worst_op <> ""));
+      (* the feedback columns ride on .hq.top *)
+      (match ok (P.Client.query c ".hq.top[5]") with
+      | QV.Table t ->
+          List.iter
+            (fun col ->
+              check tbool (col ^ " column present") true
+                (List.mem col (Array.to_list t.QV.cols)))
+            [ "analyzed"; "rows_scanned_avg"; "worst_qerror"; "worst_op" ]
+      | v -> Alcotest.failf "expected table, got %s" (Qvalue.Qprint.to_string v));
+      P.Client.close c)
+
+let test_recorder_attaches_tree () =
+  with_platform ~analyze_sample:1 (marketdata_db ()) (fun p ->
+      Obs.Recorder.set_threshold (P.obs p).Obs.Ctx.recorder 0.0;
+      let c = P.Client.connect p in
+      ignore (ok (P.Client.query c "select t:sum Size from trades"));
+      (match Obs.Recorder.recent (P.obs p).Obs.Ctx.recorder 1 with
+      | [ r ] ->
+          check tbool "slow entry carries the operator tree" true
+            (String.length r.Obs.Recorder.r_ops > 0);
+          check tbool "top operator identified" true
+            (r.Obs.Recorder.r_top_operator <> "")
+      | _ -> Alcotest.fail "recorder captured nothing");
+      (* surfaced as the .hq.slow top_operator column *)
+      (match ok (P.Client.query c ".hq.slow[1]") with
+      | QV.Table t ->
+          check tbool "top_operator column" true
+            (List.mem "top_operator" (Array.to_list t.QV.cols))
+      | v -> Alcotest.failf "expected table, got %s" (Qvalue.Qprint.to_string v));
+      P.Client.close c)
+
+let http_get (p : P.t) (path : string) : string =
+  H.handle (P.admin_handler p)
+    (Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path)
+
+(* plain substring search: Str's [.] does not cross the newlines in an
+   HTTP response *)
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+  in
+  nl = 0 || go 0
+
+let test_explain_json_endpoint () =
+  let d = MD.generate MD.small_scale in
+  let db = Db.create () in
+  MD.load_pg db d;
+  with_platform ~shards:2 db (fun p ->
+      let c = P.Client.connect p in
+      ignore
+        (ok (P.Client.query c ".hq.explain select mx:max Price by Symbol \
+                               from trades"));
+      let body = http_get p "/explain.json" in
+      check tbool "200" true (contains body "200");
+      List.iter
+        (fun k -> check tbool (k ^ " present") true (contains body k))
+        [
+          "\"plans\"";
+          "\"route\":\"partial_agg\"";
+          "\"op\":\"scan\"";
+          "\"pipeline\"";
+          "\"rows_scanned\"";
+          "\"top_operator\"";
+        ];
+      (* ?n= limits the ring read: the newest plan routes single, the
+         older partial_agg one must drop out *)
+      ignore
+        (ok
+           (P.Client.query c
+              (Printf.sprintf ".hq.explain select from trades where \
+                               Symbol=`%s" d.MD.syms.(0))));
+      let limited = http_get p "/explain.json?n=1" in
+      check tbool "limited read skips older plans" true
+        (not (contains limited "partial_agg"));
+      (* reset clears the ring *)
+      (match ok (P.Client.query c ".hq.stats.reset") with
+      | QV.Atom (Qvalue.Atom.Sym "reset") -> ()
+      | v -> Alcotest.failf "expected `reset, got %s" (Qvalue.Qprint.to_string v));
+      check tint "ring empty after reset" 0
+        (Obs.Explain.size (P.obs p).Obs.Ctx.explain);
+      P.Client.close c)
+
+let () =
+  Alcotest.run "explain"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "tree shape" `Quick test_exec_tree_shape;
+          Alcotest.test_case "aggregate and join" `Quick
+            test_exec_aggregate_and_join;
+          Alcotest.test_case "off collects nothing" `Quick
+            test_exec_off_collects_nothing;
+          Alcotest.test_case "q-error" `Quick test_qerror_accounting;
+        ] );
+      ( ".hq.explain",
+        [
+          Alcotest.test_case "25-query workload sharded" `Quick
+            test_workload_explains_sharded;
+          Alcotest.test_case "route explanations" `Quick
+            test_route_explanations;
+          Alcotest.test_case "unsharded" `Quick test_explain_unsharded;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "hit explains identically" `Quick
+            test_plan_cache_hit_stability;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "tail sampling" `Quick test_tail_sampling;
+          Alcotest.test_case "cardinality store" `Quick
+            test_cardinality_feedback;
+          Alcotest.test_case "recorder tree" `Quick
+            test_recorder_attaches_tree;
+          Alcotest.test_case "/explain.json" `Quick
+            test_explain_json_endpoint;
+        ] );
+    ]
