@@ -11,9 +11,10 @@ all:
 # child spans, traceparent stamping, ring sampling and SLO evaluation
 # cost <= 2.5% of scatter latency on a 2-shard cluster) + the explain
 # gate (per-operator EXPLAIN/ANALYZE instrumentation costs <= 2.5% of
-# mean query latency while collection is off); the introspection suite
-# exercises the HTTP admin endpoint through its pure handler, so no
-# curl / open port needed
+# mean query latency while collection is off) + the runtime gate
+# (per-query GC/allocation attribution costs <= 2.5% of mean query
+# latency); the introspection suite exercises the HTTP admin endpoint
+# through its pure handler, so no curl / open port needed
 ci:
 	dune build @all
 	dune runtest
@@ -22,6 +23,7 @@ ci:
 	dune exec bench/main.exe -- shard_gate
 	dune exec bench/main.exe -- obs_gate
 	dune exec bench/main.exe -- explain_gate
+	dune exec bench/main.exe -- runtime_gate
 
 # quick overhead gates only (exit 1 on regression)
 bench-smoke:
@@ -30,6 +32,7 @@ bench-smoke:
 	dune exec bench/main.exe -- shard_gate
 	dune exec bench/main.exe -- obs_gate
 	dune exec bench/main.exe -- explain_gate
+	dune exec bench/main.exe -- runtime_gate
 
 check:
 	dune build @dev-check

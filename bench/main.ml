@@ -24,6 +24,8 @@
      obs_gate        Quick obs_cluster gate for `make ci` (exit 1 on fail)
      explain         EXPLAIN/ANALYZE collection overhead off/sampled/always
      explain_gate    Quick explain gate for `make ci` (exit 1 on fail)
+     runtime         GC telemetry + allocation-attribution overhead
+     runtime_gate    Quick runtime gate for `make ci` (exit 1 on fail)
      micro           Bechamel micro-benchmarks of the translation pipeline *)
 
 module E = Hyperq.Engine
@@ -542,6 +544,7 @@ let bench_qstats () =
     Obs.Qstats.record scratch ~fingerprint:fp ~query:norm ~duration_s:1e-4
       ~error_class:None ~rows_out:10 ~bytes_in:64 ~bytes_out:256
       ~stages:[ ("parse", 1e-5); ("execute", 5e-5) ]
+      ()
   done;
   let mean_introspect_us = (now () -. t0) *. 1e6 /. float_of_int iterations in
   let overhead_pct = 100.0 *. mean_introspect_us /. Float.max 1e-9 mean_query_us in
@@ -1466,6 +1469,181 @@ let micro () =
          | _ -> Printf.printf "%-42s %12s\n" name "n/a")
 
 (* ------------------------------------------------------------------ *)
+(* Runtime & resource observability: attribution overhead              *)
+(* ------------------------------------------------------------------ *)
+
+(* drives a mixed workload through a 2-shard platform with GC/heap
+   sampling and per-query allocation attribution live, checks the
+   telemetry actually landed (runtime samples applied, per-fingerprint
+   allocation averages, flight-recorder alloc/minor-GC deltas,
+   per-domain utilization gauges, per-shard dispatch allocation), then
+   isolates the pure attribution cost per query — one per-query
+   [Gc.allocated_bytes]/[Gc.quick_stat] pair plus one per pipeline
+   stage — and holds it under 2.5% of the measured mean query latency.
+   Full run writes BENCH_runtime.json; [~gate:true] is the CI variant. *)
+let bench_runtime ?(gate = false) () =
+  header
+    (if gate then "Runtime observability - attribution overhead gate"
+     else
+       "Runtime observability - GC telemetry and allocation attribution \
+        (writes BENCH_runtime.json)");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let module P = Platform.Hyperq_platform in
+  let shards = 2 in
+  let d = MD.generate MD.small_scale in
+  let db = Pgdb.Db.create () in
+  MD.load_pg db d;
+  let obs = Obs.Ctx.create () in
+  (* sample fast so even the gate's short workload lands several GC
+     samples and live windows *)
+  Obs.Timeseries.set_interval obs.Obs.Ctx.timeseries 0.01;
+  Obs.Runtime.set_interval obs.Obs.Ctx.runtime 0.01;
+  (* capture everything: every query's record shows its alloc deltas *)
+  Obs.Recorder.set_threshold obs.Obs.Ctx.recorder 0.0;
+  let platform = P.create ~obs ~shards db in
+  let client = P.Client.connect platform in
+  let shapes =
+    [|
+      (fun _ -> "select mx:max Price by Symbol from trades");
+      (fun i ->
+        Printf.sprintf "select sum Size from trades where Price>%f"
+          (float_of_int (i mod 50)));
+      (fun _ -> "select avg Bid by Symbol from quotes");
+    |]
+  in
+  let total_queries = if gate then 300 else 5_000 in
+  for i = 0 to total_queries - 1 do
+    ignore (P.Client.query client (shapes.(i mod Array.length shapes) i))
+  done;
+  Obs.Runtime.sample obs.Obs.Ctx.runtime;
+  let reg = obs.Obs.Ctx.registry in
+  let query_h = Obs.Metrics.histogram reg "hq_query_seconds" in
+  let mean_query_us =
+    Obs.Metrics.hist_sum query_h
+    /. float_of_int (Stdlib.max 1 (Obs.Metrics.hist_count query_h))
+    *. 1e6
+  in
+  let rt_stats = Obs.Runtime.stats obs.Obs.Ctx.runtime in
+  let rt v = try List.assoc v rt_stats with Not_found -> 0.0 in
+  let samples = Obs.Runtime.samples_total obs.Obs.Ctx.runtime in
+  Option.iter Shard.Cluster.refresh_saturation (P.cluster platform);
+  let snap = Obs.Metrics.snapshot reg in
+  let metric_total sub =
+    List.fold_left
+      (fun acc s ->
+        if contains s.Obs.Metrics.s_name sub then acc +. s.Obs.Metrics.s_value
+        else acc)
+      0.0 snap
+  in
+  let domain_busy_s = metric_total "hq_domain_busy_seconds" in
+  let shard_alloc_bytes = metric_total "hq_shard_alloc_bytes" in
+  (* per-fingerprint attribution: every tracked shape should carry a
+     positive coordinator-side allocation average *)
+  let top_allocs = Obs.Qstats.top_allocators obs.Obs.Ctx.qstats 5 in
+  let alloc_attributed =
+    top_allocs <> []
+    && List.for_all (fun e -> Obs.Qstats.entry_alloc_avg e > 0.0) top_allocs
+  in
+  (* flight recorder: slow entries answer "GC victim or genuinely
+     expensive?" only if they carry the deltas *)
+  let recent = Obs.Recorder.recent obs.Obs.Ctx.recorder 50 in
+  let slow_with_alloc =
+    List.length
+      (List.filter (fun r -> r.Obs.Recorder.r_alloc_bytes > 0.0) recent)
+  in
+  (* isolated attribution cost: what one query pays for the capture —
+     one per-query [Gc.quick_stat] pair (minor-GC delta; cross-domain,
+     ~1us a call) plus cheap domain-local [Gc.allocated_bytes] pairs,
+     one per query and one per pipeline stage (6 stages) *)
+  let iterations = if gate then 50_000 else 500_000 in
+  let sink = ref 0.0 in
+  let t0 = now () in
+  for _ = 1 to iterations do
+    let g0 = (Gc.quick_stat ()).Gc.minor_collections in
+    for _ = 0 to 6 do
+      let a0 = Gc.allocated_bytes () in
+      let a1 = Gc.allocated_bytes () in
+      sink := !sink +. (a1 -. a0)
+    done;
+    let g1 = (Gc.quick_stat ()).Gc.minor_collections in
+    sink := !sink +. float_of_int (g1 - g0)
+  done;
+  ignore (Sys.opaque_identity !sink);
+  let mean_attr_us = (now () -. t0) *. 1e6 /. float_of_int iterations in
+  let overhead_pct = 100.0 *. mean_attr_us /. Float.max 1e-9 mean_query_us in
+  Printf.printf "%-34s %12d\n" "queries through the platform" total_queries;
+  Printf.printf "%-34s %12d\n" "gc samples applied" samples;
+  Printf.printf "%-34s %12.0f\n" "gc minor collections"
+    (rt "gc_minor_collections_total");
+  Printf.printf "%-34s %12.0f\n" "bytes allocated (coordinator)"
+    (rt "gc_allocated_bytes_total");
+  Printf.printf "%-34s %12.0f\n" "major heap bytes" (rt "heap_bytes");
+  Printf.printf "%-34s %12.3f\n" "domain busy seconds (all)" domain_busy_s;
+  Printf.printf "%-34s %12.0f\n" "shard dispatch alloc bytes"
+    shard_alloc_bytes;
+  Printf.printf "%-34s %12s\n" "per-fingerprint alloc attribution"
+    (if alloc_attributed then "yes" else "MISSING");
+  Printf.printf "%-34s %9d/%2d\n" "recorder entries with alloc"
+    slow_with_alloc (List.length recent);
+  Printf.printf "%-34s %12.1f\n" "mean query latency (us)" mean_query_us;
+  Printf.printf "%-34s %12.3f\n" "mean attribution cost (us)" mean_attr_us;
+  Printf.printf "%-34s %11.3f%%  (target <=2.5%%)\n" "overhead" overhead_pct;
+  P.Client.close client;
+  P.shutdown platform;
+  let limit = 2.5 in
+  let telemetry_ok =
+    samples >= 1 && alloc_attributed && slow_with_alloc > 0
+    && shard_alloc_bytes > 0.0
+  in
+  if gate then begin
+    if (not telemetry_ok) || overhead_pct > limit then begin
+      Printf.printf
+        "--\nRUNTIME GATE FAIL: overhead %.3f%% > %.1f%% or telemetry \
+         missing (samples=%d attributed=%b slow_with_alloc=%d \
+         shard_alloc=%.0f)\n"
+        overhead_pct limit samples alloc_attributed slow_with_alloc
+        shard_alloc_bytes;
+      exit 1
+    end;
+    Printf.printf "--\nruntime gate ok\n"
+  end
+  else begin
+    let oc = open_out "BENCH_runtime.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"queries\": %d,\n\
+      \  \"gc_samples\": %d,\n\
+      \  \"gc_minor_collections\": %.0f,\n\
+      \  \"gc_allocated_bytes\": %.0f,\n\
+      \  \"heap_bytes\": %.0f,\n\
+      \  \"domain_busy_seconds\": %.4f,\n\
+      \  \"shard_alloc_bytes\": %.0f,\n\
+      \  \"alloc_attributed\": %b,\n\
+      \  \"recorder_with_alloc\": %d,\n\
+      \  \"mean_query_us\": %.3f,\n\
+      \  \"mean_attribution_us\": %.3f,\n\
+      \  \"overhead_pct\": %.4f\n\
+       }\n"
+      total_queries samples
+      (rt "gc_minor_collections_total")
+      (rt "gc_allocated_bytes_total")
+      (rt "heap_bytes") domain_busy_s shard_alloc_bytes alloc_attributed
+      slow_with_alloc mean_query_us mean_attr_us overhead_pct;
+    close_out oc;
+    Printf.printf "--\nwrote BENCH_runtime.json\n";
+    if (not telemetry_ok) || overhead_pct > limit then begin
+      Printf.printf "RUNTIME GATE FAIL: overhead %.3f%% > %.1f%% or \
+                     telemetry missing\n"
+        overhead_pct limit;
+      exit 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1490,6 +1668,8 @@ let all_experiments =
     ("obs_gate", (fun () -> bench_obs_cluster ~gate:true ()));
     ("explain", (fun () -> bench_explain ()));
     ("explain_gate", (fun () -> bench_explain ~gate:true ()));
+    ("runtime", (fun () -> bench_runtime ()));
+    ("runtime_gate", (fun () -> bench_runtime ~gate:true ()));
     ("micro", micro);
   ]
 
@@ -1507,7 +1687,7 @@ let () =
         (fun (name, f) ->
           if name <> "smoke" && name <> "plan_cache_gate"
              && name <> "shard_gate" && name <> "obs_gate"
-             && name <> "explain_gate"
+             && name <> "explain_gate" && name <> "runtime_gate"
           then f ())
         all_experiments
   | names ->

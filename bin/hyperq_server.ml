@@ -46,6 +46,8 @@ let () =
   let ts_ring = ref Obs.Timeseries.default_capacity in
   let slo_spec = ref "" in
   let analyze_sample = ref 0 in
+  let runtime_interval = ref Obs.Runtime.default_interval_s in
+  let heap_watermark_mb = ref 0.0 in
   let speclist =
     [
       ( "--stats",
@@ -55,7 +57,8 @@ let () =
         Arg.Set_int admin_port,
         "PORT serve GET /metrics, /healthz, /stats.json, /slow.json, \
          /traces.json, /logs.json, /activity.json, /plancache.json, \
-         /timeseries.json, /slo.json and POST /reset on 127.0.0.1:PORT" );
+         /timeseries.json, /slo.json, /runtime.json and POST /reset on \
+         127.0.0.1:PORT" );
       ( "--slow-threshold-ms",
         Arg.Set_float slow_threshold_ms,
         "MS flight-record queries slower than MS (default 100)" );
@@ -114,6 +117,16 @@ let () =
          collection on (default 0 = off); analyzed plans land in \
          GET /explain.json, or explain one query on demand with \
          .hq.explain <query>" );
+      ( "--runtime-interval",
+        Arg.Set_float runtime_interval,
+        Printf.sprintf
+          "S sample GC/heap telemetry every S seconds (default %g); \
+           inspect with .hq.runtime or GET /runtime.json"
+          Obs.Runtime.default_interval_s );
+      ( "--heap-watermark-mb",
+        Arg.Set_float heap_watermark_mb,
+        "MB degrade GET /healthz to 503 while the major heap exceeds MB \
+         (default 0 = no watermark)" );
     ]
   in
   Arg.parse speclist
@@ -164,18 +177,27 @@ let () =
       | Error msg -> bad "--slo: %s" msg
   in
   let slo = Obs.Slo.create ~config:slo_config timeseries in
-  let obs =
-    Obs.Ctx.create ~registry ~events ~log ~export ~timeseries ~slo ()
+  let runtime =
+    Obs.Runtime.create ~interval_s:(Float.max 0.01 !runtime_interval) registry
   in
-  (* periodic sampler: fills the ring on the clock even while the REPL
-     sits idle, so /timeseries.json shows the traffic dying down *)
+  if !heap_watermark_mb > 0.0 then
+    Obs.Runtime.set_heap_watermark runtime
+      (Some (!heap_watermark_mb *. 1024.0 *. 1024.0));
+  let obs =
+    Obs.Ctx.create ~registry ~events ~log ~export ~timeseries ~slo ~runtime ()
+  in
+  (* periodic sampler: fills the time-series ring and paces the GC/heap
+     sampler on the clock even while the REPL sits idle, so
+     /timeseries.json shows the traffic dying down *)
   let sampler_stop = Atomic.make false in
   ignore
     (Thread.create
        (fun () ->
          while not (Atomic.get sampler_stop) do
-           Thread.delay (Float.max 0.01 !ts_interval);
-           ignore (Obs.Timeseries.tick timeseries)
+           Thread.delay
+             (Float.max 0.01 (Float.min !ts_interval !runtime_interval));
+           ignore (Obs.Timeseries.tick timeseries);
+           ignore (Obs.Runtime.tick runtime)
          done)
        ());
   at_exit (fun () -> Atomic.set sampler_stop true);

@@ -153,14 +153,27 @@ let create ?(config = default_config ()) ?mdi_config ?server_scope ?plan_cache
 (* every pipeline stage is recorded three ways from one measurement: the
    per-session stage timer (Figures 6/7), the shared per-stage latency
    histograms, and — when the endpoint has a query trace open — a child
-   span of that trace *)
+   span of that trace. The same bracket also captures the
+   coordinator-domain allocation delta ([Gc.allocated_bytes], ~25ns a
+   read) so attribution rides along for free: onto the stage timer
+   (full_spans) and as an attribute of the stage's trace span.
+   Minor-collection deltas are captured once per query at the endpoint,
+   not here: [Gc.quick_stat] sums counters across every domain in
+   OCaml 5 (~1us), so a per-stage bracket would cost more than the
+   stages it measures. *)
 let stage (t : t) (s : Stage_timer.stage) (f : unit -> 'a) : 'a =
   Obs.Ctx.span t.obs (Stage_timer.stage_name s) (fun () ->
       let start = Obs.Clock.now_ns () in
+      let a0 = Gc.allocated_bytes () in
       Fun.protect
         ~finally:(fun () ->
           let d = Obs.Clock.seconds_since start in
-          Stage_timer.record t.timer s d;
+          let alloc = Gc.allocated_bytes () -. a0 in
+          Stage_timer.record_alloc t.timer s d ~alloc_bytes:alloc
+            ~minor_gcs:0;
+          if alloc > 0.0 then
+            Obs.Ctx.add_attr t.obs "alloc_bytes"
+              (Obs.Trace.Int (int_of_float alloc));
           Obs.Metrics.observe (List.assoc s t.stage_hists) d)
         f)
 

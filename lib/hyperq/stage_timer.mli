@@ -25,19 +25,44 @@ val create : unit -> t
 (** Drop all recorded spans (call between measured queries). *)
 val reset : t -> unit
 
-(** Record one span of [seconds] under the stage. *)
+(** One recorded stage run: duration plus the coordinator-domain Gc
+    deltas measured across it (0 when only timed). *)
+type span = {
+  sp_stage : stage;
+  sp_seconds : float;
+  sp_alloc_bytes : float;
+  sp_minor_gcs : int;
+}
+
+(** Record one span of [seconds] under the stage (no allocation data). *)
 val record : t -> stage -> float -> unit
 
-(** Run a thunk, recording its monotonic duration under the stage (also
-    on raise). Spans accumulate: a stage that runs several times per
+(** Record one span with its measured Gc deltas. *)
+val record_alloc :
+  t -> stage -> float -> alloc_bytes:float -> minor_gcs:int -> unit
+
+(** Run a thunk, recording its monotonic duration and its
+    [Gc.allocated_bytes] delta under the stage (also on raise).
+    Minor-collection deltas are per-query, captured by the endpoint —
+    [Gc.quick_stat] sums across all domains and is too slow to bracket
+    every stage. Spans accumulate: a stage that runs several times per
     query (e.g. repeated algebrization of unrolled functions) sums up. *)
 val timed : t -> stage -> (unit -> 'a) -> 'a
 
-(** Recorded spans in recording order. *)
+(** Recorded (stage, seconds) spans in recording order. *)
 val spans : t -> (stage * float) list
+
+(** Recorded spans with allocation detail, in recording order. *)
+val full_spans : t -> span list
 
 (** Total seconds recorded for one stage since the last {!reset}. *)
 val total : t -> stage -> float
+
+(** Total bytes allocated / minor collections recorded for one stage
+    since the last {!reset}. *)
+val alloc_total : t -> stage -> float
+
+val minor_gcs_total : t -> stage -> int
 
 (** Sum of the four translation stages (parse + algebrize + optimize +
     serialize). *)

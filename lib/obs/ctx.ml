@@ -9,12 +9,13 @@ type t = {
   timeseries : Timeseries.t;
   slo : Slo.t;
   explain : Explain.t;
+  runtime : Runtime.t;
   mutable trace : Trace.t option;
   mutable last_trace : Trace.span option;
 }
 
 let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export
-    ?timeseries ?slo ?explain () =
+    ?timeseries ?slo ?explain ?runtime () =
   let registry =
     match registry with Some r -> r | None -> Metrics.create ()
   in
@@ -37,6 +38,11 @@ let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export
   in
   let slo = match slo with Some s -> s | None -> Slo.create timeseries in
   let explain = match explain with Some e -> e | None -> Explain.create () in
+  let runtime =
+    (* shares the registry's instruments via get-or-create; only whoever
+       drives sampling (the platform hook / server thread) advances it *)
+    match runtime with Some r -> r | None -> Runtime.create registry
+  in
   {
     registry;
     events;
@@ -48,6 +54,7 @@ let create ?registry ?events ?qstats ?recorder ?sessions ?log ?export
     timeseries;
     slo;
     explain;
+    runtime;
     trace = None;
     last_trace = None;
   }

@@ -20,6 +20,7 @@ type t = {
   timeseries : Timeseries.t;  (** periodic registry snapshots *)
   slo : Slo.t;  (** burn-rate monitor over the time-series ring *)
   explain : Explain.t;  (** bounded ring of analyzed query plans *)
+  runtime : Runtime.t;  (** GC/heap sampler + process identity *)
   mutable trace : Trace.t option;  (** trace of the in-flight query *)
   mutable last_trace : Trace.span option;
       (** most recently finished query trace (introspection, tests) *)
@@ -36,6 +37,7 @@ val create :
   ?timeseries:Timeseries.t ->
   ?slo:Slo.t ->
   ?explain:Explain.t ->
+  ?runtime:Runtime.t ->
   unit ->
   t
 

@@ -41,13 +41,40 @@ type t = {
 let create () =
   { mu = Mutex.create (); metrics = []; index = Hashtbl.create 32 }
 
+(* Prometheus exposition escaping for label values: only backslash,
+   double-quote and newline are special. OCaml's %S is close but wrong —
+   it emits decimal escapes (\027) for control characters and escapes
+   characters Prometheus treats as literal, producing lines scrapers
+   reject once a fingerprint or detail label carries one *)
+let escape_label_value s =
+  let plain = ref true in
+  String.iter
+    (fun c -> match c with '\\' | '"' | '\n' -> plain := false | _ -> ())
+    s;
+  if !plain then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
 let label_str labels =
   match labels with
   | [] -> ""
   | ls ->
       "{"
       ^ String.concat ","
-          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             ls)
       ^ "}"
 
 let key name labels = name ^ label_str labels

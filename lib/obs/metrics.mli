@@ -117,6 +117,16 @@ type raw =
     deltas of consecutive snapshots. *)
 val raw_snapshot : t -> (string * raw) list
 
+(** Render a float the way the exposition does: integers without a
+    decimal point, everything else via [%g]. *)
+val float_str : float -> string
+
+(** Escape a label value for Prometheus text exposition: backslash,
+    double-quote and newline get a backslash escape; everything else
+    passes through literally (unlike OCaml's [%S]). Exposed so sibling
+    exposers (e.g. {!Qstats.to_prometheus}) render labels the same way. *)
+val escape_label_value : string -> string
+
 (** Prometheus text exposition format (HELP/TYPE comments, cumulative
     [_bucket{le="..."}] series, [_sum] and [_count]). Each family's
     HELP line uses the first non-empty help text among its series, so

@@ -30,6 +30,9 @@ type entry = {
   mutable e_rows_scanned : int;  (** base-table rows read, analyzed calls *)
   mutable e_worst_qerror : float;  (** worst per-operator q-error seen *)
   mutable e_worst_op : string;  (** operator holding that worst q-error *)
+  (* allocation attribution: coordinator-side Gc deltas per call *)
+  mutable e_alloc_bytes : float;  (** total bytes allocated, all calls *)
+  mutable e_minor_gcs : int;  (** total minor collections, all calls *)
 }
 
 type t = {
@@ -99,9 +102,10 @@ let add_stages (sums : (string * float) list)
     sums
   @ List.filter (fun (name, _) -> not (List.mem_assoc name sums)) obs
 
-let record t ~(fingerprint : string) ~(query : string) ~(duration_s : float)
-    ~(error_class : string option) ~(rows_out : int) ~(bytes_in : int)
-    ~(bytes_out : int) ~(stages : (string * float) list) : unit =
+let record t ?(alloc_bytes = 0.0) ?(minor_gcs = 0) ~(fingerprint : string)
+    ~(query : string) ~(duration_s : float) ~(error_class : string option)
+    ~(rows_out : int) ~(bytes_in : int) ~(bytes_out : int)
+    ~(stages : (string * float) list) () : unit =
   with_mu t (fun () ->
   t.q_tick <- t.q_tick + 1;
   let e =
@@ -128,6 +132,8 @@ let record t ~(fingerprint : string) ~(query : string) ~(duration_s : float)
             e_rows_scanned = 0;
             e_worst_qerror = 0.0;
             e_worst_op = "";
+            e_alloc_bytes = 0.0;
+            e_minor_gcs = 0;
           }
         in
         Hashtbl.replace t.q_table fingerprint e;
@@ -145,6 +151,8 @@ let record t ~(fingerprint : string) ~(query : string) ~(duration_s : float)
   e.e_total_s <- e.e_total_s +. duration_s;
   if duration_s > e.e_max_s then e.e_max_s <- duration_s;
   e.e_stages <- add_stages e.e_stages stages;
+  if alloc_bytes > 0.0 then e.e_alloc_bytes <- e.e_alloc_bytes +. alloc_bytes;
+  if minor_gcs > 0 then e.e_minor_gcs <- e.e_minor_gcs + minor_gcs;
   let b = bucket_of_seconds duration_s in
   e.e_hist.(b) <- e.e_hist.(b) + 1;
   e.e_last_use <- t.q_tick)
@@ -180,6 +188,21 @@ let entry_rows_scanned_avg (e : entry) : float =
 let entry_rows_out_avg (e : entry) : float =
   if e.e_calls = 0 then 0.0
   else float_of_int e.e_rows_out /. float_of_int e.e_calls
+
+let entry_alloc_avg (e : entry) : float =
+  if e.e_calls = 0 then 0.0 else e.e_alloc_bytes /. float_of_int e.e_calls
+
+let entry_minor_gcs_avg (e : entry) : float =
+  if e.e_calls = 0 then 0.0
+  else float_of_int e.e_minor_gcs /. float_of_int e.e_calls
+
+(** Top-[n] fingerprints by total bytes allocated, descending — the
+    "who is creating the GC pressure" feed for [/stats.json]. *)
+let top_allocators t (n : int) : entry list =
+  with_mu t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.q_table [])
+  |> List.filter (fun e -> e.e_alloc_bytes > 0.0)
+  |> List.sort (fun a b -> Float.compare b.e_alloc_bytes a.e_alloc_bytes)
+  |> List.filteri (fun i _ -> i < n)
 
 let find t fingerprint =
   with_mu t (fun () -> Hashtbl.find_opt t.q_table fingerprint)
@@ -241,6 +264,10 @@ let entry_json (e : entry) : string =
           (List.map
              (fun (s, d) -> (Trace.json_escape s, Printf.sprintf "%.3f" (d *. 1e3)))
              e.e_stages) );
+      ("alloc_bytes", Printf.sprintf "%.0f" e.e_alloc_bytes);
+      ("alloc_bytes_avg", Printf.sprintf "%.0f" (entry_alloc_avg e));
+      ("minor_gcs", string_of_int e.e_minor_gcs);
+      ("minor_gcs_avg", Printf.sprintf "%.2f" (entry_minor_gcs_avg e));
       ("analyzed", string_of_int e.e_analyzed);
       ("rows_scanned_avg", Printf.sprintf "%.1f" (entry_rows_scanned_avg e));
       ("rows_out_avg", Printf.sprintf "%.1f" (entry_rows_out_avg e));
@@ -262,7 +289,8 @@ let to_prometheus ?(k = 10) t : string =
       List.iter
         (fun e ->
           Buffer.add_string buf
-            (Printf.sprintf "%s{fingerprint=%S} %s\n" name e.e_fingerprint
+            (Printf.sprintf "%s{fingerprint=\"%s\"} %s\n" name
+               (Metrics.escape_label_value e.e_fingerprint)
                (render e)))
         entries
     in
@@ -278,5 +306,11 @@ let to_prometheus ?(k = 10) t : string =
     series "hq_fingerprint_rows_total"
       "Rows returned per query fingerprint (top-K by total time)" (fun e ->
         string_of_int e.e_rows_out);
+    series "hq_fingerprint_alloc_bytes_total"
+      "Bytes allocated per query fingerprint (top-K by total time)" (fun e ->
+        Printf.sprintf "%.0f" e.e_alloc_bytes);
+    series "hq_fingerprint_minor_gcs_total"
+      "Minor GCs per query fingerprint (top-K by total time)" (fun e ->
+        string_of_int e.e_minor_gcs);
     Buffer.contents buf
   end

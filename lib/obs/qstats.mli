@@ -32,6 +32,9 @@ type entry = {
   mutable e_rows_scanned : int;  (** base-table rows read, analyzed calls *)
   mutable e_worst_qerror : float;  (** worst per-operator q-error seen *)
   mutable e_worst_op : string;  (** operator holding that worst q-error *)
+  (* allocation attribution: coordinator-side Gc deltas per call *)
+  mutable e_alloc_bytes : float;  (** total bytes allocated, all calls *)
+  mutable e_minor_gcs : int;  (** total minor collections, all calls *)
 }
 
 type t
@@ -44,9 +47,13 @@ val default_capacity : int
 val create : ?capacity:int -> unit -> t
 
 (** Fold one completed query into its fingerprint's entry. [stages] are
-    (stage name, seconds) pairs added to the per-stage sums. *)
+    (stage name, seconds) pairs added to the per-stage sums.
+    [alloc_bytes] / [minor_gcs] are the coordinator-side Gc deltas
+    measured around the query (0 = not measured). *)
 val record :
   t ->
+  ?alloc_bytes:float ->
+  ?minor_gcs:int ->
   fingerprint:string ->
   query:string ->
   duration_s:float ->
@@ -55,6 +62,7 @@ val record :
   bytes_in:int ->
   bytes_out:int ->
   stages:(string * float) list ->
+  unit ->
   unit
 
 (** Fold one analyzed run's operator-tree observations into the
@@ -76,6 +84,15 @@ val worst_misestimates : t -> int -> entry list
 val entry_rows_scanned_avg : entry -> float
 
 val entry_rows_out_avg : entry -> float
+
+(** Mean bytes allocated / mean minor collections per call. *)
+val entry_alloc_avg : entry -> float
+
+val entry_minor_gcs_avg : entry -> float
+
+(** Top-[n] fingerprints by total bytes allocated, descending; only
+    fingerprints with measured allocation qualify. *)
+val top_allocators : t -> int -> entry list
 
 val find : t -> string -> entry option
 val size : t -> int

@@ -13,6 +13,11 @@ type record = {
       (** operator-stats tree as pre-rendered JSON, [""] when the query
           did not run with ANALYZE collection on *)
   r_top_operator : string;  (** operator with the most self-time, [""] *)
+  r_alloc_bytes : float;
+      (** coordinator-side bytes allocated while the query ran, 0 when
+          not measured — separates GC-victim slow queries from ones
+          that are genuinely expensive *)
+  r_minor_gcs : int;  (** minor collections during the query, 0 = none *)
 }
 
 type t = {
@@ -73,9 +78,9 @@ let push t r =
     threshold, or as a tail sample of every [sample_every]-th fast query
     (0 disables sampling). Returns whether it was kept. *)
 let observe t ~(ts : float) ?(trace_id = "") ?(ops = "") ?(top_operator = "")
-    ~(fingerprint : string) ~(query : string) ~(duration_s : float)
-    ~(status : string) ~(error : string) ~(sql : string list)
-    (span : Trace.span) : bool =
+    ?(alloc_bytes = 0.0) ?(minor_gcs = 0) ~(fingerprint : string)
+    ~(query : string) ~(duration_s : float) ~(status : string)
+    ~(error : string) ~(sql : string list) (span : Trace.span) : bool =
   t.seen <- t.seen + 1;
   let kind =
     if duration_s >= t.threshold_s then Some "slow"
@@ -102,6 +107,8 @@ let observe t ~(ts : float) ?(trace_id = "") ?(ops = "") ?(top_operator = "")
           r_kind;
           r_ops = ops;
           r_top_operator = top_operator;
+          r_alloc_bytes = alloc_bytes;
+          r_minor_gcs = minor_gcs;
         };
       true
 
@@ -123,14 +130,15 @@ let record_json (r : record) : string =
   Printf.sprintf
     "{\"ts\":%.3f,\"trace_id\":\"%s\",\"fingerprint\":\"%s\",\
      \"query\":\"%s\",\"ms\":%.3f,\
-     \"status\":\"%s\",\"error\":\"%s\",\"kind\":\"%s\",\"sql\":[%s],\
+     \"status\":\"%s\",\"error\":\"%s\",\"kind\":\"%s\",\
+     \"alloc_bytes\":%.0f,\"minor_gcs\":%d,\"sql\":[%s],\
      \"top_operator\":\"%s\",\"ops\":%s,\
      \"trace\":%s}"
     r.r_ts r.r_trace_id r.r_fingerprint
     (Trace.json_escape r.r_query)
     (r.r_duration_s *. 1e3) r.r_status
     (Trace.json_escape r.r_error)
-    r.r_kind
+    r.r_kind r.r_alloc_bytes r.r_minor_gcs
     (String.concat ","
        (List.map (fun s -> Printf.sprintf "\"%s\"" (Trace.json_escape s)) r.r_sql))
     (Trace.json_escape r.r_top_operator)

@@ -25,6 +25,11 @@ type record = {
       (** operator-stats tree as pre-rendered JSON, [""] when the query
           did not run with ANALYZE collection on *)
   r_top_operator : string;  (** operator with the most self-time, [""] *)
+  r_alloc_bytes : float;
+      (** coordinator-side bytes allocated while the query ran, 0 when
+          not measured — separates GC-victim slow queries from ones
+          that are genuinely expensive *)
+  r_minor_gcs : int;  (** minor collections during the query, 0 = none *)
 }
 
 type t
@@ -41,13 +46,16 @@ val create :
     or as every [sample_every]-th fast query. Returns whether kept.
     [ops] is the pre-rendered operator-stats tree JSON and
     [top_operator] its hottest operator, both [""] when the query was
-    not analyzed. *)
+    not analyzed. [alloc_bytes] / [minor_gcs] are the coordinator-side
+    Gc deltas measured around the query (0 = not measured). *)
 val observe :
   t ->
   ts:float ->
   ?trace_id:string ->
   ?ops:string ->
   ?top_operator:string ->
+  ?alloc_bytes:float ->
+  ?minor_gcs:int ->
   fingerprint:string ->
   query:string ->
   duration_s:float ->

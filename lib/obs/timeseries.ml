@@ -37,6 +37,12 @@ let queries_name = "hq_queries_total"
 let errors_name = "hq_query_errors_total"
 let latency_name = "hq_query_seconds"
 
+(* runtime-plane series (Runtime registers these; windows report 0 for
+   registries without a sampling runtime) *)
+let alloc_name = "hq_gc_allocated_bytes_total"
+let minor_name = "hq_gc_minor_collections_total"
+let major_name = "hq_gc_major_collections_total"
+
 let create ?(interval_s = default_interval_s) ?(capacity = default_capacity)
     (registry : Metrics.t) : t =
   if capacity < 2 then
@@ -189,6 +195,11 @@ type window = {
   w_p50_s : float;  (** [nan] when the window saw no queries *)
   w_p95_s : float;
   w_p99_s : float;
+  (* runtime plane: allocation and GC activity inside the window *)
+  w_alloc_bytes : int;
+  w_alloc_bps : float;  (** allocation rate, bytes/s *)
+  w_minor_gcs : int;
+  w_major_gcs : int;
 }
 
 let window_of (a : snap) (b : snap) : window =
@@ -201,6 +212,9 @@ let window_of (a : snap) (b : snap) : window =
   in
   let queries = dcounter queries_name in
   let errors = dcounter errors_name in
+  let alloc_bytes = dcounter alloc_name in
+  let minor_gcs = dcounter minor_name in
+  let major_gcs = dcounter major_name in
   let p50, p95, p99 =
     match (hist_of a latency_name, hist_of b latency_name) with
     | Some ha, Some hb -> (
@@ -224,6 +238,10 @@ let window_of (a : snap) (b : snap) : window =
     w_p50_s = p50;
     w_p95_s = p95;
     w_p99_s = p99;
+    w_alloc_bytes = alloc_bytes;
+    w_alloc_bps = float_of_int alloc_bytes /. dt;
+    w_minor_gcs = minor_gcs;
+    w_major_gcs = major_gcs;
   }
 
 (** Derived windows, oldest first — one per consecutive snapshot pair.
@@ -330,7 +348,8 @@ let frac_le ~(bounds : float array) ~(counts : int array) (threshold : float) :
 let window_json (w : window) : string =
   Printf.sprintf
     "{\"ts\":%.3f,\"dt_s\":%s,\"queries\":%d,\"qps\":%s,\"errors\":%d,\
-     \"error_rate\":%s,\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s}"
+     \"error_rate\":%s,\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\
+     \"alloc_bytes\":%d,\"alloc_bps\":%s,\"minor_gcs\":%d,\"major_gcs\":%d}"
     w.w_ts
     (Trace.float_json w.w_dt_s)
     w.w_queries
@@ -340,6 +359,9 @@ let window_json (w : window) : string =
     (Trace.float_json (w.w_p50_s *. 1e3))
     (Trace.float_json (w.w_p95_s *. 1e3))
     (Trace.float_json (w.w_p99_s *. 1e3))
+    w.w_alloc_bytes
+    (Trace.float_json w.w_alloc_bps)
+    w.w_minor_gcs w.w_major_gcs
 
 (** The ring as one JSON document — what [GET /timeseries.json]
     serves. [horizon_s] (the [?window=..] query parameter) bounds how

@@ -53,6 +53,12 @@ type window = {
   w_p50_s : float;  (** [nan] when the window saw no queries *)
   w_p95_s : float;
   w_p99_s : float;
+  (* runtime plane (deltas of the [hq_gc_*] counters {!Runtime}
+     maintains; 0 when no runtime sampler feeds the registry) *)
+  w_alloc_bytes : int;
+  w_alloc_bps : float;  (** allocation rate, bytes/s *)
+  w_minor_gcs : int;
+  w_major_gcs : int;
 }
 
 (** One window per consecutive snapshot pair, oldest first.

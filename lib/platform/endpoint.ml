@@ -18,7 +18,8 @@
     [.hq.activity] (session registry), [.hq.traces[n]] (trace-export
     ring), [.hq.timeseries[n]] (time-series windows), [.hq.plancache]
     (plan-cache contents), [.hq.shards] (shard cluster layout and
-    traffic) and [.hq.stats.reset] —
+    traffic), [.hq.runtime] (GC/heap/uptime telemetry) and
+    [.hq.stats.reset] —
     so any QIPC client can introspect the proxy without touching the
     backend. *)
 
@@ -140,6 +141,7 @@ let authenticate t (h : Qipc.Codec.handshake) : bool =
     stack. *)
 let refresh_external_gauges (ctx : Obs.Ctx.t) : unit =
   let reg = ctx.Obs.Ctx.registry in
+  Obs.Runtime.refresh_uptime ctx.Obs.Ctx.runtime;
   M.set
     (M.gauge reg ~help:"Top-level SELECTs executed by the pgdb backend"
        "hq_backend_selects_run")
@@ -217,6 +219,9 @@ let top_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
            floats (fun e -> Obs.Qstats.entry_percentile e 95.0 *. 1e3) );
          ("rows_out", longs (fun e -> e.Obs.Qstats.e_rows_out));
          ("rows_out_avg", floats Obs.Qstats.entry_rows_out_avg);
+         (* coordinator-domain allocation attribution *)
+         ("alloc_avg_bytes", floats Obs.Qstats.entry_alloc_avg);
+         ("minor_gcs_avg", floats Obs.Qstats.entry_minor_gcs_avg);
          (* cardinality feedback: populated by analyzed runs only *)
          ("analyzed", longs (fun e -> e.Obs.Qstats.e_analyzed));
          ("rows_scanned_avg", floats Obs.Qstats.entry_rows_scanned_avg);
@@ -237,6 +242,9 @@ let slow_table (ctx : Obs.Ctx.t) (n : int) : QV.t =
          ("fingerprint", QV.syms (arr (fun r -> r.Obs.Recorder.r_fingerprint)));
          ("query", QV.syms (arr (fun r -> r.Obs.Recorder.r_query)));
          ("ms", QV.floats (arr (fun r -> r.Obs.Recorder.r_duration_s *. 1e3)));
+         (* GC-victim or genuinely expensive? alloc + minor-GC deltas say *)
+         ("alloc_bytes", QV.floats (arr (fun r -> r.Obs.Recorder.r_alloc_bytes)));
+         ("minor_gcs", QV.longs (arr (fun r -> r.Obs.Recorder.r_minor_gcs)));
          ("status", QV.syms (arr (fun r -> r.Obs.Recorder.r_status)));
          ("kind", QV.syms (arr (fun r -> r.Obs.Recorder.r_kind)));
          ( "top_operator",
@@ -357,7 +365,25 @@ let reset_stats (ctx : Obs.Ctx.t) : unit =
   Obs.Recorder.reset ctx.Obs.Ctx.recorder;
   Obs.Export.reset ctx.Obs.Ctx.export;
   Obs.Timeseries.reset ctx.Obs.Ctx.timeseries;
-  Obs.Explain.reset ctx.Obs.Ctx.explain
+  Obs.Explain.reset ctx.Obs.Ctx.explain;
+  (* re-base the GC sampler after the registry zeroed its counters, so
+     post-reset samples count only post-reset GC activity *)
+  Obs.Runtime.reset ctx.Obs.Ctx.runtime
+
+(** Process-runtime telemetry as a key/value Q table — the reply to
+    [.hq.runtime]. Takes a fresh GC sample first so the numbers are
+    current even when no sampler thread runs. *)
+let runtime_table (ctx : Obs.Ctx.t) : QV.t =
+  let rt = ctx.Obs.Ctx.runtime in
+  Obs.Runtime.sample rt;
+  let stats = Obs.Runtime.stats rt in
+  let arr f = Array.of_list (List.map f stats) in
+  QV.Table
+    (QV.table
+       [
+         ("stat", QV.syms (arr fst));
+         ("value", QV.floats (arr snd));
+       ])
 
 (* [.hq.top] and [.hq.slow] take an optional bracketed count:
    [".hq.top[5]"], [".hq.top[]"], or bare [".hq.top"]. Returns [None]
@@ -620,6 +646,7 @@ let admin_reply (t : t) (text : string) : QV.t option =
   let text = String.trim text in
   match text with
   | ".hq.stats" -> answered (fun () -> stats_table t.obs)
+  | ".hq.runtime" -> answered (fun () -> runtime_table t.obs)
   | ".hq.activity" -> answered (fun () -> activity_table t.obs)
   | ".hq.plancache" ->
       answered (fun () ->
@@ -685,13 +712,26 @@ let backend (t : t) : Hyperq.Backend.t =
 
 let sql_statement_count (t : t) : int = Hyperq.Backend.log_mark (backend t)
 
+(** One processed query with the observability the endpoint captured
+    around it: the coordinator-domain allocation and minor-GC deltas are
+    this domain's only — shard-side allocation lands on the shard
+    counters instead (a scattered query touches several domains). *)
+type processed = {
+  pr_result : (QV.t option, string) result;
+  pr_root : Obs.Trace.span;
+  pr_duration : float;
+  pr_trace_id : string;
+  pr_alloc_bytes : float;
+  pr_minor_gcs : int;
+}
+
 (** Run one query through the cross compiler under a fresh trace span,
-    record metrics, and emit the JSONL event. Returns the result, the
-    finished trace root, the duration and the trace id. *)
-let traced_process (t : t) (text : string) ~(bytes_in : int) :
-    (QV.t option, string) result * Obs.Trace.span * float * string =
+    record metrics, and emit the JSONL event. *)
+let traced_process (t : t) (text : string) ~(bytes_in : int) : processed =
   M.inc t.m.queries_total;
   let start = Obs.Clock.now_ns () in
+  let a0 = Gc.allocated_bytes () in
+  let g0 = (Gc.quick_stat ()).Gc.minor_collections in
   let tr = Obs.Ctx.start_trace t.obs "query" in
   let trace_id = Obs.Trace.trace_id tr in
   (* stamp the session entry so .hq.activity correlates with the trace
@@ -708,14 +748,26 @@ let traced_process (t : t) (text : string) ~(bytes_in : int) :
         raise e
   in
   let duration = Obs.Clock.seconds_since start in
+  let alloc_bytes = Gc.allocated_bytes () -. a0 in
+  let minor_gcs = (Gc.quick_stat ()).Gc.minor_collections - g0 in
   M.observe t.m.query_seconds duration;
   (* in-band pacing: the ring keeps filling under load even when no
      sampler thread runs (tick is a clock read when the interval has
      not elapsed) *)
   ignore (Obs.Timeseries.tick t.obs.Obs.Ctx.timeseries);
   Obs.Trace.add_root_attr tr "qipc_bytes_in" (Obs.Trace.Int bytes_in);
+  Obs.Trace.add_root_attr tr "alloc_bytes"
+    (Obs.Trace.Int (int_of_float alloc_bytes));
+  Obs.Trace.add_root_attr tr "minor_gcs" (Obs.Trace.Int minor_gcs);
   let root = Obs.Ctx.finish_trace t.obs tr in
-  (result, root, duration, trace_id)
+  {
+    pr_result = result;
+    pr_root = root;
+    pr_duration = duration;
+    pr_trace_id = trace_id;
+    pr_alloc_bytes = alloc_bytes;
+    pr_minor_gcs = minor_gcs;
+  }
 
 let emit_query_event (t : t) ~(text : string) ~(sql_before : int)
     ~(result : (QV.t option, string) result) ~(duration : float)
@@ -756,7 +808,7 @@ let record_workload (t : t) ~(norm : string) ~(fp : string)
     ~(trace_id : string) ~(sql_before : int) ?(ops = "")
     ?(top_operator = "") ~(result : (QV.t option, string) result)
     ~(duration : float) ~(bytes_in : int) ~(bytes_out : int)
-    (root : Obs.Trace.span) : unit =
+    ~(alloc_bytes : float) ~(minor_gcs : int) (root : Obs.Trace.span) : unit =
   let status, error =
     match result with Ok _ -> ("ok", "") | Error e -> ("error", e)
   in
@@ -770,15 +822,15 @@ let record_workload (t : t) ~(norm : string) ~(fp : string)
         (name, Obs.Trace.total_s root name))
       Hyperq.Stage_timer.all_stages
   in
-  Obs.Qstats.record t.obs.Obs.Ctx.qstats ~fingerprint:fp ~query:norm
-    ~duration_s:duration
+  Obs.Qstats.record t.obs.Obs.Ctx.qstats ~alloc_bytes ~minor_gcs
+    ~fingerprint:fp ~query:norm ~duration_s:duration
     ~error_class:(match result with Ok _ -> None | Error e -> Some (error_class e))
-    ~rows_out:rows ~bytes_in ~bytes_out ~stages;
+    ~rows_out:rows ~bytes_in ~bytes_out ~stages ();
   let sql = Hyperq.Backend.sql_since (backend t) sql_before in
   ignore
     (Obs.Recorder.observe t.obs.Obs.Ctx.recorder ~ts:(Unix.gettimeofday ())
        ~trace_id ~ops ~top_operator ~fingerprint:fp ~query:norm
-       ~duration_s:duration ~status ~error ~sql root)
+       ~duration_s:duration ~status ~error ~sql ~alloc_bytes ~minor_gcs root)
 
 (* ------------------------------------------------------------------ *)
 (* Byte-level protocol handling                                        *)
@@ -856,7 +908,7 @@ let feed (t : t) (bytes : string) : string =
                           | None -> false
                         in
                         let captured = ref None in
-                        let result, root, duration, trace_id =
+                        let pr =
                           Fun.protect
                             ~finally:(fun () ->
                               (match t.explain with
@@ -884,6 +936,10 @@ let feed (t : t) (bytes : string) : string =
                               | _ -> ());
                               r)
                         in
+                        let result = pr.pr_result in
+                        let root = pr.pr_root in
+                        let duration = pr.pr_duration in
+                        let trace_id = pr.pr_trace_id in
                         let summary =
                           match (!captured, result) with
                           | Some (coord, route, shard_plans), Ok _ ->
@@ -926,7 +982,9 @@ let feed (t : t) (bytes : string) : string =
                           ?top_operator:
                             (Option.map (fun s -> s.xs_top_operator) summary)
                           ~result ~duration ~bytes_in:consumed
-                          ~bytes_out:(String.length reply) root;
+                          ~bytes_out:(String.length reply)
+                          ~alloc_bytes:pr.pr_alloc_bytes
+                          ~minor_gcs:pr.pr_minor_gcs root;
                         (* est-vs-actual feedback keyed on the same
                            fingerprint record the line above created *)
                         Option.iter

@@ -66,10 +66,12 @@ let create ?(users = [ ("trader", "pwd") ])
     else None
   in
   (* every periodic snapshot first refreshes the mirrored gauges (pgdb
-     executor, fingerprint store, recorder, statement cache) and — when
+     executor, fingerprint store, recorder, statement cache), takes a
+     GC/heap sample so hq_gc_* counters enter the snapshot, and — when
      sharded — the pool saturation gauges, so the ring sees live values *)
   Obs.Timeseries.on_sample obs.Obs.Ctx.timeseries (fun () ->
       Endpoint.refresh_external_gauges obs;
+      Obs.Runtime.sample obs.Obs.Ctx.runtime;
       Option.iter Shard.Cluster.refresh_saturation cluster);
   let plancache =
     if plan_cache then
@@ -199,6 +201,7 @@ let admin_routes : (string * string list) list =
     ("/explain.json", [ "GET" ]);
     ("/timeseries.json", [ "GET" ]);
     ("/slo.json", [ "GET" ]);
+    ("/runtime.json", [ "GET" ]);
     ("/reset", [ "POST" ]);
   ]
 
@@ -242,15 +245,37 @@ let slo_json (t : t) : string =
   ignore (Obs.Timeseries.tick t.obs.Obs.Ctx.timeseries);
   Obs.Slo.to_json t.obs.Obs.Ctx.slo
 
-(** [GET /healthz]: 200/"ok" while every SLO objective is within budget,
-    503 with the burn report as JSON while any objective burns on both
-    the fast and slow windows. With no objectives configured (the
+(** Process-runtime telemetry (GC counters, heap size, uptime, build
+    info) as JSON — what [GET /runtime.json] serves. Takes a fresh GC
+    sample first, so the document is current even with no sampler
+    thread. *)
+let runtime_json (t : t) : string =
+  let rt = t.obs.Obs.Ctx.runtime in
+  Obs.Runtime.sample rt;
+  Obs.Runtime.to_json rt
+
+(** [GET /healthz]: 200/"ok" (plus uptime) while every SLO objective is
+    within budget and the heap is under its watermark, 503 with the burn
+    report as JSON while any objective burns on both the fast and slow
+    windows, 503 with a heap report while the major heap sits above
+    [--heap-watermark-mb]. With no objectives and no watermark (the
     default) it never degrades. *)
 let healthz (t : t) : Obs.Http.response =
   ignore (Obs.Timeseries.tick t.obs.Obs.Ctx.timeseries);
   let slo = t.obs.Obs.Ctx.slo in
+  let rt = t.obs.Obs.Ctx.runtime in
   let v = Obs.Slo.evaluate slo in
-  if v.Obs.Slo.v_healthy then Obs.Http.text 200 "ok\n"
+  if Obs.Runtime.heap_alarm rt then
+    Obs.Http.json 503
+      (Printf.sprintf
+         "{\"status\":\"degraded\",\"reason\":\"heap above watermark\",\"heap_bytes\":%.0f,\"heap_watermark_bytes\":%.0f}\n"
+         (Obs.Runtime.heap_bytes ())
+         (match Obs.Runtime.heap_watermark rt with
+         | Some b -> b
+         | None -> 0.0))
+  else if v.Obs.Slo.v_healthy then
+    Obs.Http.text 200
+      (Printf.sprintf "ok uptime_s=%.0f\n" (Obs.Runtime.uptime_s ()))
   else Obs.Http.json 503 (Obs.Slo.to_json slo)
 
 (** Route an admin-plane HTTP request: [GET /metrics] (Prometheus text),
@@ -286,6 +311,7 @@ let admin_handler (t : t) (req : Obs.Http.request) : Obs.Http.response =
       Obs.Http.json 200
         (timeseries_json ?window:(Obs.Http.query_param req "window") t)
   | "GET", "/slo.json" -> Obs.Http.json 200 (slo_json t)
+  | "GET", "/runtime.json" -> Obs.Http.json 200 (runtime_json t)
   | "POST", "/reset" ->
       reset_stats t;
       Obs.Http.json 200 "{\"status\":\"reset\"}\n"

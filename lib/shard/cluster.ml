@@ -40,6 +40,10 @@ type shard = {
   s_statements : int Atomic.t;  (** statements dispatched by the cluster *)
   s_sql_bytes : int Atomic.t;  (** SQL text bytes dispatched *)
   s_hist : M.histogram;  (** per-shard dispatch latency *)
+  s_alloc : M.counter;
+      (** bytes allocated on the worker domain per dispatch
+          ([hq_shard_alloc_bytes{shard}]); per-dispatch, not per-query —
+          a scattered query contributes to every target shard *)
   s_pg_in : M.counter;  (** the shard gateway's wire meters (0 when the *)
   s_pg_out : M.counter;  (** shard backend is not wire-metered) *)
 }
@@ -55,6 +59,12 @@ type t = {
   c_queue_depth : M.gauge;  (** hq_shard_pool_queue_depth *)
   c_busy : M.gauge;  (** hq_shard_pool_busy_workers *)
   c_workers : M.gauge;  (** hq_shard_pool_workers (pool size, static) *)
+  (* per-domain utilization, index = worker id; mirrored from the
+     pool's cumulative counters by [refresh_saturation] *)
+  c_domain_busy : M.gauge array;  (** hq_domain_busy_seconds{domain} *)
+  c_domain_idle : M.gauge array;  (** hq_domain_idle_seconds{domain} *)
+  c_domain_wait : M.gauge array;  (** hq_domain_queue_wait_seconds{domain} *)
+  c_domain_jobs : M.gauge array;  (** hq_domain_jobs_total{domain} *)
   mutable c_closed : bool;
   mutable c_analyze : bool;
       (** shard sessions collect per-operator stats (ANALYZE mode) *)
@@ -81,7 +91,8 @@ let shard_obs (obs : Obs.Ctx.t) : Obs.Ctx.t =
     ~qstats:obs.Obs.Ctx.qstats ~recorder:obs.Obs.Ctx.recorder
     ~sessions:obs.Obs.Ctx.sessions ~log:obs.Obs.Ctx.log
     ~export:obs.Obs.Ctx.export ~timeseries:obs.Obs.Ctx.timeseries
-    ~slo:obs.Obs.Ctx.slo ~explain:obs.Obs.Ctx.explain ()
+    ~slo:obs.Obs.Ctx.slo ~explain:obs.Obs.Ctx.explain
+    ~runtime:obs.Obs.Ctx.runtime ()
 
 let create ?(distributions = default_distributions) ?workers ~shards
     ?(make_backend =
@@ -145,6 +156,10 @@ let create ?(distributions = default_distributions) ?workers ~shards
       s_hist =
         M.histogram reg ~help:"Per-shard dispatch latency (seconds)" ~labels
           "hq_shard_dispatch_seconds";
+      s_alloc =
+        M.counter reg
+          ~help:"Bytes allocated on the worker domain per shard dispatch"
+          ~labels "hq_shard_alloc_bytes";
       s_pg_in =
         M.counter reg ~help:"PG v3 bytes received from the backend" ~labels
           "hq_pgwire_bytes_in";
@@ -163,6 +178,12 @@ let create ?(distributions = default_distributions) ?workers ~shards
     M.gauge reg ~help:"Shard dispatch pool size" "hq_shard_pool_workers"
   in
   M.set workers_g (float_of_int (Pool.size pool));
+  let domain_gauge name help k =
+    M.gauge reg ~help ~labels:[ ("domain", string_of_int k) ] name
+  in
+  let per_domain name help =
+    Array.init (Pool.size pool) (domain_gauge name help)
+  in
   {
     c_map = map;
     c_shards = Array.mapi mk_shard shard_dbs;
@@ -178,6 +199,18 @@ let create ?(distributions = default_distributions) ?workers ~shards
       M.gauge reg ~help:"Shard dispatch workers currently executing"
         "hq_shard_pool_busy_workers";
     c_workers = workers_g;
+    c_domain_busy =
+      per_domain "hq_domain_busy_seconds"
+        "Cumulative wall-time the pinned domain spent executing dispatches";
+    c_domain_idle =
+      per_domain "hq_domain_idle_seconds"
+        "Cumulative wall-time the pinned domain sat idle";
+    c_domain_wait =
+      per_domain "hq_domain_queue_wait_seconds"
+        "Cumulative dispatch-queue wait of jobs run on the domain";
+    c_domain_jobs =
+      per_domain "hq_domain_jobs_total"
+        "Dispatch jobs completed by the domain";
     c_closed = false;
     c_analyze = false;
     c_last_route = None;
@@ -214,7 +247,19 @@ let last_shard_plans (t : t) : (int * Pgdb.Opstats.node option) list =
     pre-sample hook, so periodic snapshots see live congestion. *)
 let refresh_saturation (t : t) : unit =
   M.set t.c_queue_depth (float_of_int (Pool.queue_depth t.c_pool));
-  M.set t.c_busy (float_of_int (Pool.busy_workers t.c_pool))
+  M.set t.c_busy (float_of_int (Pool.busy_workers t.c_pool));
+  (* per-domain utilization: busy/wait/jobs are the pool's cumulative
+     counters; idle is everything else of the pool's lifetime *)
+  let up = Pool.uptime_s t.c_pool in
+  Array.iteri
+    (fun k (ws : Pool.worker_stat) ->
+      if k < Array.length t.c_domain_busy then begin
+        M.set t.c_domain_busy.(k) ws.Pool.ws_busy_s;
+        M.set t.c_domain_idle.(k) (Float.max 0.0 (up -. ws.Pool.ws_busy_s));
+        M.set t.c_domain_wait.(k) ws.Pool.ws_wait_s;
+        M.set t.c_domain_jobs.(k) (float_of_int ws.Pool.ws_jobs)
+      end)
+    (Pool.worker_stats t.c_pool)
 
 (* run [sql] on the given shards through the domain pool (shard i is
    pinned to worker i mod workers) and collect row results in shard
@@ -261,7 +306,12 @@ let fan_out (t : t) ~(targets : int list) (sql : string) :
                 ignore
                   (Atomic.fetch_and_add sh.s_sql_bytes (String.length sql));
                 let start = Obs.Clock.now_ns () in
+                (* Gc.allocated_bytes is domain-local: this delta is the
+                   worker domain's allocation for this one dispatch *)
+                let a0 = Gc.allocated_bytes () in
                 let r = B.exec sh.s_backend sql in
+                let alloc = Gc.allocated_bytes () -. a0 in
+                if alloc > 0.0 then M.add sh.s_alloc (int_of_float alloc);
                 M.observe sh.s_hist (Obs.Clock.seconds_since start);
                 slots.(i) <- Some r) ))
       targets

@@ -13,6 +13,14 @@ type worker = {
   w_cond : Condition.t;
   w_queue : job Queue.t;
   mutable w_stop : bool;
+  (* utilization accounting, written by the worker's own domain and read
+     lock-free by the observability refresh: cumulative busy wall-time,
+     cumulative dispatch-queue wait (submission to execution start), and
+     jobs completed. Nanoseconds in an int — 63 bits of ns is ~292
+     years, no overflow concern *)
+  w_busy_ns : int Atomic.t;
+  w_wait_ns : int Atomic.t;
+  w_jobs : int Atomic.t;
 }
 
 type t = {
@@ -31,6 +39,7 @@ type t = {
      what the overload monitor's pool gauges report *)
   queued : int Atomic.t;
   busy : int Atomic.t;
+  created_ns : int64;  (** pool start, for busy/idle wall-time split *)
 }
 
 let worker_loop ~(queued : int Atomic.t) ~(busy : int Atomic.t) (w : worker)
@@ -65,6 +74,9 @@ let create ~(workers : int) : t =
           w_cond = Condition.create ();
           w_queue = Queue.create ();
           w_stop = false;
+          w_busy_ns = Atomic.make 0;
+          w_wait_ns = Atomic.make 0;
+          w_jobs = Atomic.make 0;
         })
   in
   let queued = Atomic.make 0 in
@@ -79,6 +91,7 @@ let create ~(workers : int) : t =
     first_exn = None;
     queued;
     busy;
+    created_ns = Obs.Clock.now_ns ();
   }
 
 let size t = Array.length t.workers
@@ -88,6 +101,27 @@ let queue_depth t = Stdlib.max 0 (Atomic.get t.queued)
 
 (** Workers currently executing a job. *)
 let busy_workers t = Stdlib.max 0 (Atomic.get t.busy)
+
+(** Seconds since the pool was created (the wall-time denominator of the
+    per-domain busy/idle split). *)
+let uptime_s t = Obs.Clock.seconds_since t.created_ns
+
+(** Cumulative per-worker utilization, index = worker/domain id. *)
+type worker_stat = {
+  ws_jobs : int;  (** jobs completed *)
+  ws_busy_s : float;  (** wall-time spent executing jobs *)
+  ws_wait_s : float;  (** total dispatch-queue wait of those jobs *)
+}
+
+let worker_stats t : worker_stat array =
+  Array.map
+    (fun w ->
+      {
+        ws_jobs = Atomic.get w.w_jobs;
+        ws_busy_s = float_of_int (Atomic.get w.w_busy_ns) *. 1e-9;
+        ws_wait_s = float_of_int (Atomic.get w.w_wait_ns) *. 1e-9;
+      })
+    t.workers
 
 (** Run every [(worker_index, job)] pair to completion. Jobs pinned to
     the same worker run in submission order; distinct workers run
@@ -104,12 +138,25 @@ let run (t : t) (jobs : (int * job) list) : unit =
         List.iter
           (fun (i, job) ->
             let w = t.workers.(i mod Array.length t.workers) in
+            let enq_ns = Obs.Clock.now_ns () in
             let wrapped () =
+              (* runs on the worker's domain: the gap since submission
+                 is the dispatch-queue wait, the job body is busy time *)
+              let start_ns = Obs.Clock.now_ns () in
+              let wait = Int64.to_int (Int64.sub start_ns enq_ns) in
+              if wait > 0 then
+                ignore (Atomic.fetch_and_add w.w_wait_ns wait);
               (try job ()
                with e ->
                  Mutex.lock t.latch_mu;
                  if t.first_exn = None then t.first_exn <- Some e;
                  Mutex.unlock t.latch_mu);
+              let busy =
+                Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) start_ns)
+              in
+              if busy > 0 then
+                ignore (Atomic.fetch_and_add w.w_busy_ns busy);
+              Atomic.incr w.w_jobs;
               Mutex.lock t.latch_mu;
               t.pending <- t.pending - 1;
               if t.pending = 0 then Condition.broadcast t.latch_cond;

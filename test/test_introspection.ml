@@ -105,6 +105,7 @@ let record ?(fp = "fp") ?(dur = 0.01) ?(err = None) ?(rows = 1) qs =
   QS.record qs ~fingerprint:fp ~query:("q-" ^ fp) ~duration_s:dur
     ~error_class:err ~rows_out:rows ~bytes_in:10 ~bytes_out:20
     ~stages:[ ("parse", 0.001); ("execute", 0.005) ]
+    ()
 
 let test_qstats_accumulation () =
   let qs = QS.create () in
