@@ -13,8 +13,11 @@ all:
 # gate (per-operator EXPLAIN/ANALYZE instrumentation costs <= 2.5% of
 # mean query latency while collection is off) + the runtime gate
 # (per-query GC/allocation attribution costs <= 2.5% of mean query
-# latency); the introspection suite exercises the HTTP admin endpoint
-# through its pure handler, so no curl / open port needed
+# latency) + the vectorized-executor gate (>= 3x mean execute speedup
+# over the row interpreter, byte-identical results on a randomized
+# differential single-node and through a 2-shard platform, fallback
+# overhead <= 2.5%); the introspection suite exercises the HTTP admin
+# endpoint through its pure handler, so no curl / open port needed
 ci:
 	dune build @all
 	dune runtest
@@ -24,6 +27,7 @@ ci:
 	dune exec bench/main.exe -- obs_gate
 	dune exec bench/main.exe -- explain_gate
 	dune exec bench/main.exe -- runtime_gate
+	dune exec bench/main.exe -- vector_gate
 
 # quick overhead gates only (exit 1 on regression)
 bench-smoke:
@@ -33,6 +37,7 @@ bench-smoke:
 	dune exec bench/main.exe -- obs_gate
 	dune exec bench/main.exe -- explain_gate
 	dune exec bench/main.exe -- runtime_gate
+	dune exec bench/main.exe -- vector_gate
 
 check:
 	dune build @dev-check

@@ -9,6 +9,12 @@
 type result = {
   cols : (string * Catalog.Sqltype.t) list;
   rows : Pgdb.Value.t array array;
+  colmajor : Pgdb.Value.t array array option;
+      (** the same result as column vectors (one array per column), when
+          the executor produced it that way — the direct pgdb adapter
+          forwards the vectorized executor's gather output so the QIPC
+          pivot can adopt columns instead of re-pivoting rows. Absent on
+          the wire path, which reconstructs results from protocol text. *)
 }
 
 type reply = Result_set of result | Command_ok of string
@@ -81,7 +87,11 @@ let of_pgdb_session (sess : Pgdb.Db.session) : t =
         ignore tag;
         Ok
           (Result_set
-             { cols = res.Pgdb.Exec.res_cols; rows = res.Pgdb.Exec.res_rows })
+             {
+               cols = res.Pgdb.Exec.res_cols;
+               rows = res.Pgdb.Exec.res_rows;
+               colmajor = Pgdb.Db.take_colmajor sess;
+             })
     | Pgdb.Db.Complete tag -> Ok (Command_ok tag)
     | exception Pgdb.Errors.Sql_error { code; message } ->
         Error (Printf.sprintf "%s: %s" code message)

@@ -33,6 +33,8 @@ type entry = {
   (* allocation attribution: coordinator-side Gc deltas per call *)
   mutable e_alloc_bytes : float;  (** total bytes allocated, all calls *)
   mutable e_minor_gcs : int;  (** total minor collections, all calls *)
+  mutable e_vector_calls : int;
+      (** calls served entirely by the vectorized executor *)
 }
 
 type t = {
@@ -102,7 +104,8 @@ let add_stages (sums : (string * float) list)
     sums
   @ List.filter (fun (name, _) -> not (List.mem_assoc name sums)) obs
 
-let record t ?(alloc_bytes = 0.0) ?(minor_gcs = 0) ~(fingerprint : string)
+let record t ?(alloc_bytes = 0.0) ?(minor_gcs = 0) ?(vectorized = false)
+    ~(fingerprint : string)
     ~(query : string) ~(duration_s : float) ~(error_class : string option)
     ~(rows_out : int) ~(bytes_in : int) ~(bytes_out : int)
     ~(stages : (string * float) list) () : unit =
@@ -134,6 +137,7 @@ let record t ?(alloc_bytes = 0.0) ?(minor_gcs = 0) ~(fingerprint : string)
             e_worst_op = "";
             e_alloc_bytes = 0.0;
             e_minor_gcs = 0;
+            e_vector_calls = 0;
           }
         in
         Hashtbl.replace t.q_table fingerprint e;
@@ -153,6 +157,7 @@ let record t ?(alloc_bytes = 0.0) ?(minor_gcs = 0) ~(fingerprint : string)
   e.e_stages <- add_stages e.e_stages stages;
   if alloc_bytes > 0.0 then e.e_alloc_bytes <- e.e_alloc_bytes +. alloc_bytes;
   if minor_gcs > 0 then e.e_minor_gcs <- e.e_minor_gcs + minor_gcs;
+  if vectorized then e.e_vector_calls <- e.e_vector_calls + 1;
   let b = bucket_of_seconds duration_s in
   e.e_hist.(b) <- e.e_hist.(b) + 1;
   e.e_last_use <- t.q_tick)
@@ -188,6 +193,14 @@ let entry_rows_scanned_avg (e : entry) : float =
 let entry_rows_out_avg (e : entry) : float =
   if e.e_calls = 0 then 0.0
   else float_of_int e.e_rows_out /. float_of_int e.e_calls
+
+(* observed end-to-end selectivity of the fingerprint's access path:
+   rows returned per row scanned, from analyzed runs. The vectorized
+   lowering reads this as a prior for ordering filter conjuncts. *)
+let entry_selectivity (e : entry) : float option =
+  let scanned = entry_rows_scanned_avg e in
+  if scanned <= 0.0 then None
+  else Some (Float.min 1.0 (entry_rows_out_avg e /. scanned))
 
 let entry_alloc_avg (e : entry) : float =
   if e.e_calls = 0 then 0.0 else e.e_alloc_bytes /. float_of_int e.e_calls
@@ -269,8 +282,13 @@ let entry_json (e : entry) : string =
       ("minor_gcs", string_of_int e.e_minor_gcs);
       ("minor_gcs_avg", Printf.sprintf "%.2f" (entry_minor_gcs_avg e));
       ("analyzed", string_of_int e.e_analyzed);
+      ("vector_calls", string_of_int e.e_vector_calls);
       ("rows_scanned_avg", Printf.sprintf "%.1f" (entry_rows_scanned_avg e));
       ("rows_out_avg", Printf.sprintf "%.1f" (entry_rows_out_avg e));
+      ( "selectivity",
+        match entry_selectivity e with
+        | Some s -> Printf.sprintf "%.4f" s
+        | None -> "null" );
       ("worst_qerror", Printf.sprintf "%.2f" e.e_worst_qerror);
       ("worst_op", Printf.sprintf "\"%s\"" (Trace.json_escape e.e_worst_op));
     ]

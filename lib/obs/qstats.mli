@@ -35,6 +35,8 @@ type entry = {
   (* allocation attribution: coordinator-side Gc deltas per call *)
   mutable e_alloc_bytes : float;  (** total bytes allocated, all calls *)
   mutable e_minor_gcs : int;  (** total minor collections, all calls *)
+  mutable e_vector_calls : int;
+      (** calls served entirely by the vectorized executor *)
 }
 
 type t
@@ -49,11 +51,13 @@ val create : ?capacity:int -> unit -> t
 (** Fold one completed query into its fingerprint's entry. [stages] are
     (stage name, seconds) pairs added to the per-stage sums.
     [alloc_bytes] / [minor_gcs] are the coordinator-side Gc deltas
-    measured around the query (0 = not measured). *)
+    measured around the query (0 = not measured). [vectorized] marks
+    calls served entirely by the vectorized executor. *)
 val record :
   t ->
   ?alloc_bytes:float ->
   ?minor_gcs:int ->
+  ?vectorized:bool ->
   fingerprint:string ->
   query:string ->
   duration_s:float ->
@@ -84,6 +88,13 @@ val worst_misestimates : t -> int -> entry list
 val entry_rows_scanned_avg : entry -> float
 
 val entry_rows_out_avg : entry -> float
+
+(** Observed end-to-end selectivity of the fingerprint's access path
+    (mean rows out per row scanned, clamped to 1.0), from analyzed runs;
+    [None] until the fingerprint has been analyzed at least once. The
+    vectorized lowering reads this as a prior for ordering filter
+    conjuncts. *)
+val entry_selectivity : entry -> float option
 
 (** Mean bytes allocated / mean minor collections per call. *)
 val entry_alloc_avg : entry -> float

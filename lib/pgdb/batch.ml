@@ -1,0 +1,152 @@
+(** Columnar batches for the vectorized executor.
+
+    A batch is a fixed set of rows pivoted into typed column vectors: a
+    column whose non-null values are all [Value.Int] lands in an unboxed
+    [int64 array], all-[Float] in a [float array], all-[Str] in a
+    [string array]; anything mixed (or the calendar/bool types, which
+    carry semantics beyond their payload) stays as a boxed
+    [Value.t array]. Nulls live in a packed side bitmap per column, so
+    the typed arrays never need a sentinel — a null slot just holds a
+    dummy payload that [value_at] masks out.
+
+    Operators never copy rows to drop them: a selection vector (a dense
+    [int array] of surviving row indices) narrows a batch, and
+    [compact] gathers a column through one only when a dense vector is
+    actually needed (e.g. to hand column values to the QIPC pivot). *)
+
+type data =
+  | DInt of int64 array
+  | DFloat of float array
+  | DStr of string array
+  | DVal of Value.t array
+
+type column = { data : data; nulls : Bytes.t; has_nulls : bool }
+type t = { nrows : int; cols : column array }
+
+(* a selection vector: row indices into a batch, in ascending order *)
+type sel = int array
+
+let bit_get b i =
+  Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  Bytes.unsafe_set b (i lsr 3)
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let no_nulls = Bytes.create 0
+let is_null c i = c.has_nulls && bit_get c.nulls i
+
+let value_at c i =
+  if is_null c i then Value.Null
+  else
+    match c.data with
+    | DInt a -> Value.Int a.(i)
+    | DFloat a -> Value.Float a.(i)
+    | DStr a -> Value.Str a.(i)
+    | DVal a -> a.(i)
+
+let all_rows n : sel = Array.init n (fun i -> i)
+
+(* pivot one column out of a row-major rowset. One sniff pass picks the
+   narrowest representation that holds every non-null value exactly;
+   the fill pass leaves dummy payloads under null bits. *)
+let column_of_rows (rows : Value.t array array) j : column =
+  let n = Array.length rows in
+  let nulls = ref no_nulls in
+  let has_nulls = ref false in
+  let mark_null i =
+    if not !has_nulls then begin
+      nulls := Bytes.make ((n + 7) / 8) '\000';
+      has_nulls := true
+    end;
+    bit_set !nulls i
+  in
+  (* sniff: the representation every non-null value fits *)
+  let kind = ref `Unknown in
+  (try
+     for i = 0 to n - 1 do
+       match rows.(i).(j) with
+       | Value.Null -> ()
+       | Value.Int _ ->
+           if !kind = `Unknown then kind := `Int
+           else if !kind <> `Int then raise Exit
+       | Value.Float _ ->
+           if !kind = `Unknown then kind := `Float
+           else if !kind <> `Float then raise Exit
+       | Value.Str _ ->
+           if !kind = `Unknown then kind := `Str
+           else if !kind <> `Str then raise Exit
+       | _ -> raise Exit
+     done
+   with Exit -> kind := `Mixed);
+  let data =
+    match !kind with
+    | `Int ->
+        let a = Array.make n 0L in
+        for i = 0 to n - 1 do
+          match rows.(i).(j) with
+          | Value.Int v -> a.(i) <- v
+          | _ -> mark_null i
+        done;
+        DInt a
+    | `Float ->
+        let a = Array.make n 0.0 in
+        for i = 0 to n - 1 do
+          match rows.(i).(j) with
+          | Value.Float v -> a.(i) <- v
+          | _ -> mark_null i
+        done;
+        DFloat a
+    | `Str ->
+        let a = Array.make n "" in
+        for i = 0 to n - 1 do
+          match rows.(i).(j) with
+          | Value.Str v -> a.(i) <- v
+          | _ -> mark_null i
+        done;
+        DStr a
+    | `Unknown | `Mixed ->
+        let a = Array.make n Value.Null in
+        for i = 0 to n - 1 do
+          (match rows.(i).(j) with
+          | Value.Null -> mark_null i
+          | v -> a.(i) <- v)
+        done;
+        DVal a
+  in
+  { data; nulls = !nulls; has_nulls = !has_nulls }
+
+(* [width] covers the zero-row case, where the rows themselves cannot
+   say how many columns the table has *)
+let of_rows ~width (rows : Value.t array array) : t =
+  { nrows = Array.length rows; cols = Array.init width (column_of_rows rows) }
+
+(* gather a column through a selection vector into a dense column *)
+let compact (c : column) (sel : sel) : column =
+  let n = Array.length sel in
+  let nulls = ref no_nulls in
+  let has_nulls = ref false in
+  if c.has_nulls then begin
+    let b = Bytes.make ((n + 7) / 8) '\000' in
+    for k = 0 to n - 1 do
+      if bit_get c.nulls sel.(k) then begin
+        bit_set b k;
+        has_nulls := true
+      end
+    done;
+    if !has_nulls then nulls := b
+  end;
+  let data =
+    match c.data with
+    | DInt a -> DInt (Array.init n (fun k -> a.(sel.(k))))
+    | DFloat a -> DFloat (Array.init n (fun k -> a.(sel.(k))))
+    | DStr a -> DStr (Array.init n (fun k -> a.(sel.(k))))
+    | DVal a -> DVal (Array.init n (fun k -> a.(sel.(k))))
+  in
+  { data; nulls = !nulls; has_nulls = !has_nulls }
+
+(* dense boxed view of a column through a selection vector — what the
+   row-oriented result layer and the QIPC pivot consume *)
+let values (c : column) (sel : sel) : Value.t array =
+  Array.map (fun i -> value_at c i) sel

@@ -19,6 +19,8 @@ type t = {
       (** bounded SQL-text → parsed-statement cache (PG prepared-statement
           emulation): repeated statements skip [Sql_parser.parse] *)
   mutable stmt_tick : int;  (** LRU clock for [stmts] *)
+  mutable vectorized_default : bool;
+      (** whether new sessions route SELECTs through {!Vexec} *)
 }
 
 type session = {
@@ -29,6 +31,12 @@ type session = {
       (** collect per-operator statistics for every SELECT (ANALYZE mode) *)
   mutable last_plan : Opstats.node option;
       (** operator-stats tree of the last SELECT run with [analyze] on *)
+  mutable vectorized : bool;
+      (** lower supported SELECTs to the vectorized executor *)
+  mutable last_colmajor : Value.t array array option;
+      (** column-major view of the last SELECT's result when the vector
+          path produced one (plain column gathers only); consumed once
+          via {!take_colmajor} by the backend adapter *)
 }
 
 type outcome =
@@ -44,6 +52,7 @@ let create () =
     catalog_dirty = true;
     stmts = Hashtbl.create 64;
     stmt_tick = 0;
+    vectorized_default = true;
   }
 
 (* Atomic: shard worker domains open their own sessions concurrently *)
@@ -51,7 +60,15 @@ let session_counter = Atomic.make 0
 
 let open_session db =
   let id = Atomic.fetch_and_add session_counter 1 + 1 in
-  { db; temps = Hashtbl.create 8; session_id = id; analyze = false; last_plan = None }
+  {
+    db;
+    temps = Hashtbl.create 8;
+    session_id = id;
+    analyze = false;
+    last_plan = None;
+    vectorized = db.vectorized_default;
+    last_colmajor = None;
+  }
 
 let close_session (s : session) = Hashtbl.reset s.temps
 
@@ -60,6 +77,19 @@ let set_analyze (s : session) (on : bool) =
   if not on then s.last_plan <- None
 
 let last_plan (s : session) : Opstats.node option = s.last_plan
+
+let set_vectorized (s : session) (on : bool) = s.vectorized <- on
+let vectorized (s : session) : bool = s.vectorized
+
+(** Default executor path for sessions opened after this call. *)
+let set_vectorized_default (db : t) (on : bool) = db.vectorized_default <- on
+
+(** Column-major view of the last SELECT's result, consumed at most once
+    (cleared on read so a stale pivot never attaches to a later result). *)
+let take_colmajor (s : session) : Value.t array array option =
+  let c = s.last_colmajor in
+  s.last_colmajor <- None;
+  c
 
 (* ------------------------------------------------------------------ *)
 (* Catalog maintenance                                                 *)
@@ -153,13 +183,55 @@ and exec_env (sess : session) : Exec.env =
   Exec.env_of_resolve ~collect:sess.analyze (fun name ->
       resolve_rowset sess name)
 
+(* base-table resolver for the vectorized executor: hands back the
+   table's (unqualified) bindings and its cached columnar pivot. Views
+   and unknown names return [None] — the row path stays authoritative
+   for view expansion and for raising undefined_table. *)
+and resolve_batch (sess : session) (name : string) :
+    (Exec.binding list * Batch.t) option =
+  let lname = String.lowercase_ascii name in
+  if lname = catalog_table_name then refresh_catalog sess.db;
+  let tbl =
+    match Hashtbl.find_opt sess.temps lname with
+    | Some t -> Some t
+    | None -> Hashtbl.find_opt sess.db.tables lname
+  in
+  Option.map
+    (fun (tbl : Storage.table) ->
+      let bindings =
+        List.map
+          (fun (c : S.column) ->
+            {
+              Exec.b_qual = None;
+              b_name = c.S.col_name;
+              b_type = Some c.S.col_type;
+            })
+          tbl.Storage.def.S.tbl_columns
+      in
+      (bindings, Storage.batch_of tbl))
+    tbl
+
 and run_select (sess : session) (sel : A.select) : Exec.result =
-  let env = exec_env sess in
-  let res = Exec.run_select env sel in
-  (* the outermost SELECT wins: view/CTAS sub-executions set this first
-     and are then overwritten by the enclosing statement's tree *)
-  if sess.analyze then sess.last_plan <- env.Exec.plan;
-  res
+  let vec =
+    if sess.vectorized then
+      Vexec.try_run ~resolve:(resolve_batch sess) ~collect:sess.analyze sel
+    else None
+  in
+  match vec with
+  | Some o ->
+      if sess.analyze then sess.last_plan <- o.Vexec.vr_plan;
+      sess.last_colmajor <- o.Vexec.vr_colmajor;
+      o.Vexec.vr_result
+  | None ->
+      if sess.vectorized then Atomic.incr Vexec.stats_fallback;
+      Atomic.incr Vexec.stats_row;
+      let env = exec_env sess in
+      let res = Exec.run_select env sel in
+      (* the outermost SELECT wins: view/CTAS sub-executions set these
+         first and are then overwritten by the enclosing statement *)
+      if sess.analyze then sess.last_plan <- env.Exec.plan;
+      sess.last_colmajor <- None;
+      res
 
 (* ------------------------------------------------------------------ *)
 (* DDL / DML                                                           *)

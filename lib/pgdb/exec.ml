@@ -177,23 +177,113 @@ type eval_ctx = {
   mutable windows : (A.expr * Value.t array) list;
 }
 
-let like_match (s : string) (pattern : string) : bool =
+(* general LIKE: two-pointer scan with greedy-'%' backtracking — the
+   same language as the textbook DP without the per-call matrix *)
+let wildcard_match (pattern : string) (s : string) : bool =
   let n = String.length s and m = String.length pattern in
-  let dp = Array.make_matrix (n + 1) (m + 1) false in
-  dp.(0).(0) <- true;
-  for j = 1 to m do
-    if pattern.[j - 1] = '%' then dp.(0).(j) <- dp.(0).(j - 1)
+  let i = ref 0 and j = ref 0 in
+  let star = ref (-1) and mark = ref 0 in
+  let verdict = ref None in
+  while !verdict = None do
+    if !i < n then
+      if
+        !j < m
+        && (pattern.[!j] = '_' || (pattern.[!j] <> '%' && pattern.[!j] = s.[!i]))
+      then begin
+        incr i;
+        incr j
+      end
+      else if !j < m && pattern.[!j] = '%' then begin
+        star := !j;
+        mark := !i;
+        incr j
+      end
+      else if !star >= 0 then begin
+        incr mark;
+        i := !mark;
+        j := !star + 1
+      end
+      else verdict := Some false
+    else begin
+      while !j < m && pattern.[!j] = '%' do
+        incr j
+      done;
+      verdict := Some (!j = m)
+    end
   done;
-  for i = 1 to n do
-    for j = 1 to m do
-      dp.(i).(j) <-
-        (match pattern.[j - 1] with
-        | '%' -> dp.(i - 1).(j) || dp.(i).(j - 1)
-        | '_' -> dp.(i - 1).(j - 1)
-        | c -> dp.(i - 1).(j - 1) && s.[i - 1] = c)
-    done
+  Option.get !verdict
+
+let str_contains (hay : string) (needle : string) : bool =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + nn <= nh do
+      if String.sub hay !i nn = needle then found := true else incr i
+    done;
+    !found
+  end
+
+let str_suffix (s : string) (suf : string) : bool =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+let str_prefix (s : string) (pre : string) : bool =
+  let n = String.length s and m = String.length pre in
+  n >= m && String.sub s 0 m = pre
+
+(** Compile a LIKE pattern once into a matcher closure. The common
+    wildcard shapes (exact, [abc%], [%abc], [%abc%]) become direct
+    string tests; anything with ['_'] or an interior ['%'] falls back to
+    the backtracking matcher. *)
+let compile_like (pattern : string) : string -> bool =
+  let m = String.length pattern in
+  let has_underscore = String.contains pattern '_' in
+  (* leading/trailing runs of '%'; a pattern is "simple" when every '%'
+     lives in one of those runs *)
+  let lead = ref 0 in
+  while !lead < m && pattern.[!lead] = '%' do
+    incr lead
   done;
-  dp.(n).(m)
+  let trail = ref 0 in
+  while !trail < m - !lead && pattern.[m - 1 - !trail] = '%' do
+    incr trail
+  done;
+  let core = String.sub pattern !lead (m - !lead - !trail) in
+  if has_underscore || String.contains core '%' then wildcard_match pattern
+  else
+    match (!lead > 0, !trail > 0) with
+    | false, false -> String.equal core
+    | true, true -> fun s -> str_contains s core
+    | true, false -> fun s -> str_suffix s core
+    | false, true -> fun s -> str_prefix s core
+
+(* process-wide matcher memo: shard worker domains execute concurrently,
+   so access is mutexed; a full reset on overflow keeps it bounded *)
+let like_memo : (string, string -> bool) Hashtbl.t = Hashtbl.create 64
+let like_mutex = Mutex.create ()
+let like_memo_capacity = 256
+
+(** Memoizing wrapper around {!compile_like} for call sites that cannot
+    hold onto the compiled closure across rows. *)
+let compile_like_cached (pattern : string) : string -> bool =
+  Mutex.lock like_mutex;
+  let f =
+    match Hashtbl.find_opt like_memo pattern with
+    | Some f -> f
+    | None ->
+        if Hashtbl.length like_memo >= like_memo_capacity then
+          Hashtbl.reset like_memo;
+        let f = compile_like pattern in
+        Hashtbl.add like_memo pattern f;
+        f
+  in
+  Mutex.unlock like_mutex;
+  f
+
+let like_match (s : string) (pattern : string) : bool =
+  compile_like_cached pattern s
 
 let rec eval_expr (ctx : eval_ctx) (row : Value.t array) (idx : int)
     (e : A.expr) : Value.t =
@@ -530,6 +620,30 @@ and lit_of (v : Value.t) : A.lit =
   | Value.Date d -> A.Int (Int64.of_int d)
   | Value.Time t -> A.Int (Int64.of_int t)
   | Value.Timestamp n -> A.Int n
+
+(* ------------------------------------------------------------------ *)
+(* Group keys                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** A hashable normalization of a grouping value: two values land in the
+    same class exactly when {!Value.compare_total} calls them equal —
+    all the numeric-ish types (int/float/bool/date/time/timestamp)
+    compare through [to_float], so they normalize to one float; [nan]
+    and [-0.0] are canonicalized because [Hashtbl]'s structural equality
+    would otherwise split classes ([nan <> nan]) or hashes
+    ([-0.0] vs [0.0]). *)
+type gkey = GNull | GStr of string | GNum of float | GNan
+
+let gkey_of (v : Value.t) : gkey =
+  match v with
+  | Value.Null -> GNull
+  | Value.Str s -> GStr s
+  | v -> (
+      match Value.to_float v with
+      | Some f ->
+          if Float.is_nan f then GNan
+          else GNum (if f = 0.0 then 0.0 else f)
+      | None -> GNull)
 
 (* ------------------------------------------------------------------ *)
 (* Window functions                                                    *)
@@ -1095,18 +1209,24 @@ and run_select (env : env) (s : A.select) : result =
       let groups : (Value.t list * Value.t array array) list =
         if s.group_by = [] then [ ([], rows) ]
         else begin
-          let acc : (Value.t list * Value.t array list ref) list ref = ref [] in
+          (* hashed grouping: one lookup per row on the normalized key,
+             groups kept in first-encounter order *)
+          let tbl : (gkey list, Value.t array list ref) Hashtbl.t =
+            Hashtbl.create 64
+          in
+          let acc : (Value.t list * Value.t array list ref) list ref =
+            ref []
+          in
           Array.iter
             (fun row ->
               let key = List.map (fun e -> eval_expr ctx row 0 e) s.group_by in
-              match
-                List.find_opt
-                  (fun (k, _) ->
-                    List.for_all2 (fun a b -> Value.compare_total a b = 0) k key)
-                  !acc
-              with
-              | Some (_, l) -> l := row :: !l
-              | None -> acc := (key, ref [ row ]) :: !acc)
+              let hk = List.map gkey_of key in
+              match Hashtbl.find_opt tbl hk with
+              | Some l -> l := row :: !l
+              | None ->
+                  let l = ref [ row ] in
+                  Hashtbl.add tbl hk l;
+                  acc := (key, l) :: !acc)
             rows;
           List.rev_map
             (fun (k, l) -> (k, Array.of_list (List.rev !l)))

@@ -73,7 +73,8 @@ let worst_estimate (n : node) : node * float =
     surfaced per fingerprint. *)
 let rows_scanned (n : node) : int =
   List.fold_left
-    (fun acc (_, m) -> if m.op = "scan" then acc + m.rows_out else acc)
+    (fun acc (_, m) ->
+      if m.op = "scan" || m.op = "vector_scan" then acc + m.rows_out else acc)
     0 (flatten n)
 
 (* ------------------------------------------------------------------ *)

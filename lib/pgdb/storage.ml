@@ -3,12 +3,28 @@
 type table = {
   mutable def : Catalog.Schema.table_def;
   mutable rows : Value.t array array;
+  (* columnar pivot of [rows], built lazily by the vectorized executor
+     and dropped on any mutation *)
+  mutable batch : Batch.t option;
 }
 
-let create def = { def; rows = [||] }
+let create def = { def; rows = [||]; batch = None }
 
 let insert (t : table) (new_rows : Value.t array list) =
-  t.rows <- Array.append t.rows (Array.of_list new_rows)
+  t.rows <- Array.append t.rows (Array.of_list new_rows);
+  t.batch <- None
+
+let batch_of (t : table) : Batch.t =
+  match t.batch with
+  | Some b when b.Batch.nrows = Array.length t.rows -> b
+  | _ ->
+      let b =
+        Batch.of_rows
+          ~width:(List.length t.def.Catalog.Schema.tbl_columns)
+          t.rows
+      in
+      t.batch <- Some b;
+      b
 
 let row_count t = Array.length t.rows
 

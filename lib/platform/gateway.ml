@@ -72,7 +72,9 @@ let wire_backend ?(user = "app") ?(password = "secret")
           if columns = [] && Array.length rows = 0 then
             Ok (Hyperq.Backend.Command_ok tag)
           else
-            Ok (Hyperq.Backend.Result_set { Hyperq.Backend.cols = columns; rows })
+            Ok
+              (Hyperq.Backend.Result_set
+                 { Hyperq.Backend.cols = columns; rows; colmajor = None })
       | Error e ->
           M.inc backend_errors;
           Obs.Log.warn log ~trace_id:(Obs.Ctx.trace_id obs) "backend error"

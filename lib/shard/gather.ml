@@ -99,6 +99,7 @@ let concat (results : B.result list) : B.result =
   {
     B.cols = merge_col_types results;
     rows = Array.concat (List.map (fun r -> r.B.rows) results);
+    colmajor = None;
   }
 
 (** K-way merge of per-shard sorted results on [keys] (column name,
@@ -144,7 +145,7 @@ let merge ~(keys : (string * [ `Asc | `Desc ]) list)
         out := streams.(s).(pos.(s)) :: !out;
         pos.(s) <- pos.(s) + 1
       done;
-      Ok { B.cols; rows = Array.of_list (List.rev !out) }
+      Ok { B.cols; rows = Array.of_list (List.rev !out); colmajor = None }
 
 (* ------------------------------------------------------------------ *)
 (* Partial-aggregate recombination                                     *)
@@ -361,4 +362,4 @@ let combine (plan : Router.agg_plan) (results : B.result list) :
                 in
                 List.stable_sort (cmp_rows keys) rows
           in
-          Ok { B.cols; rows = Array.of_list rows })
+          Ok { B.cols; rows = Array.of_list rows; colmajor = None })

@@ -50,6 +50,9 @@ let ops_of (n : Op.node) : string list =
 let test_exec_tree_shape () =
   let db = marketdata_db () in
   let sess = Db.open_session db in
+  (* this test pins the ROW interpreter's operator chain; the vectorized
+     executor's nodes are covered in test_vexec *)
+  Db.set_vectorized sess false;
   Db.set_analyze sess true;
   let n =
     analyzed_plan sess
@@ -77,6 +80,7 @@ let test_exec_tree_shape () =
 let test_exec_aggregate_and_join () =
   let db = marketdata_db () in
   let sess = Db.open_session db in
+  Db.set_vectorized sess false;
   Db.set_analyze sess true;
   let agg =
     analyzed_plan sess
@@ -384,11 +388,16 @@ let test_explain_json_endpoint () =
         [
           "\"plans\"";
           "\"route\":\"partial_agg\"";
-          "\"op\":\"scan\"";
           "\"pipeline\"";
+          "\"executor\"";
           "\"rows_scanned\"";
           "\"top_operator\"";
         ];
+      (* the grouped aggregate lowers on the shards, so the scan node is
+         the vectorized one; either spelling proves a plan attached *)
+      check tbool "scan node present" true
+        (contains body "\"op\":\"vector_scan\""
+        || contains body "\"op\":\"scan\"");
       (* ?n= limits the ring read: the newest plan routes single, the
          older partial_agg one must drop out *)
       ignore

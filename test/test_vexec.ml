@@ -1,0 +1,464 @@
+(* Tests for the vectorized columnar executor (lib/pgdb: Batch + Vexec).
+
+   The load-bearing property is byte-identical results: every query a
+   session answers with the vectorized executor on must produce exactly
+   the result the row interpreter produces, including column types, row
+   order, and NULL placement. A randomized 200-query differential plus
+   targeted unit tests (3VL filters, selection-vector compaction, empty
+   batches, all-null columns, explain nodes) pin that down. *)
+
+module V = Pgdb.Value
+module Db = Pgdb.Db
+module Batch = Pgdb.Batch
+module Vexec = Pgdb.Vexec
+module Op = Pgdb.Opstats
+module S = Catalog.Schema
+module Ty = Catalog.Sqltype
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+
+(* trades-like fixture with NULLs in both a float and a string column,
+   so filters and aggregates cross the 3VL paths *)
+let fixture () : Db.t =
+  let db = Db.create () in
+  Db.load_table db
+    (S.table "trades"
+       [
+         S.column "sym" Ty.TVarchar;
+         S.column "t" Ty.TBigint;
+         S.column "price" Ty.TDouble;
+         S.column "size" Ty.TBigint;
+         S.column "note" Ty.TVarchar;
+       ])
+    [
+      [| V.Str "AAPL"; V.Int 1000L; V.Float 10.0; V.Int 100L; V.Str "x" |];
+      [| V.Str "MSFT"; V.Int 2000L; V.Float 20.0; V.Int 200L; V.Null |];
+      [| V.Str "AAPL"; V.Int 3000L; V.Float 11.0; V.Int 150L; V.Str "y" |];
+      [| V.Str "IBM"; V.Int 4000L; V.Null; V.Int 250L; V.Null |];
+      [| V.Str "AAPL"; V.Int 5000L; V.Float 12.0; V.Int 300L; V.Str "x" |];
+      [| V.Str "MSFT"; V.Int 6000L; V.Float 21.5; V.Int 50L; V.Str "z" |];
+      [| V.Str "IBM"; V.Int 7000L; V.Float 95.25; V.Int 75L; V.Null |];
+      [| V.Str "GOOG"; V.Int 8000L; V.Null; V.Int 125L; V.Str "yy" |];
+      [| V.Str "MSFT"; V.Int 9000L; V.Float 19.5; V.Int 400L; V.Str "x" |];
+      [| V.Str "GOOG"; V.Int 10000L; V.Float 140.0; V.Int 10L; V.Str "q" |];
+    ];
+  db
+
+let session ~vectorized db =
+  let sess = Db.open_session db in
+  Db.set_vectorized sess vectorized;
+  sess
+
+(* run one statement to a comparable value: result payload or an error
+   tag; both paths must land on the same constructor with equal data *)
+let run sess sql =
+  match Db.exec sess sql with
+  | Db.Rows (res, _) -> Ok (res.Pgdb.Exec.res_cols, res.Pgdb.Exec.res_rows)
+  | Db.Complete tag -> Error ("complete:" ^ tag)
+  | exception Pgdb.Errors.Sql_error { code; message } ->
+      Error (code ^ ":" ^ message)
+
+let check_same sql a b =
+  if Stdlib.compare a b <> 0 then
+    Alcotest.failf "vector/row divergence on: %s" sql
+
+let differential db sqls =
+  let von = session ~vectorized:true db in
+  let voff = session ~vectorized:false db in
+  List.iter (fun sql -> check_same sql (run von sql) (run voff sql)) sqls
+
+(* ------------------------------------------------------------------ *)
+(* Randomized differential                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* a small closed query language over the fixture that stays inside
+   well-typed, non-erroring territory but crosses every vectorized
+   operator: typed and generic filter kernels, IN/BETWEEN/LIKE,
+   IS [NOT] NULL, grouped and scalar aggregates, expression
+   projections, ORDER BY, LIMIT/OFFSET *)
+let gen_query (rng : Random.State.t) : string =
+  let pick a = a.(Random.State.int rng (Array.length a)) in
+  let int_lit () = string_of_int (Random.State.int rng 12000) in
+  let float_lit () =
+    Printf.sprintf "%.2f" (Random.State.float rng 150.0)
+  in
+  let conjunct () =
+    match Random.State.int rng 10 with
+    | 0 -> Printf.sprintf "price > %s" (float_lit ())
+    | 1 -> Printf.sprintf "size <= %s" (int_lit ())
+    | 2 ->
+        let a = Random.State.int rng 6000 in
+        Printf.sprintf "t BETWEEN %d AND %d"
+          a (a + Random.State.int rng 6000)
+    | 3 -> Printf.sprintf "sym IN ('AAPL', 'MSFT', '%s')"
+             (pick [| "IBM"; "GOOG"; "ZZZ" |])
+    | 4 -> Printf.sprintf "sym LIKE '%s'" (pick [| "A%"; "%S%"; "__PL"; "%G" |])
+    | 5 -> pick [| "note IS NULL"; "note IS NOT NULL" |]
+    | 6 -> Printf.sprintf "price IS %s NULL"
+             (pick [| ""; "NOT" |])
+    | 7 -> Printf.sprintf "size <> %s" (int_lit ())
+    | 8 -> Printf.sprintf "sym = '%s'" (pick [| "AAPL"; "IBM"; "NOPE" |])
+    (* non-(col op lit) shape: exercises the generic compiled kernel *)
+    | _ -> Printf.sprintf "price * 2 > %s" (float_lit ())
+  in
+  let where () =
+    match Random.State.int rng 4 with
+    | 0 -> ""
+    | n ->
+        " WHERE "
+        ^ String.concat " AND "
+            (List.init n (fun _ -> conjunct ()))
+  in
+  let order_limit ~cols =
+    let ob =
+      if Random.State.bool rng then ""
+      else
+        " ORDER BY "
+        ^ String.concat ", "
+            (List.filteri
+               (fun i _ -> i <= Random.State.int rng 2)
+               (List.map
+                  (fun c ->
+                    c ^ if Random.State.bool rng then " DESC" else " ASC")
+                  cols))
+    in
+    let lim =
+      if Random.State.bool rng then ""
+      else Printf.sprintf " LIMIT %d" (Random.State.int rng 8)
+    in
+    let off =
+      if Random.State.int rng 3 = 0 then
+        Printf.sprintf " OFFSET %d" (Random.State.int rng 4)
+      else ""
+    in
+    ob ^ lim ^ off
+  in
+  match Random.State.int rng 4 with
+  | 0 ->
+      (* plain projection: the pure-gather (columnar output) shape *)
+      let cols =
+        List.filter
+          (fun _ -> Random.State.bool rng)
+          [ "sym"; "t"; "price"; "size"; "note" ]
+      in
+      let cols = if cols = [] then [ "sym"; "t" ] else cols in
+      Printf.sprintf "SELECT %s FROM trades%s%s"
+        (String.concat ", " cols)
+        (where ())
+        (order_limit ~cols)
+  | 1 ->
+      (* expression projection *)
+      Printf.sprintf
+        "SELECT sym, price * size AS notional, size + 1 AS s1 FROM trades%s%s"
+        (where ())
+        (order_limit ~cols:[ "sym"; "notional" ])
+  | 2 ->
+      (* grouped aggregates *)
+      let agg =
+        pick
+          [|
+            "count(*) AS n";
+            "sum(size) AS total";
+            "avg(price) AS avgp";
+            "min(price) AS lo";
+            "max(size) AS hi";
+            "count(note) AS notes";
+            "sum(price * size) AS notional";
+          |]
+      in
+      Printf.sprintf "SELECT sym, %s FROM trades%s GROUP BY sym%s" agg
+        (where ())
+        (order_limit ~cols:[ "sym" ])
+  | _ ->
+      (* scalar aggregates *)
+      Printf.sprintf
+        "SELECT count(*) AS n, sum(size) AS total, min(t) AS lo, avg(price) \
+         AS avgp FROM trades%s"
+        (where ())
+
+let test_differential_200 () =
+  let db = fixture () in
+  let von = session ~vectorized:true db in
+  let voff = session ~vectorized:false db in
+  let rng = Random.State.make [| 0x5eed; 42 |] in
+  let v0 = Atomic.get Vexec.stats_vector in
+  for _ = 1 to 200 do
+    let sql = gen_query rng in
+    check_same sql (run von sql) (run voff sql)
+  done;
+  (* the differential only means something if the vector path actually
+     served a healthy share of the queries *)
+  let served = Atomic.get Vexec.stats_vector - v0 in
+  if served < 100 then
+    Alcotest.failf "vector path served only %d/200 generated queries" served
+
+(* ------------------------------------------------------------------ *)
+(* 3VL null semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_null_filter_survival () =
+  let db = fixture () in
+  let sess = session ~vectorized:true db in
+  (* price has 2 NULLs among 10 rows: neither > nor <= keeps them *)
+  let count sql =
+    match run sess sql with
+    | Ok (_, [| [| V.Int n |] |]) -> Int64.to_int n
+    | _ -> Alcotest.failf "expected one count from %s" sql
+  in
+  let gt = count "SELECT count(*) AS n FROM trades WHERE price > 15" in
+  let le = count "SELECT count(*) AS n FROM trades WHERE price <= 15" in
+  check tint "NULLs survive neither side of a comparison" 8 (gt + le);
+  check tint "IS NULL keeps exactly the nulls" 2
+    (count "SELECT count(*) AS n FROM trades WHERE price IS NULL");
+  check tint "IS NOT NULL keeps the rest" 8
+    (count "SELECT count(*) AS n FROM trades WHERE price IS NOT NULL");
+  (* NULL never equals anything, including via IN *)
+  check tint "IN drops nulls" 0
+    (count
+       "SELECT count(*) AS n FROM trades WHERE price IS NULL AND price IN \
+        (10, 20)");
+  differential db
+    [
+      "SELECT sym, price FROM trades WHERE price > 15 ORDER BY sym";
+      "SELECT sym FROM trades WHERE note IS NULL";
+      "SELECT count(note) AS n, count(*) AS all_rows FROM trades";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Batch layer units                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_selection_compaction () =
+  let col =
+    Batch.column_of_rows
+      [|
+        [| V.Int 1L |]; [| V.Null |]; [| V.Int 3L |]; [| V.Int 4L |];
+      |]
+      0
+  in
+  check tbool "bitmap marks the null" true (Batch.is_null col 1);
+  check tbool "non-null stays clear" false (Batch.is_null col 2);
+  let packed = Batch.compact col [| 0; 2 |] in
+  check tbool "compacted column drops the null" false
+    (Batch.is_null packed 0 || Batch.is_null packed 1);
+  Alcotest.(check (list string))
+    "compacted values in selection order"
+    [ "1"; "3" ]
+    (Array.to_list
+       (Array.map
+          (fun v -> match v with V.Int i -> Int64.to_string i | _ -> "?")
+          (Batch.values packed (Batch.all_rows 2))));
+  let with_null = Batch.compact col [| 1; 3 |] in
+  check tbool "null survives compaction when selected" true
+    (Batch.is_null with_null 0);
+  check tbool "and the kept row stays non-null" false
+    (Batch.is_null with_null 1)
+
+let test_empty_batch () =
+  let db = Db.create () in
+  Db.load_table db
+    (S.table "empty_t"
+       [ S.column "a" Ty.TBigint; S.column "b" Ty.TVarchar ])
+    [];
+  differential db
+    [
+      "SELECT a, b FROM empty_t";
+      "SELECT a FROM empty_t WHERE a > 5 ORDER BY a DESC LIMIT 3";
+      "SELECT count(*) AS n, sum(a) AS s, min(a) AS lo FROM empty_t";
+      "SELECT b, count(*) AS n FROM empty_t GROUP BY b";
+    ];
+  let b = Batch.of_rows ~width:2 [||] in
+  check tint "zero-row batch" 0 b.Batch.nrows
+
+let test_all_null_column () =
+  let db = Db.create () in
+  Db.load_table db
+    (S.table "nulls_t" [ S.column "k" Ty.TVarchar; S.column "v" Ty.TDouble ])
+    [
+      [| V.Str "a"; V.Null |];
+      [| V.Str "b"; V.Null |];
+      [| V.Str "a"; V.Null |];
+    ];
+  differential db
+    [
+      "SELECT sum(v) AS s, min(v) AS lo, max(v) AS hi, avg(v) AS m, \
+       count(v) AS n FROM nulls_t";
+      "SELECT k, sum(v) AS s FROM nulls_t GROUP BY k ORDER BY k";
+      "SELECT k FROM nulls_t WHERE v > 0";
+      "SELECT k, v FROM nulls_t WHERE v IS NULL";
+    ];
+  let sess = session ~vectorized:true db in
+  match run sess "SELECT sum(v) AS s, count(v) AS n FROM nulls_t" with
+  | Ok (_, [| [| V.Null; V.Int 0L |] |]) -> ()
+  | _ -> Alcotest.fail "all-null aggregate should be (NULL, 0)"
+
+(* ------------------------------------------------------------------ *)
+(* Explain, colmajor hand-off, counters, feedback                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain_vector_nodes () =
+  let db = fixture () in
+  let sess = session ~vectorized:true db in
+  Db.set_analyze sess true;
+  ignore
+    (run sess
+       "SELECT sym, count(*) AS n FROM trades WHERE price > 10 AND size < \
+        350 GROUP BY sym ORDER BY sym LIMIT 3");
+  match Db.last_plan sess with
+  | None -> Alcotest.fail "analyzed vectorized query produced no plan"
+  | Some root ->
+      let ops = List.map (fun (_, n) -> n.Op.op) (Op.flatten root) in
+      let has op = List.mem op ops in
+      check tbool "vector_scan node" true (has "vector_scan");
+      check tbool "vector_filter node" true (has "vector_filter");
+      check tbool "vector_hash_agg node" true (has "vector_hash_agg");
+      check tbool "vector_sort node" true (has "vector_sort");
+      check tbool "vector_limit node" true (has "vector_limit");
+      let scan =
+        List.find (fun (_, n) -> n.Op.op = "vector_scan") (Op.flatten root)
+        |> snd
+      in
+      check tint "scan est = table rows" 10 scan.Op.est_rows;
+      check tint "scan actual = table rows" 10 scan.Op.rows_out;
+      check tint "plan-wide rows_scanned counts vector scans" 10
+        (Op.rows_scanned root)
+
+let test_colmajor_handoff () =
+  let db = fixture () in
+  let sess = session ~vectorized:true db in
+  (match Db.exec sess "SELECT sym, price FROM trades WHERE size >= 200" with
+  | Db.Rows (res, _) -> (
+      match Db.take_colmajor sess with
+      | None -> Alcotest.fail "plain-column select should yield colmajor"
+      | Some cm ->
+          check tint "one vector per column" 2 (Array.length cm);
+          Array.iteri
+            (fun j col ->
+              check tint "column length = row count"
+                (Array.length res.Pgdb.Exec.res_rows)
+                (Array.length col);
+              Array.iteri
+                (fun i v ->
+                  check tbool "colmajor agrees with rows" true
+                    (Stdlib.compare v res.Pgdb.Exec.res_rows.(i).(j) = 0))
+                col)
+            cm)
+  | Db.Complete _ -> Alcotest.fail "expected rows");
+  check tbool "take_colmajor consumes" true (Db.take_colmajor sess = None);
+  (* expression projections materialize rows: no columnar output *)
+  ignore (Db.exec sess "SELECT price * 2 AS p2 FROM trades");
+  check tbool "expression select yields no colmajor" true
+    (Db.take_colmajor sess = None)
+
+let test_path_counters () =
+  let db = fixture () in
+  let von = session ~vectorized:true db in
+  let voff = session ~vectorized:false db in
+  let v0 = Atomic.get Vexec.stats_vector in
+  let r0 = Atomic.get Vexec.stats_row in
+  let f0 = Atomic.get Vexec.stats_fallback in
+  ignore (run von "SELECT sym FROM trades WHERE size > 100");
+  check tint "vector counter" 1 (Atomic.get Vexec.stats_vector - v0);
+  check tint "no fallback" 0 (Atomic.get Vexec.stats_fallback - f0);
+  (* joins are outside the lowerable fragment: fallback + row *)
+  ignore
+    (run von
+       "SELECT t.sym FROM trades t, trades u WHERE t.sym = u.sym LIMIT 1");
+  check tbool "join falls back" true
+    (Atomic.get Vexec.stats_fallback - f0 >= 1
+    && Atomic.get Vexec.stats_row - r0 >= 1);
+  let r1 = Atomic.get Vexec.stats_row in
+  let f1 = Atomic.get Vexec.stats_fallback in
+  ignore (run voff "SELECT sym FROM trades");
+  check tint "vectorized-off counts as row" 1
+    (Atomic.get Vexec.stats_row - r1);
+  check tint "vectorized-off is not a fallback" 0
+    (Atomic.get Vexec.stats_fallback - f1)
+
+let test_selectivity_feedback () =
+  let db = fixture () in
+  let sess = session ~vectorized:true db in
+  Vexec.reset_selectivities ();
+  for _ = 1 to 5 do
+    ignore
+      (run sess
+         "SELECT sym FROM trades WHERE price > 100 AND size > 0")
+  done;
+  let snap = Vexec.selectivity_snapshot () in
+  check tbool "both conjuncts tracked" true (List.length snap >= 2);
+  List.iter
+    (fun (_, s) ->
+      check tbool "selectivity estimate in [0,1]" true (s >= 0.0 && s <= 1.0))
+    snap;
+  (* literal-stripped keys: the same shape with other constants shares
+     the entry instead of creating a new one *)
+  let n0 = List.length snap in
+  ignore (run sess "SELECT sym FROM trades WHERE price > 11 AND size > 90");
+  check tint "literal-stripped conjunct keys dedupe" n0
+    (List.length (Vexec.selectivity_snapshot ()));
+  (* price > 100 keeps 1 of 10 rows: the learned estimate must have
+     moved well below the 1/3 default toward the observed 0.1 *)
+  let key =
+    List.find_opt (fun (k, _) -> k <> "") snap |> Option.map fst
+  in
+  check tbool "snapshot keys are non-empty" true (key <> None);
+  Vexec.reset_selectivities ();
+  check tint "reset empties the store" 0
+    (List.length (Vexec.selectivity_snapshot ()))
+
+(* views expand through the row path (resolve_batch only serves base
+   tables), but must still be answerable with vectorization on *)
+let test_views_and_temps_fall_back () =
+  let db = fixture () in
+  let setup = session ~vectorized:true db in
+  ignore
+    (Db.exec setup "CREATE VIEW big AS SELECT * FROM trades WHERE size > 100");
+  ignore
+    (Db.exec setup
+       "CREATE TEMP TABLE scratch AS SELECT sym, size FROM trades");
+  differential db
+    [
+      "SELECT sym, size FROM big ORDER BY size DESC LIMIT 3";
+      "SELECT count(*) AS n FROM big";
+    ];
+  (* temp tables are per-session; the creating session must still get
+     vectorized execution over them via the temp-table batch *)
+  match run setup "SELECT sym, sum(size) AS s FROM scratch GROUP BY sym" with
+  | Ok (_, rows) -> check tbool "temp table grouped" true (Array.length rows > 0)
+  | Error e -> Alcotest.failf "temp table query failed: %s" e
+
+let () =
+  Alcotest.run "vexec"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "200 randomized queries, zero divergence" `Quick
+            test_differential_200;
+        ] );
+      ( "nulls",
+        [
+          Alcotest.test_case "3VL filter survival" `Quick
+            test_null_filter_survival;
+          Alcotest.test_case "all-null column" `Quick test_all_null_column;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "selection-vector compaction" `Quick
+            test_selection_compaction;
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "explain shows vector nodes" `Quick
+            test_explain_vector_nodes;
+          Alcotest.test_case "columnar hand-off to the pivot" `Quick
+            test_colmajor_handoff;
+          Alcotest.test_case "path counters" `Quick test_path_counters;
+          Alcotest.test_case "selectivity feedback" `Quick
+            test_selectivity_feedback;
+          Alcotest.test_case "views and temps" `Quick
+            test_views_and_temps_fall_back;
+        ] );
+    ]
