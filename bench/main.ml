@@ -1663,8 +1663,9 @@ let bench_runtime ?(gate = false) () =
    query (never lowerable, so the vectorized session pays shape
    analysis and then runs the identical row path). Full run writes
    BENCH_vectorized.json; [~gate:true] is the quick `make ci` variant:
-   >= 3x mean execute speedup, zero divergence on both legs, fallback
-   overhead <= 2.5%, exit 1 on fail. *)
+   >= 3x mean execute speedup overall, >= 2x on the join-heavy class,
+   zero divergence on both legs, fallback overhead <= 2.5%, exit 1 on
+   fail. *)
 let bench_vectorized ?(gate = false) () =
   header
     (if gate then "Vectorized executor - speedup/divergence gate"
@@ -1731,8 +1732,19 @@ let bench_vectorized ?(gate = false) () =
       ( "topn",
         "SELECT \"Symbol\", \"Time\", \"Price\" FROM trades WHERE \
          \"Price\" > 150.0 ORDER BY \"Price\" DESC LIMIT 25" );
+      (* join-heavy: every trade probes the secmaster build side, then
+         filters / aggregates over the joined batch *)
+      ( "join_filter",
+        "SELECT t.\"Symbol\", s.\"Sector\", t.\"Price\" FROM trades t \
+         JOIN secmaster_w s ON t.\"Symbol\" = s.\"Symbol\" WHERE \
+         t.\"Price\" > 140.0" );
+      ( "join_agg",
+        "SELECT s.\"Sector\", count(*) AS n, sum(t.\"Size\") AS sz FROM \
+         trades t JOIN secmaster_w s ON t.\"Symbol\" = s.\"Symbol\" GROUP \
+         BY s.\"Sector\"" );
     ]
   in
+  let join_class name = name = "join_filter" || name = "join_agg" in
   Printf.printf "%d trades, %d reps per class\n" (Array.length d.MD.trades)
     reps;
   Printf.printf "%-16s %13s %13s %13s %13s %9s\n" "class" "row_mean(ms)"
@@ -1754,6 +1766,10 @@ let bench_vectorized ?(gate = false) () =
   let row_total = List.fold_left (fun a (_, rm, _, _, _) -> a +. rm) 0.0 class_rows in
   let vec_total = List.fold_left (fun a (_, _, _, vm, _) -> a +. vm) 0.0 class_rows in
   let speedup = row_total /. Float.max 1e-9 vec_total in
+  let join_rows = List.filter (fun (n, _, _, _, _) -> join_class n) class_rows in
+  let join_row = List.fold_left (fun a (_, rm, _, _, _) -> a +. rm) 0.0 join_rows in
+  let join_vec = List.fold_left (fun a (_, _, _, vm, _) -> a +. vm) 0.0 join_rows in
+  let join_speedup = join_row /. Float.max 1e-9 join_vec in
   (* ---- randomized differential (single node) ---- *)
   let syms = d.MD.syms in
   let gen rng =
@@ -1787,7 +1803,7 @@ let bench_vectorized ?(gate = false) () =
           " WHERE "
           ^ String.concat " AND " (List.init n (fun _ -> conjunct ()))
     in
-    match Random.State.int rng 6 with
+    match Random.State.int rng 8 with
     | 0 ->
         Printf.sprintf
           "SELECT \"Symbol\", \"Price\", \"Size\" FROM trades%s" (where ())
@@ -1812,6 +1828,19 @@ let bench_vectorized ?(gate = false) () =
            the fallback path and the fallback-rate counter moves *)
         Printf.sprintf "SELECT \"Symbol\", \"Price\" FROM v_bench%s"
           (where ())
+    | 5 ->
+        Printf.sprintf
+          "SELECT t.\"Symbol\", s.\"Sector\", t.\"Price\" FROM trades t \
+           %s secmaster_w s ON t.\"Symbol\" = s.\"Symbol\" WHERE \
+           t.\"Price\" > %.2f"
+          (if Random.State.bool rng then "JOIN" else "LEFT JOIN")
+          (20.0 +. Random.State.float rng 180.0)
+    | 6 ->
+        Printf.sprintf
+          "SELECT s.\"Sector\", count(*) AS n, sum(t.\"Size\") AS sz \
+           FROM trades t JOIN secmaster_w s ON t.\"Symbol\" = \
+           s.\"Symbol\" WHERE t.\"Size\" >= %d GROUP BY s.\"Sector\""
+          (100 * (1 + Random.State.int rng 50))
     | _ ->
         Printf.sprintf
           "SELECT \"Symbol\", \"Bid\", \"Ask\" FROM quotes WHERE \"Ask\" \
@@ -1905,6 +1934,8 @@ let bench_vectorized ?(gate = false) () =
   let pivot_vec = pivot_ms true and pivot_row = pivot_ms false in
   Printf.printf "%-34s %12.1fx  (target >=3x)\n" "overall execute speedup"
     speedup;
+  Printf.printf "%-34s %12.1fx  (target >=2x)\n" "join class speedup"
+    join_speedup;
   Printf.printf "%-34s %9d/%d%s\n" "single-node divergences" !divergences
     differential_n
     (if !first_div = "" then "" else "  first: " ^ !first_div);
@@ -1920,15 +1951,17 @@ let bench_vectorized ?(gate = false) () =
   Printf.printf "%-34s %12.3f\n" "pivot stage, row repivot (ms)" pivot_row;
   let limit = 2.5 in
   let ok =
-    speedup >= 3.0 && !divergences = 0 && shard_divergences = 0
+    speedup >= 3.0 && join_speedup >= 2.0 && !divergences = 0
+    && shard_divergences = 0
     && fallback_overhead_pct <= limit
   in
   if gate then begin
     if not ok then begin
       Printf.printf
-        "--\nVECTOR GATE FAIL: speedup %.1fx (>=3x), divergences %d+%d \
-         (=0), fallback overhead %.3f%% (<=%.1f%%)\n"
-        speedup !divergences shard_divergences fallback_overhead_pct limit;
+        "--\nVECTOR GATE FAIL: speedup %.1fx (>=3x), join %.1fx (>=2x), \
+         divergences %d+%d (=0), fallback overhead %.3f%% (<=%.1f%%)\n"
+        speedup join_speedup !divergences shard_divergences
+        fallback_overhead_pct limit;
       exit 1
     end;
     Printf.printf "--\nvector gate ok\n"
@@ -1949,6 +1982,7 @@ let bench_vectorized ?(gate = false) () =
     Printf.fprintf oc
       "  ],\n\
       \  \"speedup\": %.3f,\n\
+      \  \"join_speedup\": %.3f,\n\
       \  \"differential_queries\": %d,\n\
       \  \"divergences\": %d,\n\
       \  \"shard_divergences\": %d,\n\
@@ -1957,15 +1991,16 @@ let bench_vectorized ?(gate = false) () =
       \  \"pivot_columnar_ms\": %.4f,\n\
       \  \"pivot_row_ms\": %.4f\n\
        }\n"
-      speedup differential_n !divergences shard_divergences fallback_rate
-      fallback_overhead_pct pivot_vec pivot_row;
+      speedup join_speedup differential_n !divergences shard_divergences
+      fallback_rate fallback_overhead_pct pivot_vec pivot_row;
     close_out oc;
     Printf.printf "--\nwrote BENCH_vectorized.json\n";
     if not ok then begin
       Printf.printf
-        "VECTOR GATE FAIL: speedup %.1fx (>=3x), divergences %d+%d (=0), \
-         fallback overhead %.3f%% (<=%.1f%%)\n"
-        speedup !divergences shard_divergences fallback_overhead_pct limit;
+        "VECTOR GATE FAIL: speedup %.1fx (>=3x), join %.1fx (>=2x), \
+         divergences %d+%d (=0), fallback overhead %.3f%% (<=%.1f%%)\n"
+        speedup join_speedup !divergences shard_divergences
+        fallback_overhead_pct limit;
       exit 1
     end
   end

@@ -150,3 +150,40 @@ let compact (c : column) (sel : sel) : column =
    row-oriented result layer and the QIPC pivot consume *)
 let values (c : column) (sel : sel) : Value.t array =
   Array.map (fun i -> value_at c i) sel
+
+(* gather a column through an index vector that may contain -1 slots,
+   which become NULL — how a left-outer join pads its unmatched probe
+   rows. Unlike [compact] the indices need not be ascending or unique:
+   a join's output repeats a build row once per match. *)
+let gather (c : column) (idx : int array) : column =
+  let n = Array.length idx in
+  let nulls = ref no_nulls in
+  let has_nulls = ref false in
+  let mark k =
+    if not !has_nulls then begin
+      nulls := Bytes.make ((n + 7) / 8) '\000';
+      has_nulls := true
+    end;
+    bit_set !nulls k
+  in
+  for k = 0 to n - 1 do
+    let i = Array.unsafe_get idx k in
+    if i < 0 || is_null c i then mark k
+  done;
+  let data =
+    match c.data with
+    | DInt a ->
+        DInt (Array.init n (fun k -> let i = idx.(k) in if i < 0 then 0L else a.(i)))
+    | DFloat a ->
+        DFloat
+          (Array.init n (fun k -> let i = idx.(k) in if i < 0 then 0.0 else a.(i)))
+    | DStr a ->
+        DStr
+          (Array.init n (fun k -> let i = idx.(k) in if i < 0 then "" else a.(i)))
+    | DVal a ->
+        DVal
+          (Array.init n (fun k ->
+               let i = idx.(k) in
+               if i < 0 then Value.Null else a.(i)))
+  in
+  { data; nulls = !nulls; has_nulls = !has_nulls }

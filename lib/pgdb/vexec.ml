@@ -51,7 +51,15 @@ let reset_stats () =
 let sel_alpha = 0.2
 let default_selectivity = 1.0 /. 3.0
 let sel_store_capacity = 1024
-let sel_store : (string, float) Hashtbl.t = Hashtbl.create 256
+
+(* second-chance eviction state: [hot] is set on every read or update
+   and cleared as the clock hand sweeps past, so a full store evicts a
+   key nobody consulted since the last sweep instead of wiping every
+   learned EWMA (the reset-on-full bug this replaces) *)
+type sel_entry = { mutable ewma : float; mutable hot : bool }
+
+let sel_store : (string, sel_entry) Hashtbl.t = Hashtbl.create 256
+let sel_clock : string Queue.t = Queue.create ()
 let sel_mutex = Mutex.create ()
 
 let rec strip_lits (e : A.expr) : A.expr =
@@ -91,34 +99,54 @@ let estimated_selectivity (key : string) : float =
   Mutex.lock sel_mutex;
   let v =
     match Hashtbl.find_opt sel_store key with
-    | Some s -> s
+    | Some e ->
+        e.hot <- true;
+        e.ewma
     | None -> default_selectivity
   in
   Mutex.unlock sel_mutex;
   v
 
+(* sweep the clock until a cold key falls out; every hot key passed gets
+   its second chance (bit cleared, requeued). Bounded by the queue
+   length: if every key is hot, the first one swept is now cold and the
+   second pass evicts it. *)
+let rec evict_one (budget : int) : unit =
+  match Queue.take_opt sel_clock with
+  | None -> ()
+  | Some k -> (
+      match Hashtbl.find_opt sel_store k with
+      | None -> evict_one budget (* stale clock slot: key already gone *)
+      | Some e when e.hot && budget > 0 ->
+          e.hot <- false;
+          Queue.add k sel_clock;
+          evict_one (budget - 1)
+      | Some _ -> Hashtbl.remove sel_store k)
+
 let observe_selectivity (key : string) (observed : float) : unit =
   Mutex.lock sel_mutex;
   (match Hashtbl.find_opt sel_store key with
-  | Some old ->
-      Hashtbl.replace sel_store key
-        ((sel_alpha *. observed) +. ((1.0 -. sel_alpha) *. old))
+  | Some e ->
+      e.hot <- true;
+      e.ewma <- (sel_alpha *. observed) +. ((1.0 -. sel_alpha) *. e.ewma)
   | None ->
       if Hashtbl.length sel_store >= sel_store_capacity then
-        Hashtbl.reset sel_store;
-      Hashtbl.add sel_store key observed);
+        evict_one (Queue.length sel_clock);
+      Hashtbl.add sel_store key { ewma = observed; hot = true };
+      Queue.add key sel_clock);
   Mutex.unlock sel_mutex
 
 (** (conjunct shape, EWMA selectivity) pairs currently tracked. *)
 let selectivity_snapshot () : (string * float) list =
   Mutex.lock sel_mutex;
-  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) sel_store [] in
+  let l = Hashtbl.fold (fun k e acc -> (k, e.ewma) :: acc) sel_store [] in
   Mutex.unlock sel_mutex;
   List.sort (fun (a, _) (b, _) -> String.compare a b) l
 
 let reset_selectivities () =
   Mutex.lock sel_mutex;
   Hashtbl.reset sel_store;
+  Queue.clear sel_clock;
   Mutex.unlock sel_mutex
 
 (* ------------------------------------------------------------------ *)
@@ -396,6 +424,357 @@ let in_kernel (c : Batch.column) (lits : A.lit list) : kernel option =
               (not (null i)) && List.exists (String.equal a.(i)) vals))
   | _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Batch expression evaluation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Whole-column evaluation of scalar expressions: instead of calling a
+   compiled closure once per surviving index (boxing a Value.t at every
+   node of the expression per row), supported expressions compile to
+   kernels that fill a typed output vector for the whole selection in
+   one monomorphic loop per operator.
+
+   Only operations that can never raise are admitted — arithmetic over
+   int64/float columns (add/sub/mul; div and mod raise on zero and stay
+   on the closure path), same-representation comparisons, 3VL boolean
+   combinators, IS [NOT] NULL — so evaluating operands column-at-a-time
+   instead of row-at-a-time cannot reorder an error the row path would
+   have raised. Null bitmaps propagate exactly as the row path's
+   null-propagating Value ops do. *)
+
+(* a sel-aligned result vector: slot [t] holds the value for base row
+   [sel.(t)]; [rnulls] is a packed bitmap over slots (empty = none) *)
+type vvec =
+  | VInt of int64 array
+  | VFloat of float array
+  | VStr of string array
+  | VBool of bool array
+
+type vres = { rdata : vvec; rnulls : Bytes.t }
+
+(* static result representation, decided at compile time so runtime
+   dispatch on operand vectors can never fail *)
+type vty = TInt | TFloat | TStr | TBool
+
+type vkernel = Batch.sel -> vres
+
+let vnull_empty = Batch.no_nulls
+let vnull_is (b : Bytes.t) t = Bytes.length b > 0 && Batch.bit_get b t
+
+let vnull_make n = Bytes.make ((n + 7) / 8) '\000'
+
+(* union of two null bitmaps (3VL null propagation for strict ops) *)
+let vnull_union n (a : Bytes.t) (b : Bytes.t) : Bytes.t =
+  if Bytes.length a = 0 then b
+  else if Bytes.length b = 0 then a
+  else begin
+    let out = vnull_make n in
+    for t = 0 to n - 1 do
+      if vnull_is a t || vnull_is b t then Batch.bit_set out t
+    done;
+    out
+  end
+
+(* lift a base column into a sel-aligned vector *)
+let vload (c : Batch.column) : (vty * vkernel) option =
+  let pull_nulls sel =
+    if not c.Batch.has_nulls then vnull_empty
+    else begin
+      let n = Array.length sel in
+      let b = vnull_make n in
+      let any = ref false in
+      for t = 0 to n - 1 do
+        if Batch.is_null c sel.(t) then begin
+          Batch.bit_set b t;
+          any := true
+        end
+      done;
+      if !any then b else vnull_empty
+    end
+  in
+  match c.Batch.data with
+  | Batch.DInt a ->
+      Some
+        ( TInt,
+          fun sel ->
+            {
+              rdata =
+                VInt
+                  (Array.init (Array.length sel) (fun t ->
+                       Array.unsafe_get a (Array.unsafe_get sel t)));
+              rnulls = pull_nulls sel;
+            } )
+  | Batch.DFloat a ->
+      Some
+        ( TFloat,
+          fun sel ->
+            {
+              rdata =
+                VFloat
+                  (Array.init (Array.length sel) (fun t ->
+                       Array.unsafe_get a (Array.unsafe_get sel t)));
+              rnulls = pull_nulls sel;
+            } )
+  | Batch.DStr a ->
+      Some
+        ( TStr,
+          fun sel ->
+            {
+              rdata =
+                VStr
+                  (Array.init (Array.length sel) (fun t ->
+                       Array.unsafe_get a (Array.unsafe_get sel t)));
+              rnulls = pull_nulls sel;
+            } )
+  | Batch.DVal _ -> None
+
+let vlit (l : A.lit) : (vty * vkernel) option =
+  match l with
+  | A.Int v ->
+      Some
+        ( TInt,
+          fun sel ->
+            { rdata = VInt (Array.make (Array.length sel) v); rnulls = vnull_empty }
+        )
+  | A.Float v ->
+      Some
+        ( TFloat,
+          fun sel ->
+            {
+              rdata = VFloat (Array.make (Array.length sel) v);
+              rnulls = vnull_empty;
+            } )
+  | A.Str v ->
+      Some
+        ( TStr,
+          fun sel ->
+            { rdata = VStr (Array.make (Array.length sel) v); rnulls = vnull_empty }
+        )
+  | A.Bool v ->
+      Some
+        ( TBool,
+          fun sel ->
+            {
+              rdata = VBool (Array.make (Array.length sel) v);
+              rnulls = vnull_empty;
+            } )
+  | A.Null -> None
+
+let as_float = function
+  | VInt a -> Array.map Int64.to_float a
+  | VFloat a -> a
+  | _ -> invalid_arg "vexec: kernel type confusion"
+
+(* int64/float arithmetic; Value.add/sub/mul on Int×Int use the Int64
+   op, any int/float mix converts through to_float — both mirrored *)
+let varith (op : A.binop) (ta, ka) (tb, kb) : (vty * vkernel) option =
+  let iop, fop =
+    match op with
+    | A.Add -> (Some Int64.add, ( +. ))
+    | A.Sub -> (Some Int64.sub, ( -. ))
+    | A.Mul -> (Some Int64.mul, ( *. ))
+    | _ -> (None, ( +. ))
+  in
+  match (iop, ta, tb) with
+  | None, _, _ -> None
+  | Some iop, TInt, TInt ->
+      Some
+        ( TInt,
+          fun sel ->
+            let a = ka sel and b = kb sel in
+            let av = match a.rdata with VInt v -> v | _ -> [||] in
+            let bv = match b.rdata with VInt v -> v | _ -> [||] in
+            {
+              rdata = VInt (Array.init (Array.length av) (fun t -> iop av.(t) bv.(t)));
+              rnulls = vnull_union (Array.length av) a.rnulls b.rnulls;
+            } )
+  | Some _, (TInt | TFloat), (TInt | TFloat) ->
+      Some
+        ( TFloat,
+          fun sel ->
+            let a = ka sel and b = kb sel in
+            let av = as_float a.rdata and bv = as_float b.rdata in
+            {
+              rdata =
+                VFloat (Array.init (Array.length av) (fun t -> fop av.(t) bv.(t)));
+              rnulls = vnull_union (Array.length av) a.rnulls b.rnulls;
+            } )
+  | _ -> None
+
+(* same-representation comparisons, with the exact compare each
+   Value.compare3 arm applies: Int64.compare for int/int,
+   String.compare for str/str, Stdlib.compare for bool/bool, and
+   float compare after to_float for any int/float mix *)
+let vcompare (op : A.binop) (ta, ka) (tb, kb) : (vty * vkernel) option =
+  match cmp_test op with
+  | None -> None
+  | Some test ->
+      let mk cmp =
+        Some
+          ( TBool,
+            fun sel ->
+              let a = ka sel and b = kb sel in
+              let n = Array.length sel in
+              {
+                rdata = VBool (Array.init n (fun t -> test (cmp a.rdata b.rdata t)));
+                rnulls = vnull_union n a.rnulls b.rnulls;
+              } )
+      in
+      (match (ta, tb) with
+      | TInt, TInt ->
+          mk (fun a b t ->
+              match (a, b) with
+              | VInt x, VInt y -> Int64.compare x.(t) y.(t)
+              | _ -> invalid_arg "vexec: kernel type confusion")
+      | TStr, TStr ->
+          mk (fun a b t ->
+              match (a, b) with
+              | VStr x, VStr y -> String.compare x.(t) y.(t)
+              | _ -> invalid_arg "vexec: kernel type confusion")
+      | TBool, TBool ->
+          mk (fun a b t ->
+              match (a, b) with
+              | VBool x, VBool y -> Stdlib.compare x.(t) y.(t)
+              | _ -> invalid_arg "vexec: kernel type confusion")
+      | (TInt | TFloat), (TInt | TFloat) ->
+          mk (fun a b t -> Float.compare (as_float a).(t) (as_float b).(t))
+      | _ -> None)
+
+let rec compile_vec (bindings : Exec.binding list)
+    (cols : Batch.column array) (e : A.expr) : (vty * vkernel) option =
+  let comp e = compile_vec bindings cols e in
+  match e with
+  | A.Col (q, c) -> vload cols.(Exec.find_binding bindings q c)
+  | A.Lit l -> vlit l
+  | A.Bin ((A.Add | A.Sub | A.Mul) as op, a, b) -> (
+      match (comp a, comp b) with
+      | Some ca, Some cb -> varith op ca cb
+      | _ -> None)
+  | A.Bin ((A.Eq | A.Neq | A.Lt | A.Le | A.Gt | A.Ge) as op, a, b) -> (
+      match (comp a, comp b) with
+      | Some ca, Some cb -> vcompare op ca cb
+      | _ -> None)
+  | A.Bin (A.And, a, b) -> (
+      (* 3VL conjunction: false dominates null (Value.and3); both sides
+         are whole-column evaluated, matching the row path's closure
+         which evaluates both operands unconditionally *)
+      match (comp a, comp b) with
+      | Some (TBool, ka), Some (TBool, kb) ->
+          Some
+            ( TBool,
+              fun sel ->
+                let a = ka sel and b = kb sel in
+                let n = Array.length sel in
+                let av = match a.rdata with VBool v -> v | _ -> [||] in
+                let bv = match b.rdata with VBool v -> v | _ -> [||] in
+                let out = Array.make n false in
+                let nulls = ref vnull_empty in
+                for t = 0 to n - 1 do
+                  let an = vnull_is a.rnulls t and bn = vnull_is b.rnulls t in
+                  let fa = (not an) && not av.(t)
+                  and fb = (not bn) && not bv.(t) in
+                  if fa || fb then () (* false *)
+                  else if an || bn then begin
+                    if Bytes.length !nulls = 0 then nulls := vnull_make n;
+                    Batch.bit_set !nulls t
+                  end
+                  else out.(t) <- true
+                done;
+                { rdata = VBool out; rnulls = !nulls } )
+      | _ -> None)
+  | A.Bin (A.Or, a, b) -> (
+      match (comp a, comp b) with
+      | Some (TBool, ka), Some (TBool, kb) ->
+          Some
+            ( TBool,
+              fun sel ->
+                let a = ka sel and b = kb sel in
+                let n = Array.length sel in
+                let av = match a.rdata with VBool v -> v | _ -> [||] in
+                let bv = match b.rdata with VBool v -> v | _ -> [||] in
+                let out = Array.make n false in
+                let nulls = ref vnull_empty in
+                for t = 0 to n - 1 do
+                  let an = vnull_is a.rnulls t and bn = vnull_is b.rnulls t in
+                  let ta_ = (not an) && av.(t) and tb_ = (not bn) && bv.(t) in
+                  if ta_ || tb_ then out.(t) <- true
+                  else if an || bn then begin
+                    if Bytes.length !nulls = 0 then nulls := vnull_make n;
+                    Batch.bit_set !nulls t
+                  end
+                done;
+                { rdata = VBool out; rnulls = !nulls } )
+      | _ -> None)
+  | A.Un (A.Not, a) -> (
+      match comp a with
+      | Some (TBool, ka) ->
+          Some
+            ( TBool,
+              fun sel ->
+                let r = ka sel in
+                let av = match r.rdata with VBool v -> v | _ -> [||] in
+                { rdata = VBool (Array.map not av); rnulls = r.rnulls } )
+      | _ -> None)
+  | A.IsNull a -> (
+      match comp a with
+      | Some (_, ka) ->
+          Some
+            ( TBool,
+              fun sel ->
+                let r = ka sel in
+                {
+                  rdata =
+                    VBool
+                      (Array.init (Array.length sel) (fun t ->
+                           vnull_is r.rnulls t));
+                  rnulls = vnull_empty;
+                } )
+      | None -> None)
+  | A.IsNotNull a -> (
+      match comp a with
+      | Some (_, ka) ->
+          Some
+            ( TBool,
+              fun sel ->
+                let r = ka sel in
+                {
+                  rdata =
+                    VBool
+                      (Array.init (Array.length sel) (fun t ->
+                           not (vnull_is r.rnulls t)));
+                  rnulls = vnull_empty;
+                } )
+      | None -> None)
+  | A.Between (a, lo, hi) ->
+      (* a >= lo AND a <= hi, exactly how compile_expr stages it (both
+         bounds evaluated; 3VL and3 combines) — expressed on the vector
+         algebra so each leg is one comparison loop *)
+      compile_vec bindings cols
+        (A.Bin (A.And, A.Bin (A.Ge, a, lo), A.Bin (A.Le, a, hi)))
+  | _ -> None
+
+(* a WHERE conjunct compiled whole-column: survivors are slots whose
+   boolean is true and not null (3VL reject on null, as the row path) *)
+let vec_filter_kernel (bindings : Exec.binding list)
+    (cols : Batch.column array) (e : A.expr) : kernel option =
+  match compile_vec bindings cols e with
+  | Some (TBool, vk) ->
+      Some
+        (fun sel ->
+          let r = vk sel in
+          let bv = match r.rdata with VBool v -> v | _ -> [||] in
+          let n = Array.length sel in
+          let out = Array.make n 0 in
+          let k = ref 0 in
+          for t = 0 to n - 1 do
+            if Array.unsafe_get bv t && not (vnull_is r.rnulls t) then begin
+              Array.unsafe_set out !k (Array.unsafe_get sel t);
+              incr k
+            end
+          done;
+          if !k = n then sel else Array.sub out 0 !k)
+  | _ -> None
+
 (* compile one WHERE conjunct to a kernel: a typed no-box kernel when
    the shape and column representation allow, a compiled-closure test
    otherwise *)
@@ -431,9 +810,14 @@ let compile_conjunct (bindings : Exec.binding list)
   in
   match special with
   | Some k -> k
-  | None ->
-      let ce = compile_expr bindings cols e in
-      fun sel -> filter_sel sel (fun i -> Value.is_true (ce i))
+  | None -> (
+      (* batch expression evaluation: whole-column kernels when every
+         node of the conjunct is a non-raising typed operation *)
+      match vec_filter_kernel bindings cols e with
+      | Some k -> k
+      | None ->
+          let ce = compile_expr bindings cols e in
+          fun sel -> filter_sel sel (fun i -> Value.is_true (ce i)))
 
 (* ------------------------------------------------------------------ *)
 (* Aggregate compilation                                               *)
@@ -626,39 +1010,282 @@ let order_cmp (order_by : (A.expr * A.direction) list) (k1 : Value.t list)
   in
   go k1 k2 order_by
 
+(* ------------------------------------------------------------------ *)
+(* FROM planning: base tables and vectorized hash joins                *)
+(* ------------------------------------------------------------------ *)
+
+(* join output accumulator: parallel growable index vectors, probe-side
+   and build-side. A build slot of -1 marks a left-outer null pad. *)
+type pair_acc = {
+  mutable pa_l : int array;
+  mutable pa_r : int array;
+  mutable pa_n : int;
+}
+
+let pair_acc () = { pa_l = Array.make 256 0; pa_r = Array.make 256 0; pa_n = 0 }
+
+let pair_emit (p : pair_acc) (i : int) (j : int) =
+  if p.pa_n = Array.length p.pa_l then begin
+    let cap = 2 * p.pa_n in
+    let l = Array.make cap 0 and r = Array.make cap 0 in
+    Array.blit p.pa_l 0 l 0 p.pa_n;
+    Array.blit p.pa_r 0 r 0 p.pa_n;
+    p.pa_l <- l;
+    p.pa_r <- r
+  end;
+  p.pa_l.(p.pa_n) <- i;
+  p.pa_r.(p.pa_n) <- j;
+  p.pa_n <- p.pa_n + 1
+
+(* Vectorized hash join over two batches on extracted equality pairs
+   [(left col, right col, null_safe)]: build on the right, probe with
+   the left in row order, exactly the row path's [Exec.eval_join] hash
+   branch. Buckets hold right-row indices in ascending order (the row
+   path prepends then reverses); a plain (non-null-safe) key never
+   matches NULL on either side, a null-safe key treats NULL as a value.
+   Key equality is the row path's: equality of the displayed key tuple
+   — the typed single-key fast paths below are exact refinements
+   (distinct int64s/strings have distinct displays). *)
+let hash_join_idx (l : Batch.t) (r : Batch.t)
+    (equi : (int * int * bool) list) ~(left_outer : bool) :
+    int array * int array =
+  let out = pair_acc () in
+  (match equi with
+  | [ (li, ri, null_safe) ]
+    when (match (l.Batch.cols.(li).Batch.data, r.Batch.cols.(ri).Batch.data) with
+         | Batch.DInt _, Batch.DInt _ | Batch.DStr _, Batch.DStr _ -> true
+         | _ -> false) ->
+      (* single typed key: hash the unboxed payloads directly *)
+      let lc = l.Batch.cols.(li) and rc = r.Batch.cols.(ri) in
+      let null_bucket : int list ref = ref [] in
+      let probe_bucket find =
+        for i = 0 to l.Batch.nrows - 1 do
+          let matches =
+            if Batch.is_null lc i then
+              if null_safe then List.rev !null_bucket else []
+            else find i
+          in
+          match matches with
+          | [] -> if left_outer then pair_emit out i (-1)
+          | js -> List.iter (fun j -> pair_emit out i j) js
+        done
+      in
+      (match (lc.Batch.data, rc.Batch.data) with
+      | Batch.DInt la, Batch.DInt ra ->
+          let tbl : (int64, int list ref) Hashtbl.t =
+            Hashtbl.create (Stdlib.max 16 r.Batch.nrows)
+          in
+          for j = 0 to r.Batch.nrows - 1 do
+            if Batch.is_null rc j then begin
+              if null_safe then null_bucket := j :: !null_bucket
+            end
+            else
+              let k = Array.unsafe_get ra j in
+              match Hashtbl.find_opt tbl k with
+              | Some lst -> lst := j :: !lst
+              | None -> Hashtbl.add tbl k (ref [ j ])
+          done;
+          probe_bucket (fun i ->
+              match Hashtbl.find_opt tbl (Array.unsafe_get la i) with
+              | Some lst -> List.rev !lst
+              | None -> [])
+      | Batch.DStr la, Batch.DStr ra ->
+          let tbl : (string, int list ref) Hashtbl.t =
+            Hashtbl.create (Stdlib.max 16 r.Batch.nrows)
+          in
+          for j = 0 to r.Batch.nrows - 1 do
+            if Batch.is_null rc j then begin
+              if null_safe then null_bucket := j :: !null_bucket
+            end
+            else
+              let k = Array.unsafe_get ra j in
+              match Hashtbl.find_opt tbl k with
+              | Some lst -> lst := j :: !lst
+              | None -> Hashtbl.add tbl k (ref [ j ])
+          done;
+          probe_bucket (fun i ->
+              match Hashtbl.find_opt tbl (Array.unsafe_get la i) with
+              | Some lst -> List.rev !lst
+              | None -> [])
+      | _ -> assert false)
+  | _ ->
+      (* general case: display-string key tuple, the row path's own key
+         function, so multi-key and float/calendar columns match
+         byte-identically *)
+      let lcols = List.map (fun (li, _, _) -> l.Batch.cols.(li)) equi in
+      let rcols = List.map (fun (_, ri, _) -> r.Batch.cols.(ri)) equi in
+      let safes = List.map (fun (_, _, ns) -> ns) equi in
+      let ok cols i =
+        List.for_all2 (fun c ns -> ns || not (Batch.is_null c i)) cols safes
+      in
+      let key cols i =
+        String.concat "\x00"
+          (List.map (fun c -> Value.to_display (Batch.value_at c i)) cols)
+      in
+      let tbl : (string, int list ref) Hashtbl.t =
+        Hashtbl.create (Stdlib.max 16 r.Batch.nrows)
+      in
+      for j = 0 to r.Batch.nrows - 1 do
+        if ok rcols j then
+          let k = key rcols j in
+          match Hashtbl.find_opt tbl k with
+          | Some lst -> lst := j :: !lst
+          | None -> Hashtbl.add tbl k (ref [ j ])
+      done;
+      for i = 0 to l.Batch.nrows - 1 do
+        let matches =
+          if not (ok lcols i) then []
+          else
+            match Hashtbl.find_opt tbl (key lcols i) with
+            | Some lst -> List.rev !lst
+            | None -> []
+        in
+        match matches with
+        | [] -> if left_outer then pair_emit out i (-1)
+        | js -> List.iter (fun j -> pair_emit out i j) js
+      done);
+  (Array.sub out.pa_l 0 out.pa_n, Array.sub out.pa_r 0 out.pa_n)
+
+(* Lower a FROM tree: base tables resolve to their cached batches;
+   INNER/LEFT JOINs whose ON clause is entirely extractable equality
+   conjuncts run the vectorized hash join and materialize the joined
+   batch by gathering both sides' columns through the index pair.
+   Cross joins, ON residuals (non-equi or single-side conjuncts), and
+   subquery/union sources raise [Fallback] — the row interpreter stays
+   authoritative there. Analysis (resolution, equi extraction) happens
+   eagerly so unsupported shapes fall back before any join runs; the
+   returned thunk does the data work. *)
+let rec plan_from ~(resolve : string -> (Exec.binding list * Batch.t) option)
+    ~(collect : bool) (f : A.from_item) :
+    Exec.binding list * string * (unit -> Batch.t * Opstats.node option) =
+  match f with
+  | A.TableRef (name, alias) -> (
+      match resolve name with
+      | None -> raise Fallback
+      | Some (base_bindings, batch) ->
+          (* qualify bindings exactly like eval_from's TableRef arm *)
+          let qual = match alias with Some a -> Some a | None -> Some name in
+          let bindings =
+            List.map (fun b -> { b with Exec.b_qual = qual }) base_bindings
+          in
+          ( bindings,
+            name,
+            fun () ->
+              let node =
+                if collect then
+                  let n = batch.Batch.nrows in
+                  Some
+                    (Opstats.make ~op:"vector_scan" ~detail:name ~est_rows:n
+                       ~rows_in:n ~rows_out:n ~self_ns:0L ~children:[])
+                else None
+              in
+              (batch, node) ))
+  | A.JoinItem { jkind; left; right; on } ->
+      let left_outer =
+        match jkind with
+        | `Left -> true
+        | `Inner -> false
+        | `Cross -> raise Fallback
+      in
+      let lb, lname, lrun = plan_from ~resolve ~collect left in
+      let rb, rname, rrun = plan_from ~resolve ~collect right in
+      (* extract equality conjuncts with the row path's exact pattern;
+         anything it would treat as a residual falls back instead *)
+      let equi =
+        match on with
+        | None -> raise Fallback
+        | Some e ->
+            List.map
+              (fun conj ->
+                match conj with
+                | A.Bin
+                    ( ((A.Eq | A.IsNotDistinctFrom) as op),
+                      A.Col (ql, cl),
+                      A.Col (qr, cr) ) ->
+                    let null_safe = op = A.IsNotDistinctFrom in
+                    if Exec.side_of lb ql cl && Exec.side_of rb qr cr then
+                      ( Exec.find_binding lb ql cl,
+                        Exec.find_binding rb qr cr,
+                        null_safe )
+                    else if Exec.side_of lb qr cr && Exec.side_of rb ql cl then
+                      ( Exec.find_binding lb qr cr,
+                        Exec.find_binding rb ql cl,
+                        null_safe )
+                    else raise Fallback
+                | _ -> raise Fallback)
+              (Exec.conjuncts e)
+      in
+      if equi = [] then raise Fallback;
+      ( lb @ rb,
+        lname ^ "\xe2\x8b\x88" ^ rname,
+        fun () ->
+          let lbatch, lnode = lrun () in
+          let rbatch, rnode = rrun () in
+          let t0 = if collect then Exec.now_ns () else 0L in
+          let lidx, ridx = hash_join_idx lbatch rbatch equi ~left_outer in
+          let npairs = Array.length lidx in
+          let joined_cols =
+            Array.append
+              (Array.map (fun c -> Batch.gather c lidx) lbatch.Batch.cols)
+              (Array.map (fun c -> Batch.gather c ridx) rbatch.Batch.cols)
+          in
+          let batch = { Batch.nrows = npairs; cols = joined_cols } in
+          let node =
+            if collect then begin
+              let est_of = function
+                | Some n -> n.Opstats.est_rows
+                | None -> 1
+              in
+              (* hash equi-joins estimated as max(inputs), like the row
+                 path's hash_join node *)
+              let est = Stdlib.max (est_of lnode) (est_of rnode) in
+              let kind = if left_outer then "left" else "inner" in
+              Some
+                (Opstats.make ~op:"vector_hash_join"
+                   ~detail:
+                     (Printf.sprintf "%s build=%d probe=%d" kind
+                        rbatch.Batch.nrows lbatch.Batch.nrows)
+                   ~est_rows:est
+                   ~rows_in:(lbatch.Batch.nrows + rbatch.Batch.nrows)
+                   ~rows_out:npairs
+                   ~self_ns:(Int64.sub (Exec.now_ns ()) t0)
+                   ~children:(List.filter_map Fun.id [ lnode; rnode ]))
+            end
+            else None
+          in
+          (batch, node) )
+  | A.SubqueryRef _ | A.UnionRef _ -> raise Fallback
+
 let try_run ~(resolve : string -> (Exec.binding list * Batch.t) option)
     ~(collect : bool) (s : A.select) : outcome option =
   match s.A.from with
-  | Some (A.TableRef (name, alias)) -> (
-      match resolve name with
-      | None -> None
-      | Some (base_bindings, batch) -> (
-          try
-            if s.A.distinct then raise Fallback;
-            (* qualify bindings exactly like eval_from's TableRef arm *)
-            let qual =
-              match alias with Some a -> Some a | None -> Some name
-            in
-            let bindings =
-              List.map (fun b -> { b with Exec.b_qual = qual }) base_bindings
-            in
-            let cols = batch.Batch.cols in
-            let nrows = batch.Batch.nrows in
-            (* ---- compile: name resolution and shape checks only; no
-               data is touched, so Fallback aborts with no side effects *)
-            let conjs =
-              match s.A.where with
-              | None -> []
-              | Some w ->
-                  List.map
-                    (fun conj ->
-                      let key = conjunct_key name conj in
-                      ( conj,
-                        key,
-                        estimated_selectivity key,
-                        compile_conjunct bindings cols conj ))
-                    (Exec.conjuncts w)
-            in
+  | None -> None
+  | Some from_item -> (
+      try
+        if s.A.distinct then raise Fallback;
+        (* ---- plan: name resolution and shape checks only; no data is
+           touched, so Fallback aborts with no side effects *)
+        let bindings, src_name, run_src =
+          plan_from ~resolve ~collect from_item
+        in
+        (* ---- run the source (a base-table lookup, or the hash join
+           pipeline for JOIN trees) *)
+        let batch, src_node = run_src () in
+        let cols = batch.Batch.cols in
+        let nrows = batch.Batch.nrows in
+        let conjs =
+          match s.A.where with
+          | None -> []
+          | Some w ->
+              List.map
+                (fun conj ->
+                  let key = conjunct_key src_name conj in
+                  ( conj,
+                    key,
+                    estimated_selectivity key,
+                    compile_conjunct bindings cols conj ))
+                (Exec.conjuncts w)
+        in
             (* most-selective-first, stable on the EWMA estimate *)
             let conjs =
               List.stable_sort
@@ -721,9 +1348,12 @@ let try_run ~(resolve : string -> (Exec.binding list * Batch.t) option)
                        ~self_ns ~children)
               end
             in
-            (* ---- execute: scan → filter* → agg/project → sort → limit *)
-            push ~op:"vector_scan" ~detail:name ~est_rows:nrows ~rows_in:nrows
-              ~rows_out:nrows;
+            (* ---- execute: the source node (scan, or a hash-join tree)
+               seeds the chain; then filter* → agg/project → sort → limit *)
+            if collect then begin
+              cur := src_node;
+              last_t := Exec.now_ns ()
+            end;
             let selr = ref (Batch.all_rows nrows) in
             List.iter
               (fun (conj, key, est_sel, kernel) ->
@@ -962,5 +1592,4 @@ let try_run ~(resolve : string -> (Exec.binding list * Batch.t) option)
                 vr_plan = (if collect then !cur else None);
                 vr_colmajor = colmajor;
               }
-          with Fallback -> None))
-  | _ -> None
+      with Fallback -> None)

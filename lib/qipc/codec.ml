@@ -113,6 +113,76 @@ let put_atom_payload buf (a : Atom.t) =
       | Qtype.Timestamp -> put_i64 buf long_null
       | Qtype.Date | Qtype.Time -> put_i32 buf int_null)
 
+(* Direct columnar serialization: the payload of a typed vector is
+   written by one monomorphic loop per element type — same-type atoms
+   and typed nulls inline, with {!Atom.cast} only on the rare mistyped
+   element — instead of running the [Qtype.equal]/[Atom.cast]/
+   [put_atom_payload] triple dispatch once per element. This is the
+   wire half of the columnar hand-off: an all-column projection arrives
+   here as column vectors straight from the vectorized executor and
+   leaves as wire bytes without any per-element type probing. The byte
+   output is identical to the generic path. *)
+let put_vector_payload buf (ty : Qtype.t) (atoms : Atom.t array) =
+  let n = Array.length atoms in
+  let slow a = put_atom_payload buf (Atom.cast ty a) in
+  match ty with
+  | Qtype.Long ->
+      for i = 0 to n - 1 do
+        match Array.unsafe_get atoms i with
+        | Atom.Long v -> put_i64 buf v
+        | Atom.Null _ -> put_i64 buf long_null
+        | a -> slow a
+      done
+  | Qtype.Float ->
+      for i = 0 to n - 1 do
+        match Array.unsafe_get atoms i with
+        | Atom.Float v -> put_f64 buf v
+        | Atom.Null _ -> put_f64 buf Float.nan
+        | a -> slow a
+      done
+  | Qtype.Sym ->
+      for i = 0 to n - 1 do
+        match Array.unsafe_get atoms i with
+        | Atom.Sym s -> put_sym buf s
+        | Atom.Null _ -> put_sym buf ""
+        | a -> slow a
+      done
+  | Qtype.Bool ->
+      for i = 0 to n - 1 do
+        match Array.unsafe_get atoms i with
+        | Atom.Bool b -> put_u8 buf (if b then 1 else 0)
+        | Atom.Null _ -> put_u8 buf 0
+        | a -> slow a
+      done
+  | Qtype.Char ->
+      for i = 0 to n - 1 do
+        match Array.unsafe_get atoms i with
+        | Atom.Char c -> put_u8 buf (Char.code c)
+        | Atom.Null _ -> put_u8 buf (Char.code ' ')
+        | a -> slow a
+      done
+  | Qtype.Timestamp ->
+      for i = 0 to n - 1 do
+        match Array.unsafe_get atoms i with
+        | Atom.Timestamp v -> put_i64 buf v
+        | Atom.Null _ -> put_i64 buf long_null
+        | a -> slow a
+      done
+  | Qtype.Date ->
+      for i = 0 to n - 1 do
+        match Array.unsafe_get atoms i with
+        | Atom.Date v -> put_i32 buf v
+        | Atom.Null _ -> put_i32 buf int_null
+        | a -> slow a
+      done
+  | Qtype.Time ->
+      for i = 0 to n - 1 do
+        match Array.unsafe_get atoms i with
+        | Atom.Time v -> put_i32 buf v
+        | Atom.Null _ -> put_i32 buf int_null
+        | a -> slow a
+      done
+
 let rec put_value buf (v : Value.t) =
   match v with
   | Value.Atom a ->
@@ -124,11 +194,7 @@ let rec put_value buf (v : Value.t) =
       (* attributes byte *)
       put_i32 buf (Array.length atoms);
       (* payload width is fixed by the vector's element type *)
-      Array.iter
-        (fun a ->
-          let a = if Qtype.equal (Atom.qtype a) ty then a else Atom.cast ty a in
-          put_atom_payload buf a)
-        atoms
+      put_vector_payload buf ty atoms
   | Value.List vs ->
       put_i8 buf 0;
       put_u8 buf 0;

@@ -65,9 +65,13 @@ type t = {
   c_domain_idle : M.gauge array;  (** hq_domain_idle_seconds{domain} *)
   c_domain_wait : M.gauge array;  (** hq_domain_queue_wait_seconds{domain} *)
   c_domain_jobs : M.gauge array;  (** hq_domain_jobs_total{domain} *)
+  c_pruned : M.counter;  (** hq_shard_pruned_scatters_total *)
   mutable c_closed : bool;
   mutable c_analyze : bool;
       (** shard sessions collect per-operator stats (ANALYZE mode) *)
+  mutable c_selectivity : (string -> float option) option;
+      (** workload feedback: fingerprint -> observed selectivity, wired
+          from the platform's {!Obs.Qstats} store *)
   mutable c_last_route : Router.route option;
       (** routing decision of the last statement offered to the sharder *)
   mutable c_last_shard_plans : (int * Pgdb.Opstats.node option) list;
@@ -211,11 +215,25 @@ let create ?(distributions = default_distributions) ?workers ~shards
     c_domain_jobs =
       per_domain "hq_domain_jobs_total"
         "Dispatch jobs completed by the domain";
+    c_pruned =
+      M.counter reg
+        ~help:
+          "Scatters dispatched to a shard subset via selectivity feedback"
+        "hq_shard_pruned_scatters_total";
     c_closed = false;
     c_analyze = false;
+    c_selectivity = None;
     c_last_route = None;
     c_last_shard_plans = [];
   }
+
+(** Wire the workload-statistics selectivity feed: [f fingerprint] is
+    the observed output/scanned row ratio of the fingerprint's analyzed
+    runs ({!Obs.Qstats.entry_selectivity}). Selective fingerprints let
+    the router prune scatters to the shards allowed by distribution-key
+    membership predicates. *)
+let set_selectivity_source (t : t) (f : string -> float option) : unit =
+  t.c_selectivity <- Some f
 
 (** Toggle ANALYZE collection on every shard session. Worker domains
     only touch their sessions inside [Pool.run], whose completion latch
@@ -360,7 +378,8 @@ let gathering (t : t) (f : unit -> 'a) : 'a =
   | Some tr -> Obs.Trace.with_span tr "gather" f
   | None -> f ()
 
-let execute (t : t) (plan : Router.plan) : (B.result, string) result =
+let execute (t : t) (plan : Router.plan) ~(targets : int list) :
+    (B.result, string) result =
   (match t.c_obs.Obs.Ctx.trace with
   | Some tr ->
       Obs.Trace.add_attr tr "shard_route" (Obs.Trace.Str (Router.plan_kind plan))
@@ -374,18 +393,15 @@ let execute (t : t) (plan : Router.plan) : (B.result, string) result =
         | Ok _ -> Error "single-shard dispatch returned multiple results"
         | Error e -> Error e)
     | Router.Concat rel -> (
-        match fan_out t ~targets:(all_shards t) (shard_sql rel) with
+        match fan_out t ~targets (shard_sql rel) with
         | Ok rs -> Ok (gathering t (fun () -> Gather.concat rs))
         | Error e -> Error e)
     | Router.Merge (rel, keys) -> (
-        match fan_out t ~targets:(all_shards t) (shard_sql rel) with
+        match fan_out t ~targets (shard_sql rel) with
         | Ok rs -> gathering t (fun () -> Gather.merge ~keys rs)
         | Error e -> Error e)
     | Router.PartialAgg plan -> (
-        match
-          fan_out t ~targets:(all_shards t)
-            (shard_sql plan.Router.a_shard_rel)
-        with
+        match fan_out t ~targets (shard_sql plan.Router.a_shard_rel) with
         | Ok rs -> gathering t (fun () -> Gather.combine plan rs)
         | Error e -> Error e)
   with e -> Error (Printexc.to_string e)
@@ -399,10 +415,18 @@ let sharder (t : t) : Hyperq.Engine.sharder =
   {
     Hyperq.Engine.sh_generation = (fun () -> Shardmap.generation t.c_map);
     sh_route =
-      (fun rel ->
+      (fun ?fingerprint rel ->
         if t.c_closed then None
         else
-          let route = Router.route t.c_map rel in
+          (* the adaptivity loop: observed selectivity of this statement
+             shape (when the platform wired a source and the engine knows
+             the fingerprint) feeds the router's scatter pruning *)
+          let selectivity =
+            match (fingerprint, t.c_selectivity) with
+            | Some fp, Some src -> src fp
+            | _ -> None
+          in
+          let route = Router.route ?selectivity t.c_map rel in
           t.c_last_route <- Some route;
           match route with
         | Router.Coordinator reason ->
@@ -411,12 +435,14 @@ let sharder (t : t) : Hyperq.Engine.sharder =
               Obs.Log.debug log "shard route: coordinator"
                 [ ("reason", Obs.Events.Str reason) ];
             None
-        | Router.Run plan ->
+        | Router.Run (plan, targets) ->
             (match plan with
             | Router.Single _ -> M.inc t.c_routed
             | Router.Concat _ | Router.Merge _ | Router.PartialAgg _ ->
-                M.inc t.c_scattered);
-            Some (fun () -> execute t plan));
+                M.inc t.c_scattered;
+                if List.length targets < Array.length t.c_shards then
+                  M.inc t.c_pruned);
+            Some (fun () -> execute t plan ~targets));
   }
 
 (* ------------------------------------------------------------------ *)

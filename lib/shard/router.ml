@@ -68,7 +68,13 @@ type plan =
           statement imposes no row order) *)
   | PartialAgg of agg_plan
 
-type route = Run of plan | Coordinator of string
+type route =
+  | Run of plan * int list
+      (** plan + target shards: [[s]] for a pinned statement, every
+          shard for a conservative scatter, a proper subset for a
+          selectivity-pruned scatter (the excluded shards cannot hold
+          rows satisfying the distribution-key constraints) *)
+  | Coordinator of string
 
 (** Short label of a plan's gather strategy — stamped onto the query
     trace so per-trace skew analysis can group by route class. *)
@@ -96,8 +102,13 @@ let pinnable_lit (l : Sqlast.Ast.lit) : bool =
       true
   | Sqlast.Ast.Float _ -> false
 
-(* shards pinned by equality conjuncts on distribution column [k] *)
-let pin_shards (map : Shardmap.t) (k : string) (pred : I.scalar) : int list =
+(* shard sets allowed by equality/membership conjuncts on distribution
+   column [k]: each returned element is the set of shards that can hold
+   a row satisfying one conjunct. A singleton is the classic pin; a
+   larger proper subset (an IN list whose members hash to several but
+   not all shards) licenses a selectivity-pruned scatter. *)
+let key_constraints (map : Shardmap.t) (k : string) (pred : I.scalar) :
+    int list list =
   List.filter_map
     (fun c ->
       match c with
@@ -106,8 +117,10 @@ let pin_shards (map : Shardmap.t) (k : string) (pred : I.scalar) : int list =
       | I.NullSafeEq (I.ColRef n, I.Const (l, _))
       | I.NullSafeEq (I.Const (l, _), I.ColRef n)
         when n = k && pinnable_lit l ->
-          Some (Shardmap.shard_of_lit map l)
-      | I.InList (I.ColRef n, lits) when n = k ->
+          Some [ Shardmap.shard_of_lit map l ]
+      | I.InList (I.ColRef n, lits) when n = k && lits <> [] ->
+          (* a vector membership constrains only when every member's
+             shard is computable *)
           let shards =
             List.map
               (fun (l, _) ->
@@ -115,12 +128,9 @@ let pin_shards (map : Shardmap.t) (k : string) (pred : I.scalar) : int list =
                 else None)
               lits
           in
-          (* a vector membership pins only when every member lands on
-             the same shard *)
-          (match shards with
-          | Some s :: rest when List.for_all (fun x -> x = Some s) rest ->
-              Some s
-          | _ -> None)
+          if List.for_all Option.is_some shards then
+            Some (List.sort_uniq compare (List.filter_map Fun.id shards))
+          else None
       | _ -> None)
     (conjuncts pred)
 
@@ -128,10 +138,11 @@ let pin_shards (map : Shardmap.t) (k : string) (pred : I.scalar) : int list =
 (* The multiset-partition analysis                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* (partition property, pinned shards, tree contains a Union).
-   Pins are dropped where they stop constraining the output (the right
-   side of outer joins, anywhere under a Union). *)
-let rec info (map : Shardmap.t) (r : I.rel) : part * int list * bool =
+(* (partition property, distribution-key constraints, tree contains a
+   Union). Each constraint is the shard set one conjunct allows;
+   constraints are dropped where they stop constraining the output (the
+   right side of outer joins, anywhere under a Union). *)
+let rec info (map : Shardmap.t) (r : I.rel) : part * int list list * bool =
   match r with
   | I.Get { table; cols; _ } -> (
       match Shardmap.distribution_of map table with
@@ -158,7 +169,7 @@ let rec info (map : Shardmap.t) (r : I.rel) : part * int list * bool =
   | I.Filter { input; pred } -> (
       let p, pins, u = info map input in
       match p with
-      | Partitioned (Some k) -> (p, pins @ pin_shards map k pred, u)
+      | Partitioned (Some k) -> (p, pins @ key_constraints map k pred, u)
       | _ -> (p, pins, u))
   | I.Project { input; exprs } -> (
       let p, pins, u = info map input in
@@ -321,6 +332,51 @@ let decompose (aggs : (string * I.scalar) list) :
     aggs;
   if !ok then Some (List.rev !shard_aggs, List.rev !combines) else None
 
+(* ------------------------------------------------------------------ *)
+(* Targeting: intersect the conjuncts' allowed-shard sets              *)
+(* ------------------------------------------------------------------ *)
+
+let all_of ~shards = List.init shards (fun i -> i)
+
+(* conjuncts all hold at once, so a shard must be allowed by every
+   constraint *)
+let allowed_shards ~shards (cons : int list list) : int list =
+  List.fold_left
+    (fun acc c -> List.filter (fun s -> List.mem s c) acc)
+    (all_of ~shards) cons
+
+(* the single shard a statement pins to, if any. An empty intersection
+   means the conjuncts contradict each other — no shard holds a
+   matching row — so any constrained shard serves the (empty) answer. *)
+let pinned ~shards (cons : int list list) : int option =
+  match allowed_shards ~shards cons with
+  | [ s ] -> Some s
+  | [] -> List.find_map (function s :: _ -> Some s | [] -> None) cons
+  | _ -> None
+
+(** Observed-selectivity ceiling under which a scatter is pruned to the
+    shards the distribution-key constraints allow. Feedback comes from
+    the workload-statistics plane ({!Obs.Qstats.entry_selectivity}): a
+    fingerprint whose analyzed runs return at most half the rows they
+    scan is selective enough that skipping shards which cannot
+    contribute matching rows is a clear win; without feedback the
+    scatter stays conservative (all shards). *)
+let prune_max_selectivity = 0.5
+
+(* Scatter targets: all shards unless workload feedback marks the
+   fingerprint selective AND the distribution-key constraints confine
+   matching rows to a subset. Pruning is semantically safe regardless —
+   an excluded shard holds no satisfying rows, so its contribution to a
+   concat/merge/partial-combine gather is empty — but the selectivity
+   gate keeps routing deterministic for un-profiled statements. *)
+let scatter_targets ~shards ~(selectivity : float option)
+    (cons : int list list) : int list =
+  let all = all_of ~shards in
+  match selectivity with
+  | Some s when s <= prune_max_selectivity && cons <> [] -> (
+      match allowed_shards ~shards cons with [] -> all | sub -> sub)
+  | _ -> all
+
 (* root Sort keys usable for a coordinator re-sort / merge: plain column
    references over the relation's output columns *)
 let plain_sort_keys (keys : I.sort_key list) (out : string list) :
@@ -337,15 +393,17 @@ let plain_sort_keys (keys : I.sort_key list) (out : string list) :
 (* Classification                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let try_partial_agg (map : Shardmap.t) ~(whole : I.rel) ~(input : I.rel)
-    ~(keys : (string * I.scalar) list) ~(aggs : (string * I.scalar) list)
-    ~(sort : I.sort_key list option) : route =
+let try_partial_agg (map : Shardmap.t) ~(selectivity : float option)
+    ~(whole : I.rel) ~(input : I.rel) ~(keys : (string * I.scalar) list)
+    ~(aggs : (string * I.scalar) list) ~(sort : I.sort_key list option) :
+    route =
+  let shards = Shardmap.shards map in
   match info map input with
   | No reason, _, _ -> Coordinator reason
   | Replicated, _, _ -> Coordinator "replicated-only statement"
-  | Partitioned _, pins, has_union -> (
-      match pins with
-      | pin :: _ when not has_union -> Run (Single (pin, whole))
+  | Partitioned _, cons, has_union -> (
+      match pinned ~shards cons with
+      | Some pin when not has_union -> Run (Single (pin, whole), [ pin ])
       | _ -> (
           match decompose aggs with
           | None -> Coordinator "non-decomposable aggregate"
@@ -360,22 +418,26 @@ let try_partial_agg (map : Shardmap.t) ~(whole : I.rel) ~(input : I.rel)
               | None -> Coordinator "aggregate order not on group keys"
               | Some a_sort ->
                   Run
-                    (PartialAgg
-                       {
-                         a_shard_rel =
-                           I.Aggregate { input; keys; aggs = shard_aggs };
-                         a_cols =
-                           List.map (fun n -> (n, CKey)) key_names
-                           @ combines;
-                         a_sort;
-                       }))))
+                    ( PartialAgg
+                        {
+                          a_shard_rel =
+                            I.Aggregate { input; keys; aggs = shard_aggs };
+                          a_cols =
+                            List.map (fun n -> (n, CKey)) key_names
+                            @ combines;
+                          a_sort;
+                        },
+                      scatter_targets ~shards ~selectivity cons ))))
 
-let route (map : Shardmap.t) (rel : I.rel) : route =
+let route ?selectivity (map : Shardmap.t) (rel : I.rel) : route =
+  let shards = Shardmap.shards map in
   match rel with
   | I.Aggregate { input; keys; aggs } ->
-      try_partial_agg map ~whole:rel ~input ~keys ~aggs ~sort:None
+      try_partial_agg map ~selectivity ~whole:rel ~input ~keys ~aggs
+        ~sort:None
   | I.Sort { input = I.Aggregate { input; keys; aggs }; keys = skeys } ->
-      try_partial_agg map ~whole:rel ~input ~keys ~aggs ~sort:(Some skeys)
+      try_partial_agg map ~selectivity ~whole:rel ~input ~keys ~aggs
+        ~sort:(Some skeys)
   | I.Sort { input; keys = [ { I.sk_expr = I.ColRef oc; sk_dir } ] }
     when I.order_col input = Some oc -> (
       (* class C: the root order is the implicit order column — unique
@@ -384,25 +446,31 @@ let route (map : Shardmap.t) (rel : I.rel) : route =
       match info map input with
       | No reason, _, _ -> Coordinator reason
       | Replicated, _, _ -> Coordinator "replicated-only statement"
-      | Partitioned _, pins, has_union -> (
-          match pins with
-          | pin :: _ when not has_union -> Run (Single (pin, rel))
-          | _ -> Run (Merge (rel, [ (oc, sk_dir) ]))))
+      | Partitioned _, cons, has_union -> (
+          match pinned ~shards cons with
+          | Some pin when not has_union -> Run (Single (pin, rel), [ pin ])
+          | _ ->
+              Run
+                ( Merge (rel, [ (oc, sk_dir) ]),
+                  scatter_targets ~shards ~selectivity cons )))
   | I.Sort _ -> (
       (* an explicit user sort on payload columns: ties may straddle
          shards, so a merge is not deterministic — but a pinned
          statement still routes *)
       match info map rel with
-      | Partitioned _, pin :: _, false -> Run (Single (pin, rel))
+      | Partitioned _, cons, false -> (
+          match pinned ~shards cons with
+          | Some pin -> Run (Single (pin, rel), [ pin ])
+          | None -> Coordinator "order not mergeable across shards")
       | _ -> Coordinator "order not mergeable across shards")
   | _ -> (
       match info map rel with
       | No reason, _, _ -> Coordinator reason
       | Replicated, _, _ -> Coordinator "replicated-only statement"
-      | Partitioned _, pins, has_union -> (
-          match pins with
-          | pin :: _ when not has_union -> Run (Single (pin, rel))
-          | _ -> Run (Concat rel)))
+      | Partitioned _, cons, has_union -> (
+          match pinned ~shards cons with
+          | Some pin when not has_union -> Run (Single (pin, rel), [ pin ])
+          | _ -> Run (Concat rel, scatter_targets ~shards ~selectivity cons)))
 
 (* ------------------------------------------------------------------ *)
 (* Route explanation                                                   *)
@@ -419,6 +487,10 @@ type explain = {
           partial aggregate *)
   x_combines : (string * string) list;
       (** partial-aggregate recombination rule per output column *)
+  x_pruned : bool;
+      (** scatter dispatched to a proper shard subset because workload
+          selectivity feedback plus distribution-key constraints ruled
+          the other shards out *)
 }
 
 let combine_name = function
@@ -430,20 +502,42 @@ let combine_name = function
   | CAvg (s, c) -> Printf.sprintf "avg(%s/%s)" s c
 
 let explain_route ~(shards : int) (r : route) : explain =
-  let all = List.init shards (fun i -> i) in
-  let none = { x_class = ""; x_targets = []; x_reason = ""; x_merge_keys = []; x_combines = [] } in
+  let none =
+    {
+      x_class = "";
+      x_targets = [];
+      x_reason = "";
+      x_merge_keys = [];
+      x_combines = [];
+      x_pruned = false;
+    }
+  in
+  let pruned targets = List.length targets < shards in
   match r with
-  | Run (Single (s, _)) -> { none with x_class = "single"; x_targets = [ s ] }
-  | Run (Merge (_, keys)) ->
-      { none with x_class = "merge"; x_targets = all; x_merge_keys = keys }
-  | Run (Concat _) -> { none with x_class = "concat"; x_targets = all }
-  | Run (PartialAgg p) ->
+  | Run (Single (s, _), _) -> { none with x_class = "single"; x_targets = [ s ] }
+  | Run (Merge (_, keys), targets) ->
+      {
+        none with
+        x_class = "merge";
+        x_targets = targets;
+        x_merge_keys = keys;
+        x_pruned = pruned targets;
+      }
+  | Run (Concat _, targets) ->
+      {
+        none with
+        x_class = "concat";
+        x_targets = targets;
+        x_pruned = pruned targets;
+      }
+  | Run (PartialAgg p, targets) ->
       {
         none with
         x_class = "partial_agg";
-        x_targets = all;
+        x_targets = targets;
         x_merge_keys = p.a_sort;
         x_combines = List.map (fun (n, c) -> (n, combine_name c)) p.a_cols;
+        x_pruned = pruned targets;
       }
   | Coordinator reason ->
       { none with x_class = "coordinator"; x_reason = reason }
@@ -451,7 +545,7 @@ let explain_route ~(shards : int) (r : route) : explain =
 let explain_json (x : explain) : string =
   Printf.sprintf
     "{\"class\":\"%s\",\"targets\":[%s],\"reason\":\"%s\",\
-     \"merge_keys\":[%s],\"combines\":{%s}}"
+     \"merge_keys\":[%s],\"combines\":{%s},\"pruned\":%b}"
     (Obs.Trace.json_escape x.x_class)
     (String.concat "," (List.map string_of_int x.x_targets))
     (Obs.Trace.json_escape x.x_reason)
@@ -467,3 +561,4 @@ let explain_json (x : explain) : string =
             Printf.sprintf "\"%s\":\"%s\"" (Obs.Trace.json_escape n)
               (Obs.Trace.json_escape c))
           x.x_combines))
+    x.x_pruned

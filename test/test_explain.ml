@@ -105,6 +105,60 @@ let test_exec_aggregate_and_join () =
     (List.fold_left (fun a c -> a + c.Op.rows_out) 0 j.Op.children)
     j.Op.rows_in
 
+(* the vectorized join: its operator node must carry the same accounting
+   contract as the row path's hash_join — build/probe sizes in the
+   detail, est vs actual cardinalities, and a computable q-error *)
+let test_vector_hash_join_node () =
+  let db = marketdata_db () in
+  let sess = Db.open_session db in
+  Db.set_vectorized sess true;
+  Db.set_analyze sess true;
+  let plan =
+    analyzed_plan sess
+      "SELECT t.\"Price\", s.\"Sector\" FROM trades t JOIN secmaster_w s \
+       ON t.\"Symbol\" = s.\"Symbol\""
+  in
+  let _, j =
+    try List.find (fun (_, m) -> m.Op.op = "vector_hash_join") (Op.flatten plan)
+    with Not_found ->
+      Alcotest.failf "no vector_hash_join node; ops: %s"
+        (String.concat "," (ops_of plan))
+  in
+  (* detail: "<kind> build=<rows> probe=<rows>" *)
+  (match String.split_on_char ' ' j.Op.detail with
+  | [ kind; b; p ] ->
+      check tstr "inner join kind" "inner" kind;
+      let num s pfx =
+        check tbool (pfx ^ " prefixed") true
+          (String.length s > String.length pfx
+          && String.sub s 0 (String.length pfx) = pfx);
+        int_of_string
+          (String.sub s (String.length pfx)
+             (String.length s - String.length pfx))
+      in
+      let build = num b "build=" and probe = num p "probe=" in
+      check tbool "build side read" true (build > 0);
+      check tbool "probe side read" true (probe > 0);
+      check tint "rows_in is build+probe" (build + probe) j.Op.rows_in
+  | _ -> Alcotest.failf "unexpected join detail %S" j.Op.detail);
+  check tint "join has two children" 2 (List.length j.Op.children);
+  check tbool "actual cardinality recorded" true (j.Op.rows_out > 0);
+  check tbool "estimate present" true (j.Op.est_rows >= 1);
+  (* est vs actual feed the q-error summary *)
+  let q = Op.qerror ~est:j.Op.est_rows ~actual:j.Op.rows_out in
+  check tbool "q-error computable" true (q >= 1.0 && Float.is_finite q);
+  (* a left join renders its kind *)
+  let lplan =
+    analyzed_plan sess
+      "SELECT t.\"Price\", s.\"Sector\" FROM trades t LEFT JOIN secmaster_w \
+       s ON t.\"Symbol\" = s.\"Symbol\""
+  in
+  let _, lj =
+    List.find (fun (_, m) -> m.Op.op = "vector_hash_join") (Op.flatten lplan)
+  in
+  check tbool "left join detail" true
+    (String.length lj.Op.detail >= 5 && String.sub lj.Op.detail 0 5 = "left ")
+
 let test_exec_off_collects_nothing () =
   let db = marketdata_db () in
   let sess = Db.open_session db in
@@ -416,12 +470,39 @@ let test_explain_json_endpoint () =
         (Obs.Explain.size (P.obs p).Obs.Ctx.explain);
       P.Client.close c)
 
+(* a Q join (lj) analyzed through the platform renders the vectorized
+   join operator — with its build/probe detail — in both the .hq.explain
+   operator table and the /explain.json document *)
+let test_vector_join_rendered () =
+  let d = MD.generate MD.small_scale in
+  let db = Db.create () in
+  MD.load_pg db d;
+  with_platform ~shards:2 db (fun p ->
+      let c = P.Client.connect p in
+      (match
+         ok
+           (P.Client.query c
+              ".hq.explain select qty:sum Size by Sector from trades lj \
+               secmaster_w")
+       with
+      | QV.Table t ->
+          check tbool "vector_hash_join in the operator table" true
+            (List.mem "vector_hash_join" (column_syms t "op"))
+      | v -> Alcotest.failf "expected table, got %s" (Qvalue.Qprint.to_string v));
+      let body = http_get p "/explain.json" in
+      check tbool "join op rendered" true
+        (contains body "\"op\":\"vector_hash_join\"");
+      check tbool "build/probe detail rendered" true (contains body "build=");
+      P.Client.close c)
+
 let () =
   Alcotest.run "explain"
     [
       ( "executor",
         [
           Alcotest.test_case "tree shape" `Quick test_exec_tree_shape;
+          Alcotest.test_case "vector hash join node" `Quick
+            test_vector_hash_join_node;
           Alcotest.test_case "aggregate and join" `Quick
             test_exec_aggregate_and_join;
           Alcotest.test_case "off collects nothing" `Quick
@@ -450,5 +531,7 @@ let () =
             test_recorder_attaches_tree;
           Alcotest.test_case "/explain.json" `Quick
             test_explain_json_endpoint;
+          Alcotest.test_case "vector join rendered" `Quick
+            test_vector_join_rendered;
         ] );
     ]

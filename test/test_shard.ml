@@ -56,12 +56,12 @@ let root_sort rel oc =
 
 let test_route_concat () =
   match R.route (smap ()) trades_get with
-  | R.Run (R.Concat _) -> ()
+  | R.Run (R.Concat _, [ 0; 1; 2; 3 ]) -> ()
   | _ -> Alcotest.fail "bare distributed scan should scatter as concat"
 
 let test_route_merge () =
   match R.route (smap ()) (root_sort trades_get "hq_ord") with
-  | R.Run (R.Merge (_, [ ("hq_ord", `Asc) ])) -> ()
+  | R.Run (R.Merge (_, [ ("hq_ord", `Asc) ]), [ 0; 1; 2; 3 ]) -> ()
   | _ -> Alcotest.fail "order-column sort should scatter as merge"
 
 let test_route_single () =
@@ -76,7 +76,7 @@ let test_route_single () =
   List.iter
     (fun pred ->
       match R.route m (root_sort (filtered pred) "hq_ord") with
-      | R.Run (R.Single (s, _)) ->
+      | R.Run (R.Single (s, _), _) ->
           check tint "pinned to the hash shard"
             (SM.shard_of_value m (V.Str "AAA"))
             s
@@ -90,7 +90,7 @@ let test_route_single () =
             (I.NullSafeEq (I.ColRef "Symbol", I.Const (A.Float 1.0, Ty.TDouble))))
          "hq_ord")
   with
-  | R.Run (R.Merge _) -> ()
+  | R.Run (R.Merge _, _) -> ()
   | _ -> Alcotest.fail "non-pinnable literal should fall back to scatter"
 
 let test_route_partial_agg () =
@@ -116,7 +116,7 @@ let test_route_partial_agg () =
       }
   in
   match R.route (smap ()) (root_sort agg "Symbol") with
-  | R.Run (R.PartialAgg plan) -> (
+  | R.Run (R.PartialAgg plan, _) -> (
       check tbool "re-sorted on the group key" true
         (plan.R.a_sort = [ ("Symbol", `Asc) ]);
       match plan.R.a_cols with
@@ -127,6 +127,52 @@ let test_route_partial_agg () =
             (s = "hq_ps_ap" && c = "hq_pc_ap")
       | _ -> Alcotest.fail "unexpected combine plan")
   | _ -> Alcotest.fail "decomposable aggregate should scatter as partial-agg"
+
+(* selectivity feedback: an IN list on the distribution column whose
+   members hash to a proper shard subset prunes the scatter — but only
+   when workload feedback says the statement is selective *)
+let test_route_pruned_scatter () =
+  let m = smap () in
+  let shard_of s = SM.shard_of_value m (V.Str s) in
+  (* find two symbols on distinct shards and one sharing the first's *)
+  let syms = List.init 64 (fun i -> Printf.sprintf "S%d" i) in
+  let a = List.hd syms in
+  let b = List.find (fun s -> shard_of s <> shard_of a) syms in
+  let in_pred members =
+    I.Filter
+      {
+        input = trades_get;
+        pred =
+          I.InList
+            ( I.ColRef "Symbol",
+              List.map (fun s -> (A.Str s, Ty.TVarchar)) members );
+      }
+  in
+  let expected = List.sort_uniq compare [ shard_of a; shard_of b ] in
+  (* no feedback: conservative full scatter *)
+  (match R.route m (in_pred [ a; b ]) with
+  | R.Run (R.Concat _, [ 0; 1; 2; 3 ]) -> ()
+  | _ -> Alcotest.fail "without feedback the scatter must stay full");
+  (* unselective feedback: still full *)
+  (match R.route ~selectivity:0.9 m (in_pred [ a; b ]) with
+  | R.Run (R.Concat _, [ 0; 1; 2; 3 ]) -> ()
+  | _ -> Alcotest.fail "unselective fingerprints must not prune");
+  (* selective feedback: scatter only where the members can live *)
+  (match R.route ~selectivity:0.05 m (in_pred [ a; b ]) with
+  | R.Run (R.Concat _, targets) ->
+      check tbool "pruned to the members' shards" true (targets = expected);
+      let x =
+        R.explain_route ~shards:4 (R.route ~selectivity:0.05 m (in_pred [ a; b ]))
+      in
+      check tbool "explain marks the prune" true x.R.x_pruned;
+      check tbool "explain carries the subset" true (x.R.x_targets = expected)
+  | _ -> Alcotest.fail "selective IN list should prune the scatter");
+  (* all members on one shard still pins, with or without feedback *)
+  let a' = List.find (fun s -> s <> a && shard_of s = shard_of a) syms in
+  match R.route ~selectivity:0.05 m (in_pred [ a; a' ]) with
+  | R.Run (R.Single (s, _), _) ->
+      check tint "same-shard IN list pins" (shard_of a) s
+  | _ -> Alcotest.fail "single-shard IN list should pin"
 
 let test_route_coordinator () =
   let m = smap () in
@@ -306,6 +352,46 @@ let test_sharded_platform_end_to_end () =
       | v -> Alcotest.failf "expected table, got %s" (Qvalue.Qprint.to_string v));
       P.Client.close c)
 
+(* selectivity feedback through the full stack: with a selective
+   fingerprint, an IN list on the distribution column dispatches only to
+   the shards its members hash to — and the answer is unchanged *)
+let test_pruned_dispatch_end_to_end () =
+  with_platform ~shards:4 (make_db ()) (fun p ->
+      let cluster = Option.get (P.cluster p) in
+      let m = C.map cluster in
+      let c = P.Client.connect p in
+      (* a member sharing shard with no other: pick a symbol on a
+         different shard than "A" so the pair spans a proper subset *)
+      let shard_of s = SM.shard_of_value m (V.Str s) in
+      let other =
+        List.find
+          (fun s -> shard_of s <> shard_of "A")
+          (List.init 64 (fun i -> Printf.sprintf "S%d" i))
+      in
+      let q = Printf.sprintf "select from trades where Symbol in `A`%s" other in
+      let statements () =
+        List.map (fun i -> i.C.si_statements) (C.shards_info cluster)
+      in
+      let delta f =
+        let before = statements () in
+        let r = f () in
+        (r, List.map2 ( - ) (statements ()) before)
+      in
+      (* without feedback: the scatter hits all four shards *)
+      let v_full, d_full = delta (fun () -> ok (P.Client.query c q)) in
+      check tint "conservative scatter hits every shard" 4
+        (List.length (List.filter (fun d -> d > 0) d_full));
+      (* selective feedback: only the members' shards are dispatched *)
+      C.set_selectivity_source cluster (fun _ -> Some 0.05);
+      let v_pruned, d_pruned = delta (fun () -> ok (P.Client.query c q)) in
+      check tint "pruned scatter hits two shards" 2
+        (List.length (List.filter (fun d -> d > 0) d_pruned));
+      check tbool "pruned answer unchanged" true (QV.equal v_full v_pruned);
+      let reg = (P.obs p).Obs.Ctx.registry in
+      check tbool "pruned scatter counted" true
+        (M.counter_value (M.counter reg "hq_shard_pruned_scatters_total") >= 1);
+      P.Client.close c)
+
 (* ------------------------------------------------------------------ *)
 (* Randomized differential: sharded vs single-backend                  *)
 (* ------------------------------------------------------------------ *)
@@ -458,7 +544,7 @@ let test_plan_cache_shard_generation () =
   let gen = ref 1 in
   let sharder =
     {
-      E.sh_route = (fun _ -> None);
+      E.sh_route = (fun ?fingerprint:_ _ -> None);
       sh_generation = (fun () -> !gen);
     }
   in
@@ -596,6 +682,7 @@ let () =
           Alcotest.test_case "merge" `Quick test_route_merge;
           Alcotest.test_case "single" `Quick test_route_single;
           Alcotest.test_case "partial-agg" `Quick test_route_partial_agg;
+          Alcotest.test_case "pruned-scatter" `Quick test_route_pruned_scatter;
           Alcotest.test_case "coordinator" `Quick test_route_coordinator;
         ] );
       ( "cluster",
@@ -606,6 +693,8 @@ let () =
       ( "platform --shards 2",
         [
           Alcotest.test_case "end to end" `Quick test_sharded_platform_end_to_end;
+          Alcotest.test_case "pruned dispatch" `Quick
+            test_pruned_dispatch_end_to_end;
         ] );
       ( "differential",
         [

@@ -3,9 +3,11 @@
    The load-bearing property is byte-identical results: every query a
    session answers with the vectorized executor on must produce exactly
    the result the row interpreter produces, including column types, row
-   order, and NULL placement. A randomized 200-query differential plus
-   targeted unit tests (3VL filters, selection-vector compaction, empty
-   batches, all-null columns, explain nodes) pin that down. *)
+   order, and NULL placement. A randomized 200-query differential, a
+   join differential (400+ 2-/3-table equi- and left-outer joins with
+   null keys, single-node and over 2 hash partitions) plus targeted unit
+   tests (3VL filters, selection-vector compaction, empty batches,
+   all-null columns, explain nodes) pin that down. *)
 
 module V = Pgdb.Value
 module Db = Pgdb.Db
@@ -193,6 +195,193 @@ let test_differential_200 () =
   let served = Atomic.get Vexec.stats_vector - v0 in
   if served < 100 then
     Alcotest.failf "vector path served only %d/200 generated queries" served
+
+(* ------------------------------------------------------------------ *)
+(* Join differential                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* three tables with NULL join keys on both sides, unmatched keys in
+   both directions, and many-to-many duplicates — everything that can
+   go wrong in a hash join's build/probe/pad phases *)
+let join_fixture () : Db.t =
+  let db = Db.create () in
+  Db.load_table db
+    (S.table "trades"
+       [
+         S.column "sym" Ty.TVarchar;
+         S.column "t" Ty.TBigint;
+         S.column "price" Ty.TDouble;
+         S.column "size" Ty.TBigint;
+       ])
+    [
+      [| V.Str "AAPL"; V.Int 1000L; V.Float 10.0; V.Int 100L |];
+      [| V.Str "MSFT"; V.Int 2000L; V.Float 20.0; V.Int 200L |];
+      [| V.Str "AAPL"; V.Int 3000L; V.Float 11.0; V.Int 150L |];
+      [| V.Str "IBM"; V.Int 4000L; V.Null; V.Int 250L |];
+      [| V.Null; V.Int 4500L; V.Float 13.0; V.Int 50L |];
+      [| V.Str "AAPL"; V.Int 5000L; V.Float 12.0; V.Int 300L |];
+      [| V.Str "MSFT"; V.Int 6000L; V.Float 21.5; V.Int 50L |];
+      [| V.Str "ORCL"; V.Int 6500L; V.Float 30.0; V.Int 80L |];
+      [| V.Str "IBM"; V.Int 7000L; V.Float 95.25; V.Int 75L |];
+      [| V.Null; V.Int 7500L; V.Null; V.Int 60L |];
+      [| V.Str "GOOG"; V.Int 8000L; V.Null; V.Int 125L |];
+      [| V.Str "MSFT"; V.Int 9000L; V.Float 19.5; V.Int 400L |];
+      [| V.Str "GOOG"; V.Int 10000L; V.Float 140.0; V.Int 10L |];
+    ];
+  Db.load_table db
+    (S.table "quotes"
+       [
+         S.column "sym" Ty.TVarchar;
+         S.column "bid" Ty.TDouble;
+         S.column "ask" Ty.TDouble;
+       ])
+    [
+      [| V.Str "AAPL"; V.Float 9.5; V.Float 10.5 |];
+      [| V.Str "AAPL"; V.Float 9.75; V.Null |];
+      [| V.Str "MSFT"; V.Float 19.0; V.Float 21.0 |];
+      [| V.Str "IBM"; V.Float 94.0; V.Float 96.0 |];
+      [| V.Null; V.Float 1.0; V.Float 2.0 |];
+      [| V.Str "GOOG"; V.Float 139.0; V.Float 141.0 |];
+      [| V.Str "TSLA"; V.Float 200.0; V.Float 201.0 |];
+      [| V.Str "MSFT"; V.Null; V.Float 21.5 |];
+    ];
+  Db.load_table db
+    (S.table "secmaster"
+       [ S.column "sym" Ty.TVarchar; S.column "sector" Ty.TVarchar ])
+    [
+      [| V.Str "AAPL"; V.Str "tech" |];
+      [| V.Str "MSFT"; V.Str "tech" |];
+      [| V.Str "IBM"; V.Str "services" |];
+      [| V.Str "GOOG"; V.Str "tech" |];
+      [| V.Str "ORCL"; V.Str "tech" |];
+      [| V.Null; V.Str "unknown" |];
+    ];
+  db
+
+(* random 2- and 3-table equi-joins (inner and left outer, including
+   null-safe ON clauses), WHERE mixing both sides' columns, grouped and
+   scalar aggregates over the joined batch *)
+let gen_join_query (rng : Random.State.t) : string =
+  let pick a = a.(Random.State.int rng (Array.length a)) in
+  let jk () = pick [| "JOIN"; "JOIN"; "LEFT JOIN" |] in
+  let on l r =
+    if Random.State.int rng 4 = 0 then
+      Printf.sprintf "%s.sym IS NOT DISTINCT FROM %s.sym" l r
+    else Printf.sprintf "%s.sym = %s.sym" l r
+  in
+  let conjunct () =
+    match Random.State.int rng 9 with
+    | 0 -> Printf.sprintf "t.price > %.2f" (Random.State.float rng 150.0)
+    | 1 -> Printf.sprintf "t.size <= %d" (Random.State.int rng 400)
+    | 2 -> Printf.sprintf "q.bid >= %.2f" (Random.State.float rng 100.0)
+    | 3 -> "q.ask IS NOT NULL"
+    | 4 -> Printf.sprintf "t.sym = '%s'" (pick [| "AAPL"; "MSFT"; "ZZZ" |])
+    | 5 -> "t.price IS NULL"
+    | 6 ->
+        Printf.sprintf "t.size + q.bid > %d" (50 + Random.State.int rng 300)
+    | 7 -> "t.price * 2 > q.ask"
+    | _ -> Printf.sprintf "q.bid BETWEEN %d AND %d"
+             (Random.State.int rng 50) (50 + Random.State.int rng 200)
+  in
+  let where () =
+    match Random.State.int rng 3 with
+    | 0 -> ""
+    | n ->
+        " WHERE "
+        ^ String.concat " AND " (List.init n (fun _ -> conjunct ()))
+  in
+  let limit () =
+    if Random.State.bool rng then ""
+    else Printf.sprintf " LIMIT %d" (1 + Random.State.int rng 20)
+  in
+  match Random.State.int rng 6 with
+  | 0 ->
+      Printf.sprintf
+        "SELECT t.sym, t.price, q.bid, q.ask FROM trades t %s quotes q ON \
+         %s%s%s"
+        (jk ()) (on "t" "q") (where ()) (limit ())
+  | 1 ->
+      (* all-column projection over a join: the colmajor output shape *)
+      Printf.sprintf "SELECT * FROM trades t %s quotes q ON %s%s" (jk ())
+        (on "t" "q") (where ())
+  | 2 ->
+      Printf.sprintf
+        "SELECT t.sym, q.bid, s.sector FROM trades t %s quotes q ON %s %s \
+         secmaster s ON %s%s%s"
+        (jk ()) (on "t" "q") (jk ()) (on "t" "s") (where ()) (limit ())
+  | 3 ->
+      (* self-join: duplicate key fan-out in both build and probe *)
+      Printf.sprintf
+        "SELECT a.sym, a.size, b.size AS bsize FROM trades a %s trades b ON \
+         %s%s"
+        (jk ()) (on "a" "b")
+        (if Random.State.bool rng then "" else " WHERE a.size < b.size")
+  | 4 ->
+      Printf.sprintf
+        "SELECT t.sym, count(*) AS n, sum(t.size) AS sz, avg(q.bid) AS ab \
+         FROM trades t %s quotes q ON %s%s GROUP BY t.sym"
+        (jk ()) (on "t" "q") (where ())
+  | _ ->
+      Printf.sprintf
+        "SELECT count(*) AS n, sum(q.bid) AS b, min(t.price) AS lo FROM \
+         trades t %s quotes q ON %s%s"
+        (jk ()) (on "t" "q") (where ())
+
+(* hash-partition the join fixture the way Shard.Cluster lays tables out:
+   trades and quotes distribute on sym, secmaster replicates. The
+   vectorized executor then runs against each shard's pgdb exactly as a
+   cluster fan-out would drive it. *)
+let shard_dbs ~shards db =
+  let m =
+    Shard.Shardmap.create ~shards
+      ~distributions:[ ("trades", "sym"); ("quotes", "sym") ]
+  in
+  let out = Array.init shards (fun _ -> Db.create ()) in
+  Hashtbl.iter
+    (fun name (tbl : Pgdb.Storage.table) ->
+      if name <> "pg_catalog_columns" then begin
+        let def = tbl.Pgdb.Storage.def in
+        let rows = Array.to_list tbl.Pgdb.Storage.rows in
+        match Pgdb.Storage.column_index tbl "sym" with
+        | Some ci when Shard.Shardmap.is_distributed m name ->
+            Array.iteri
+              (fun s sdb ->
+                Db.load_table sdb def
+                  (List.filter
+                     (fun r -> Shard.Shardmap.shard_of_value m r.(ci) = s)
+                     rows))
+              out
+        | _ -> Array.iter (fun sdb -> Db.load_table sdb def rows) out
+      end)
+    db.Pgdb.Db.tables;
+  out
+
+let test_join_differential () =
+  let db = join_fixture () in
+  let von = session ~vectorized:true db in
+  let voff = session ~vectorized:false db in
+  let rng = Random.State.make [| 0x10ca1; 77 |] in
+  let v0 = Atomic.get Vexec.stats_vector in
+  (* single node: 400 randomized join queries, byte-identical results *)
+  for _ = 1 to 400 do
+    let sql = gen_join_query rng in
+    check_same sql (run von sql) (run voff sql)
+  done;
+  let served = Atomic.get Vexec.stats_vector - v0 in
+  if served < 200 then
+    Alcotest.failf "vector path served only %d/400 join queries" served;
+  (* 2 shards: the same differential over each hash partition, where
+     null keys, key skew and empty probe sides land differently *)
+  let shards = shard_dbs ~shards:2 db in
+  Array.iter
+    (fun sdb ->
+      let son = session ~vectorized:true sdb in
+      let soff = session ~vectorized:false sdb in
+      for _ = 1 to 200 do
+        let sql = gen_join_query rng in
+        check_same sql (run son sql) (run soff sql)
+      done)
+    shards
 
 (* ------------------------------------------------------------------ *)
 (* 3VL null semantics                                                  *)
@@ -408,6 +597,45 @@ let test_selectivity_feedback () =
   check tint "reset empties the store" 0
     (List.length (Vexec.selectivity_snapshot ()))
 
+(* eviction regression: a full selectivity store must shed only cold
+   keys. The old behaviour (Hashtbl.reset on overflow) wiped every
+   learned EWMA; the second-chance clock keeps recently-consulted keys
+   and their estimates across overflow. *)
+let test_selectivity_eviction_keeps_hot_keys () =
+  Vexec.reset_selectivities ();
+  let cap = 1024 in
+  for i = 0 to cap - 1 do
+    Vexec.observe_selectivity (Printf.sprintf "t|k%04d" i) 0.5
+  done;
+  check tint "filled to capacity" cap
+    (List.length (Vexec.selectivity_snapshot ()));
+  (* one overflow sweeps the clock (everything was hot) and evicts a
+     single victim — not the whole store *)
+  Vexec.observe_selectivity "t|overflow" 0.25;
+  check tint "overflow evicts one, not all" cap
+    (List.length (Vexec.selectivity_snapshot ()));
+  (* consult a few keys so they are hot when the next sweeps arrive *)
+  let hot = [ "t|k0100"; "t|k0500"; "t|k0900" ] in
+  List.iter (fun k -> ignore (Vexec.estimated_selectivity k)) hot;
+  for i = 0 to 49 do
+    Vexec.observe_selectivity (Printf.sprintf "t|new%02d" i) 0.75
+  done;
+  let snap = Vexec.selectivity_snapshot () in
+  check tint "store stays at capacity" cap (List.length snap);
+  List.iter
+    (fun k ->
+      match List.assoc_opt k snap with
+      | Some e ->
+          check (Alcotest.float 1e-9) (k ^ " keeps its learned EWMA") 0.5 e
+      | None -> Alcotest.failf "hot key %s was evicted" k)
+    hot;
+  (* the new keys all made it in, so cold keys were the victims *)
+  check tint "all new keys inserted" 50
+    (List.length
+       (List.filter (fun (k, _) -> String.length k > 5
+                                   && String.sub k 0 5 = "t|new") snap));
+  Vexec.reset_selectivities ()
+
 (* views expand through the row path (resolve_batch only serves base
    tables), but must still be answerable with vectorization on *)
 let test_views_and_temps_fall_back () =
@@ -436,6 +664,9 @@ let () =
         [
           Alcotest.test_case "200 randomized queries, zero divergence" `Quick
             test_differential_200;
+          Alcotest.test_case
+            "400+ randomized joins, single-node and 2 shards, zero divergence"
+            `Quick test_join_differential;
         ] );
       ( "nulls",
         [
@@ -458,6 +689,8 @@ let () =
           Alcotest.test_case "path counters" `Quick test_path_counters;
           Alcotest.test_case "selectivity feedback" `Quick
             test_selectivity_feedback;
+          Alcotest.test_case "eviction keeps hot keys" `Quick
+            test_selectivity_eviction_keeps_hot_keys;
           Alcotest.test_case "views and temps" `Quick
             test_views_and_temps_fall_back;
         ] );
